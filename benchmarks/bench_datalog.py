@@ -1,0 +1,114 @@
+"""E11 — Section 3.4: Datalog ⊂ IQL, and what the generality costs.
+
+Four engines on identical transitive-closure workloads:
+
+* the dedicated Datalog engine, naive and semi-naive,
+* the generic IQL evaluator, naive and with its own delta rewriting
+  (auto-enabled for Datalog-positive stages; repro.iql.seminaive).
+
+Claims measured: all four produce identical fact sets; semi-naive beats
+naive by a growing factor in both engines (the classical result); the IQL
+evaluator pays a constant-factor interpretation overhead over the flat
+engine at matching algorithms — same asymptotics, since the embedding is
+verbatim.
+
+Run standalone:  python benchmarks/bench_datalog.py
+"""
+
+import pytest
+
+from repro.datalog import (
+    database_to_instance,
+    datalog_to_iql,
+    evaluate_naive,
+    evaluate_seminaive,
+    instance_to_database,
+    transitive_closure_program,
+)
+from repro.iql import Evaluator, evaluate
+from repro.workloads import path_graph, transitive_closure
+
+from helpers import ms, print_series, time_call
+
+
+def setup(n):
+    dprog = transitive_closure_program()
+    edges = path_graph(n)
+    return dprog, {"E": set(edges)}, edges
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_datalog_naive(benchmark, n):
+    dprog, edb, edges = setup(n)
+    out = benchmark.pedantic(lambda: evaluate_naive(dprog, edb), rounds=2, iterations=1)
+    assert out["T"] == transitive_closure(edges)
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_datalog_seminaive(benchmark, n):
+    dprog, edb, edges = setup(n)
+    out = benchmark.pedantic(
+        lambda: evaluate_seminaive(dprog, edb), rounds=2, iterations=1
+    )
+    assert out["T"] == transitive_closure(edges)
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_iql_embedded(benchmark, n):
+    dprog, edb, edges = setup(n)
+    program = datalog_to_iql(dprog)
+    instance = database_to_instance(dprog, edb, names=dprog.edb)
+    out = benchmark.pedantic(
+        lambda: evaluate(program, instance.copy()), rounds=2, iterations=1
+    )
+    assert instance_to_database(out)["T"] == transitive_closure(edges)
+
+
+def main():
+    rows = []
+    for n in [8, 16, 24, 32]:
+        dprog, edb, edges = setup(n)
+        t_naive, out_naive = time_call(evaluate_naive, dprog, edb)
+        t_semi, out_semi = time_call(evaluate_seminaive, dprog, edb)
+        program = datalog_to_iql(dprog)
+        instance = database_to_instance(dprog, edb, names=dprog.edb)
+        t_iql_naive, res_naive = time_call(
+            lambda: Evaluator(program, seminaive=False).run(instance.copy()).output
+        )
+        t_iql_semi, res_semi = time_call(
+            lambda: Evaluator(program, seminaive=True).run(instance.copy()).output
+        )
+        agree = (
+            out_naive["T"]
+            == out_semi["T"]
+            == instance_to_database(res_naive)["T"]
+            == instance_to_database(res_semi)["T"]
+        )
+        rows.append(
+            (
+                n,
+                len(out_naive["T"]),
+                ms(t_naive),
+                ms(t_semi),
+                ms(t_iql_naive),
+                ms(t_iql_semi),
+                f"{t_naive / t_semi:.1f}×",
+                f"{t_iql_naive / t_iql_semi:.1f}×",
+                "✓" if agree else "✗",
+            )
+        )
+    print_series(
+        "E11: transitive closure on path graphs — four engines, one answer",
+        ["n", "|T|", "DL naive", "DL semi", "IQL naive", "IQL semi",
+         "DL speedup", "IQL speedup", "agree"],
+        rows,
+    )
+    print(
+        "  shape: semi-naive's advantage grows with n (it avoids rediscovery);\n"
+        "  IQL's overhead over Datalog-naive is a constant factor — identical\n"
+        "  asymptotics, as the verbatim embedding predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

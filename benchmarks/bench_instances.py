@@ -1,0 +1,89 @@
+"""E1 — the structural model's bookkeeping costs.
+
+Claims measured: instance validation, ground-fact materialization and
+O-isomorphism checking on the Genesis fixture and on growing synthetic
+instances — the constant-factor substrate everything else pays.
+
+Run standalone:  python benchmarks/bench_instances.py
+"""
+
+import pytest
+
+from repro.schema import Instance, Schema, apply_o_isomorphism, find_o_isomorphism
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import Oid, OSet, OTuple
+from repro.workloads import genesis_instance
+
+from helpers import ms, print_series, time_call
+
+
+def chain_instance(n):
+    schema = Schema(
+        classes={"Node": tuple_of(tag=D, next_=set_of(classref("Node")))}
+    )
+    oids = [Oid(f"c{i}") for i in range(n)]
+    instance = Instance(schema, classes={"Node": oids})
+    for i, o in enumerate(oids):
+        succ = OSet([oids[i + 1]]) if i + 1 < n else OSet()
+        instance.assign(o, OTuple(tag=f"t{i % 3}", next_=succ))
+    return instance
+
+
+def test_genesis_validate(benchmark):
+    instance, _ = genesis_instance()
+    benchmark(instance.validate)
+
+
+def test_genesis_ground_facts(benchmark):
+    instance, _ = genesis_instance()
+    facts = benchmark(instance.ground_facts)
+    assert len(facts) == instance.fact_count()
+
+
+@pytest.mark.parametrize("n", [32, 128])
+def test_validate_chain(benchmark, n):
+    instance = chain_instance(n)
+    benchmark.pedantic(instance.validate, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", [16, 32])
+def test_isomorphism_check(benchmark, n):
+    instance = chain_instance(n)
+    image = apply_o_isomorphism(
+        instance, {o: Oid() for o in instance.objects()}
+    )
+    mapping = benchmark.pedantic(
+        lambda: find_o_isomorphism(instance, image), rounds=2, iterations=1
+    )
+    assert mapping is not None
+
+
+def main():
+    instance, _ = genesis_instance()
+    t_val, _ = time_call(instance.validate)
+    t_facts, facts = time_call(instance.ground_facts)
+    print_series(
+        "E1a: the Genesis instance (Example 1.1)",
+        ["operation", "time", "result"],
+        [
+            ("validate (Definition 2.3.2)", ms(t_val), "legal ✓"),
+            ("ground-facts view", ms(t_facts), f"{len(facts)} facts"),
+        ],
+    )
+
+    rows = []
+    for n in [16, 32, 64, 128]:
+        chain = chain_instance(n)
+        t_val, _ = time_call(chain.validate)
+        image = apply_o_isomorphism(chain, {o: Oid() for o in chain.objects()})
+        t_iso, mapping = time_call(find_o_isomorphism, chain, image)
+        rows.append((n, ms(t_val), ms(t_iso), mapping is not None))
+    print_series(
+        "E1b: synthetic chains — validation and O-isomorphism",
+        ["objects", "validate", "find O-isomorphism", "found"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

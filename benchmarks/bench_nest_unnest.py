@@ -1,0 +1,80 @@
+"""E3 — Example 3.4.1: nest/unnest throughput.
+
+Claims measured: both directions are IQLrr and scale polynomially; nest
+invents exactly one oid per key (grouping via invention, no dedicated
+primitive).
+
+Run standalone:  python benchmarks/bench_nest_unnest.py
+"""
+
+import pytest
+
+from repro.iql import evaluate, evaluate_full, nest_program, unnest_program
+from repro.schema import Instance
+from repro.typesys import D
+from repro.values import OSet, OTuple
+
+from helpers import fit_loglog_slope, ms, print_series, time_call
+
+
+def flat_instance(schema, keys, per_key):
+    rows = [
+        OTuple(A01=f"k{k}", A02=f"v{k}_{i}") for k in range(keys) for i in range(per_key)
+    ]
+    return Instance(schema, relations={"R2": rows})
+
+
+def nested_instance(schema, keys, per_key):
+    rows = [
+        OTuple(A01=f"k{k}", A02=OSet(f"v{k}_{i}" for i in range(per_key)))
+        for k in range(keys)
+    ]
+    return Instance(schema, relations={"R1": rows})
+
+
+@pytest.mark.parametrize("keys", [8, 16])
+def test_nest(benchmark, keys):
+    program = nest_program("R2", "R3", D, D)
+    instance = flat_instance(program.input_schema, keys, 4)
+    result = benchmark.pedantic(
+        lambda: evaluate_full(program, instance.copy()), rounds=2, iterations=1
+    )
+    assert result.stats.oids_invented == keys
+    assert len(result.output.relations["R3"]) == keys
+
+
+@pytest.mark.parametrize("keys", [8, 16])
+def test_unnest(benchmark, keys):
+    program = unnest_program("R1", "R2", D, D)
+    instance = nested_instance(program.input_schema, keys, 4)
+    out = benchmark.pedantic(
+        lambda: evaluate(program, instance.copy()), rounds=2, iterations=1
+    )
+    assert len(out.relations["R2"]) == keys * 4
+
+
+def main():
+    rows = []
+    sizes = [4, 8, 16, 32]
+    times = []
+    for keys in sizes:
+        nest = nest_program("R2", "R3", D, D)
+        instance = flat_instance(nest.input_schema, keys, 4)
+        t_nest, full = time_call(evaluate_full, nest, instance)
+        unnest = unnest_program("R1", "R2", D, D)
+        n_inst = nested_instance(unnest.input_schema, keys, 4)
+        t_unnest, out = time_call(evaluate, unnest, n_inst)
+        times.append(t_nest)
+        rows.append(
+            (keys, keys * 4, ms(t_nest), full.stats.oids_invented, ms(t_unnest))
+        )
+    print_series(
+        "E3: Example 3.4.1 — nest/unnest (4 values per key)",
+        ["keys", "rows", "nest", "oids invented", "unnest"],
+        rows,
+    )
+    print(f"  nest log-log slope ≈ {fit_loglog_slope(sizes, times):.2f} (polynomial; IQLrr)")
+
+
+if __name__ == "__main__":
+    main()

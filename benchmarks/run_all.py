@@ -1,0 +1,53 @@
+"""Run every experiment sweep and print the consolidated report.
+
+This regenerates the tables recorded in EXPERIMENTS.md::
+
+    python benchmarks/run_all.py            # everything (~2-4 minutes)
+    python benchmarks/run_all.py E2 E10     # a subset by experiment id
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+#: experiment id → bench module (one main() per module).
+EXPERIMENTS = {
+    "E1": "bench_instances",
+    "E2": "bench_graph_encoding",
+    "E3": "bench_nest_unnest",
+    "E4": "bench_powerset",
+    "E5": "bench_union_encoding",
+    "E6": "bench_determinacy",
+    "E7": "bench_quadrangle",
+    "E9": "bench_deletion",
+    "E10": "bench_ptime",
+    "E11": "bench_datalog",
+    "E12": "bench_inheritance",
+    "E13": "bench_valuebased",
+    "E14": "bench_types",
+    "E16": "bench_algebra",
+}
+
+
+def main(argv) -> int:
+    selected = set(argv) if argv else set(EXPERIMENTS)
+    unknown = selected - set(EXPERIMENTS)
+    if unknown:
+        print(f"unknown experiment ids: {sorted(unknown)}", file=sys.stderr)
+        return 1
+    started = time.perf_counter()
+    for exp_id, module_name in EXPERIMENTS.items():
+        if exp_id not in selected:
+            continue
+        print(f"\n{'=' * 72}\n{exp_id}: {module_name}\n{'=' * 72}")
+        module = importlib.import_module(module_name)
+        module.main()
+    print(f"\ntotal: {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,7 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so the
+PEP 660 editable-install path is unavailable; pip falls back to
+`setup.py develop`, which needs this file. Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

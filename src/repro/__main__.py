@@ -1,0 +1,156 @@
+"""Command-line driver: run IQL programs against JSON instances.
+
+Usage::
+
+    python -m repro run PROGRAM.iql --input data.json [--output out.json]
+    python -m repro check PROGRAM.iql            # type check + classify
+    python -m repro fmt PROGRAM.iql              # parse + pretty-print
+    python -m repro validate data.json           # instance legality
+    python -m repro demo                         # the Example 1.2 pipeline
+
+Programs are in the surface syntax (see repro.parser); instances in the
+JSON format of repro.io.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import io
+from repro.errors import ReproError
+from repro.iql.evaluator import Evaluator, EvaluatorLimits
+from repro.iql.sublanguages import classify
+from repro.iql.typecheck import check_program
+from repro.parser.grammar import program_from_source
+
+
+def _load_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return program_from_source(handle.read())
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    errors = check_program(program)
+    for error in errors:
+        print(f"type error: {error}", file=sys.stderr)
+    report = classify(program)
+    print(f"rules: {len(program.rules)} in {len(program.stages)} stage(s)")
+    print(f"classification: {report.summary()}")
+    if program.uses_choose():
+        print("features: choose (IQL+)")
+    if program.uses_deletion():
+        print("features: deletion (IQL*)")
+    return 1 if errors else 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    errors = check_program(program)
+    if errors:
+        for error in errors:
+            print(f"type error: {error}", file=sys.stderr)
+        return 1
+    instance = io.load(args.input, schema=program.input_schema if args.strict else None)
+    if args.strict and instance.schema != program.input_schema:
+        print("input does not match the program's input schema", file=sys.stderr)
+        return 1
+    if not args.strict:
+        instance = instance.project(program.input_schema)
+    limits = EvaluatorLimits(max_steps=args.max_steps)
+    evaluator = Evaluator(program, limits=limits, choose_mode=args.choose_mode)
+    result = evaluator.run(instance)
+    stats = result.stats
+    print(
+        f"fixpoint in {stats.steps} step(s); +{stats.facts_added} facts, "
+        f"-{stats.facts_deleted}, {stats.oids_invented} oids invented",
+        file=sys.stderr,
+    )
+    text = io.dumps(result.output)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_fmt(args: argparse.Namespace) -> int:
+    from repro.parser.unparse import program_to_source
+
+    program = _load_program(args.program)
+    print(program_to_source(program))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    instance = io.load(args.instance)
+    instance.validate()
+    print(f"legal instance: {instance.fact_count()} ground facts")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.iql.evaluator import evaluate
+    from repro.transform.encodings import graph_instance, graph_to_class_program
+
+    edges = {("a", "b"), ("b", "c"), ("c", "a")}
+    print(f"input graph: {sorted(edges)}")
+    output = evaluate(graph_to_class_program(), graph_instance(edges))
+    print("\nExample 1.2 — the graph as mutually-referring objects:")
+    print(output)
+    print("\nas JSON:")
+    print(io.dumps(output))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="type check and classify a program")
+    p_check.add_argument("program")
+    p_check.set_defaults(func=cmd_check)
+
+    p_run = sub.add_parser("run", help="evaluate a program on an instance")
+    p_run.add_argument("program")
+    p_run.add_argument("--input", required=True, help="JSON instance document")
+    p_run.add_argument("--output", help="write the output instance here")
+    p_run.add_argument("--max-steps", type=int, default=10_000)
+    p_run.add_argument(
+        "--choose-mode",
+        choices=["verify", "trusted", "nondeterministic"],
+        default="verify",
+    )
+    p_run.add_argument(
+        "--strict",
+        action="store_true",
+        help="require the input document's schema to equal Sin exactly",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_fmt = sub.add_parser("fmt", help="parse and pretty-print a program")
+    p_fmt.add_argument("program")
+    p_fmt.set_defaults(func=cmd_fmt)
+
+    p_val = sub.add_parser("validate", help="check an instance document")
+    p_val.add_argument("instance")
+    p_val.set_defaults(func=cmd_validate)
+
+    p_demo = sub.add_parser("demo", help="run the Example 1.2 pipeline")
+    p_demo.set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

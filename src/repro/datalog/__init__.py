@@ -1,0 +1,46 @@
+"""A standalone Datalog engine: the substrate IQL generalizes (Section 3.4)."""
+
+from repro.datalog.ast import Constant, Database, DatalogProgram, DAtom, DRule, DTerm, DVar, freeze_db
+from repro.datalog.embed import (
+    database_to_instance,
+    datalog_to_iql,
+    instance_to_database,
+    relational_schema,
+    same_generation_program,
+    transitive_closure_program,
+    unreachable_program,
+    win_move_program,
+)
+from repro.datalog.engine import (
+    evaluate_inflationary,
+    evaluate_naive,
+    evaluate_seminaive,
+    evaluate_stratified,
+)
+from repro.datalog.stratify import dependency_edges, is_stratifiable, stratify
+
+__all__ = [
+    "Constant",
+    "Database",
+    "DatalogProgram",
+    "DAtom",
+    "DRule",
+    "DTerm",
+    "DVar",
+    "freeze_db",
+    "database_to_instance",
+    "datalog_to_iql",
+    "instance_to_database",
+    "relational_schema",
+    "same_generation_program",
+    "transitive_closure_program",
+    "unreachable_program",
+    "win_move_program",
+    "evaluate_inflationary",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "evaluate_stratified",
+    "dependency_edges",
+    "is_stratifiable",
+    "stratify",
+]

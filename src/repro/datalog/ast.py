@@ -1,0 +1,145 @@
+"""A standalone Datalog dialect — the substrate language IQL generalizes.
+
+Section 3.4: "each Datalog program can be viewed as a valid IQL program on
+a relational schema, and its Datalog and IQL semantics are identical. The
+same applies to Datalog with negation and inflationary semantics."
+
+To make that claim *testable* (experiment E11) we implement Datalog
+independently — flat predicates over constants, naive and semi-naive
+bottom-up evaluation, stratified and inflationary negation — and a
+compiler into IQL (:mod:`repro.datalog.embed`). The dedicated engine also
+serves as the performance baseline the benchmarks compare the generic IQL
+evaluator against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import TypeCheckError
+
+#: A Datalog term is a variable (DVar) or a Python constant.
+Constant = Union[str, int, float, bool]
+
+
+@dataclass(frozen=True)
+class DVar:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self):
+        return self.name
+
+
+DTerm = Union[DVar, Constant]
+
+
+@dataclass(frozen=True)
+class DAtom:
+    """``pred(t1, ..., tk)`` — possibly negated when used in a body."""
+
+    predicate: str
+    args: Tuple[DTerm, ...]
+    positive: bool = True
+
+    def __init__(self, predicate: str, *args: DTerm, positive: bool = True):
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "positive", positive)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> FrozenSet[DVar]:
+        return frozenset(a for a in self.args if isinstance(a, DVar))
+
+    def negate(self) -> "DAtom":
+        return DAtom(self.predicate, *self.args, positive=not self.positive)
+
+    def __repr__(self):
+        bang = "" if self.positive else "¬"
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{bang}{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class DRule:
+    """``head ← body`` with the classical safety condition available as a
+    check: every head variable and every negated-atom variable must occur
+    in a positive body atom."""
+
+    head: DAtom
+    body: Tuple[DAtom, ...]
+
+    def __init__(self, head: DAtom, body: Iterable[DAtom] = ()):
+        if not head.positive:
+            raise TypeCheckError("Datalog heads are positive")
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    def is_safe(self) -> bool:
+        positive_vars: Set[DVar] = set()
+        for atom in self.body:
+            if atom.positive:
+                positive_vars |= atom.variables()
+        needed = set(self.head.variables())
+        for atom in self.body:
+            if not atom.positive:
+                needed |= atom.variables()
+        return needed <= positive_vars
+
+    def __repr__(self):
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} ← " + ", ".join(repr(a) for a in self.body)
+
+
+class DatalogProgram:
+    """A set of rules plus the split between EDB (input) and IDB (derived)
+    predicates, with arities inferred and checked."""
+
+    def __init__(self, rules: Iterable[DRule], edb: Optional[Iterable[str]] = None):
+        self.rules: Tuple[DRule, ...] = tuple(rules)
+        if not self.rules:
+            raise TypeCheckError("a Datalog program needs at least one rule")
+        self.arities: Dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                prior = self.arities.get(atom.predicate)
+                if prior is None:
+                    self.arities[atom.predicate] = atom.arity
+                elif prior != atom.arity:
+                    raise TypeCheckError(
+                        f"predicate {atom.predicate!r} used with arities {prior} and {atom.arity}"
+                    )
+        heads = {rule.head.predicate for rule in self.rules}
+        if edb is None:
+            self.edb = frozenset(self.arities) - heads
+        else:
+            self.edb = frozenset(edb)
+            clash = self.edb & heads
+            if clash:
+                raise TypeCheckError(f"EDB predicates appear in heads: {sorted(clash)}")
+        self.idb = frozenset(self.arities) - self.edb
+
+    def check_safety(self) -> None:
+        for rule in self.rules:
+            if not rule.is_safe():
+                raise TypeCheckError(f"unsafe rule: {rule!r}")
+
+    def has_negation(self) -> bool:
+        return any(not atom.positive for rule in self.rules for atom in rule.body)
+
+    def __repr__(self):
+        return "\n".join(repr(rule) for rule in self.rules)
+
+
+#: A Datalog database: predicate → set of constant tuples.
+Database = Dict[str, Set[Tuple[Constant, ...]]]
+
+
+def freeze_db(db: Database) -> Dict[str, FrozenSet[Tuple[Constant, ...]]]:
+    return {pred: frozenset(rows) for pred, rows in db.items()}

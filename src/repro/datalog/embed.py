@@ -1,0 +1,173 @@
+"""The Datalog → IQL embedding (Section 3.4).
+
+"Each Datalog program can be viewed as a valid IQL program on a relational
+schema, and its Datalog and IQL semantics are identical. The same applies
+to Datalog with negation and inflationary semantics." — and stratified
+negation embeds via stage composition.
+
+:func:`datalog_to_iql` performs the (almost verbatim) translation:
+
+* predicate p of arity k ↦ relation p with member type [A1: D, ..., Ak: D],
+* atom p(t1, ..., tk) ↦ the positional IQL atom, variables typed D,
+* inflationary Datalog¬ ↦ a single stage; stratified ↦ one stage per
+  stratum.
+
+:func:`database_to_instance` / :func:`instance_to_database` convert between
+the flat-tuple and o-value worlds so test E11 can compare the two engines
+fact-for-fact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.datalog.ast import Constant, Database, DatalogProgram, DAtom, DRule, DVar
+from repro.datalog.stratify import stratify
+from repro.iql.literals import Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.shorthands import atom, columns
+from repro.iql.terms import Const, TupleTerm, Var
+from repro.schema.instance import Instance
+from repro.schema.schema import Schema
+from repro.typesys.expressions import D
+from repro.values.ovalues import OTuple
+
+
+def relational_schema(program: DatalogProgram) -> Schema:
+    """One IQL relation per predicate, typed [A1: D, ..., Ak: D]."""
+    return Schema(
+        relations={
+            pred: columns(*([D] * arity)) for pred, arity in program.arities.items()
+        }
+    )
+
+
+def _translate_atom(schema: Schema, datom: DAtom) -> Membership:
+    args = [
+        Var(arg.name, D) if isinstance(arg, DVar) else Const(arg) for arg in datom.args
+    ]
+    return atom(schema, datom.predicate, *args, positive=datom.positive)
+
+
+def _translate_rule(schema: Schema, drule: DRule) -> Rule:
+    return Rule(
+        head=_translate_atom(schema, drule.head),
+        body=[_translate_atom(schema, datom) for datom in drule.body],
+        label=f"datalog:{drule.head.predicate}",
+    )
+
+
+def datalog_to_iql(
+    program: DatalogProgram,
+    semantics: str = "inflationary",
+    output: Optional[Iterable[str]] = None,
+) -> Program:
+    """Translate a Datalog program into an equivalent IQL program.
+
+    ``semantics`` is "inflationary" (one stage, rules in parallel — the
+    IQL default) or "stratified" (one stage per stratum)."""
+    schema = relational_schema(program)
+    outputs = tuple(output) if output is not None else tuple(sorted(program.idb))
+    if semantics == "inflationary":
+        stages = [[_translate_rule(schema, r) for r in program.rules]]
+    elif semantics == "stratified":
+        stages = [
+            [_translate_rule(schema, r) for r in layer] for layer in stratify(program)
+        ]
+    else:
+        raise ValueError(f"unknown semantics {semantics!r}")
+    return Program(
+        schema,
+        stages=stages,
+        input_names=sorted(program.edb),
+        output_names=outputs,
+    )
+
+
+def database_to_instance(
+    program: DatalogProgram, db: Database, schema: Optional[Schema] = None, names: Optional[Iterable[str]] = None
+) -> Instance:
+    """Load a flat database into an instance over (a projection of) the
+    relational schema."""
+    schema = schema or relational_schema(program)
+    keep = set(names) if names is not None else set(schema.relations)
+    target = schema.project([n for n in schema.relations if n in keep])
+    instance = Instance(target)
+    for pred, rows in db.items():
+        if pred not in keep:
+            continue
+        attrs = _attrs_for(program.arities[pred])
+        for row in rows:
+            instance.add_relation_member(pred, OTuple(dict(zip(attrs, row))))
+    return instance
+
+
+def instance_to_database(instance: Instance) -> Database:
+    """Read a relational instance back into flat constant tuples."""
+    db: Database = {}
+    for name, members in instance.relations.items():
+        rows: Set[Tuple[Constant, ...]] = set()
+        for member in members:
+            rows.add(tuple(member[attr] for attr in member.attributes))
+        db[name] = rows
+    return db
+
+
+def _attrs_for(arity: int) -> Tuple[str, ...]:
+    from repro.iql.shorthands import positional_attrs
+
+    return positional_attrs(arity)
+
+
+# -- canned programs for tests and benchmarks -----------------------------------
+
+
+def transitive_closure_program() -> DatalogProgram:
+    """T = the transitive closure of the EDB relation E."""
+    x, y, z = DVar("x"), DVar("y"), DVar("z")
+    return DatalogProgram(
+        [
+            DRule(DAtom("T", x, y), [DAtom("E", x, y)]),
+            DRule(DAtom("T", x, z), [DAtom("T", x, y), DAtom("E", y, z)]),
+        ]
+    )
+
+
+def same_generation_program() -> DatalogProgram:
+    """The classic same-generation query over a parent relation."""
+    x, y, xp, yp = DVar("x"), DVar("y"), DVar("xp"), DVar("yp")
+    return DatalogProgram(
+        [
+            DRule(DAtom("SG", x, x), [DAtom("Person", x)]),
+            DRule(
+                DAtom("SG", x, y),
+                [DAtom("Par", x, xp), DAtom("SG", xp, yp), DAtom("Par", y, yp)],
+            ),
+        ]
+    )
+
+
+def win_move_program() -> DatalogProgram:
+    """The win-move game — the canonical stratified-vs-inflationary probe.
+
+    ``Win(x) ← Move(x, y), ¬Win(y)`` is *not* stratifiable; the stratified
+    entry point rejects it while the inflationary one computes a fixpoint —
+    the distinction Section 3.4 inherits from Abiteboul–Vianu.
+    """
+    x, y = DVar("x"), DVar("y")
+    return DatalogProgram([DRule(DAtom("Win", x), [DAtom("Move", x, y), DAtom("Win", y, positive=False)])])
+
+
+def unreachable_program() -> DatalogProgram:
+    """Stratified negation: nodes not reachable from the source.
+
+    Stratum 0 computes reachability; stratum 1 negates it."""
+    x, y = DVar("x"), DVar("y")
+    return DatalogProgram(
+        [
+            DRule(DAtom("Reach", x), [DAtom("Source", x)]),
+            DRule(DAtom("Reach", y), [DAtom("Reach", x), DAtom("E", x, y)]),
+            DRule(DAtom("Unreach", x), [DAtom("Node", x), DAtom("Reach", x, positive=False)]),
+        ]
+    )

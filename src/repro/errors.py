@@ -1,0 +1,69 @@
+"""Exception hierarchy for the IQL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so client
+code can catch a single base class. The subclasses mirror the layers of the
+system: values, types, schemas/instances, the IQL language (static checks)
+and the evaluator (dynamic checks).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class OValueError(ReproError):
+    """A malformed o-value was constructed or supplied."""
+
+
+class TypeExpressionError(ReproError):
+    """A malformed type expression was constructed or supplied."""
+
+
+class SchemaError(ReproError):
+    """A schema violates a well-formedness condition (Definition 2.3.1)."""
+
+
+class InstanceError(ReproError):
+    """An instance violates its schema (Definition 2.3.2)."""
+
+
+class TypeCheckError(ReproError):
+    """An IQL program fails static type checking (Section 3.1/3.3)."""
+
+
+class EvaluationError(ReproError):
+    """The evaluator hit a dynamic error (e.g. an ill-typed derived fact)."""
+
+
+class NonTerminationError(EvaluationError):
+    """The inflationary fixpoint did not converge within the step budget.
+
+    IQL programs may legitimately diverge (Example 3.4.2 discusses recursion
+    through invention); the evaluator bounds the number of iterations and
+    raises this error instead of looping forever.
+    """
+
+
+class GenericityError(EvaluationError):
+    """A ``choose`` literal would have violated genericity (Section 4.4)."""
+
+
+class SublanguageError(ReproError):
+    """A program does not belong to the claimed IQL sublanguage (Section 5)."""
+
+
+class ParseError(ReproError):
+    """The surface-syntax parser rejected its input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class RegularTreeError(ReproError):
+    """A malformed regular-tree equation system was supplied (Section 7)."""

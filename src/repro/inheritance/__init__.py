@@ -1,0 +1,6 @@
+"""Type inheritance (Section 6): isa hierarchies compiled to union types."""
+
+from repro.inheritance.hierarchy import IsaHierarchy, inherited_assignment
+from repro.inheritance.inhschema import InheritanceSchema
+
+__all__ = ["IsaHierarchy", "inherited_assignment", "InheritanceSchema"]

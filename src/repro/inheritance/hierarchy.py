@@ -1,0 +1,97 @@
+"""Isa hierarchies and inherited oid assignments (Section 6.1).
+
+Definition 6.2 extends schemas with a partial order ≤ on class names, and
+Definition 6.1.1 derives the *inherited* oid assignment: the oids visible
+through P are those created in P or any of its sub-classes,
+
+    π̄(P) = ∪ { π(P') | P' ≤ P }.
+
+"Oids are created in a single class and automatically belong to the
+ancestors of this class in the isa hierarchy" — the engineering intuition
+the formalization captures. The underlying π stays disjoint, which is what
+keeps type checking possible (Example 4.1.2's failure mode never arises).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+from repro.errors import SchemaError
+from repro.values.ovalues import Oid
+
+
+class IsaHierarchy:
+    """A partial order on class names, built from generating pairs.
+
+    ``pairs`` are (sub, super) statements — "sub isa super". The reflexive-
+    transitive closure is computed eagerly; cycles (which would violate
+    antisymmetry) are rejected.
+    """
+
+    def __init__(self, classes: Iterable[str], pairs: Iterable[Tuple[str, str]] = ()):
+        self.classes: FrozenSet[str] = frozenset(classes)
+        below: Dict[str, Set[str]] = {p: {p} for p in self.classes}
+        direct: Dict[str, Set[str]] = {p: set() for p in self.classes}
+        for sub, sup in pairs:
+            for name in (sub, sup):
+                if name not in self.classes:
+                    raise SchemaError(f"isa mentions unknown class {name!r}")
+            direct[sub].add(sup)
+        # Transitive closure of "is below": ancestors[p] = all P' with p ≤ P'.
+        ancestors: Dict[str, Set[str]] = {p: {p} for p in self.classes}
+        changed = True
+        while changed:
+            changed = False
+            for p in self.classes:
+                for sup in list(ancestors[p]):
+                    for higher in direct[sup]:
+                        if higher not in ancestors[p]:
+                            ancestors[p].add(higher)
+                            changed = True
+        for p in self.classes:
+            for q in ancestors[p]:
+                if p != q and p in ancestors[q]:
+                    raise SchemaError(f"isa cycle through {p!r} and {q!r}")
+        self._ancestors: Dict[str, FrozenSet[str]] = {
+            p: frozenset(a) for p, a in ancestors.items()
+        }
+        descendants: Dict[str, Set[str]] = {p: set() for p in self.classes}
+        for p, ancs in self._ancestors.items():
+            for a in ancs:
+                descendants[a].add(p)
+        self._descendants: Dict[str, FrozenSet[str]] = {
+            p: frozenset(d) for p, d in descendants.items()
+        }
+
+    def leq(self, sub: str, sup: str) -> bool:
+        """sub ≤ sup in the hierarchy."""
+        return sup in self._ancestors[sub]
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        """All P' with name ≤ P' (reflexive)."""
+        return self._ancestors[name]
+
+    def descendants(self, name: str) -> FrozenSet[str]:
+        """All P' with P' ≤ name (reflexive) — the classes whose oids P sees."""
+        return self._descendants[name]
+
+    def is_trivial(self) -> bool:
+        return all(len(a) == 1 for a in self._ancestors.values())
+
+    def __repr__(self):
+        facts = [
+            f"{p} isa {q}"
+            for p in sorted(self.classes)
+            for q in sorted(self._ancestors[p] - {p})
+        ]
+        return "; ".join(facts) or "(no isa)"
+
+
+def inherited_assignment(
+    pi: Mapping[str, Set[Oid]], hierarchy: IsaHierarchy
+) -> Dict[str, Set[Oid]]:
+    """π̄ from π (Definition 6.1.1): π̄(P) = ∪ {π(P') | P' ≤ P}."""
+    return {
+        name: set().union(*(set(pi.get(sub, set())) for sub in hierarchy.descendants(name)))
+        for name in hierarchy.classes
+    }

@@ -1,0 +1,142 @@
+"""Schemas with type inheritance and their compilation away (Section 6.2).
+
+An :class:`InheritanceSchema` is the quadruple (R, P, T, ≤) of Definition
+6.2. The meaning of types under inheritance combines two ingredients:
+
+* the *-interpretation (open records): the declared type of a class is
+  only a lower bound on its record structure; the *effective* type of
+  P is t_P with ⟦t_P⟧π̄* = ∩ { ⟦T(P')⟧π̄* | P ≤ P' } — computed here via
+  starred intersection reduction (Proposition 6.1),
+* the *inherited* oid assignment π̄: class references in types see the
+  oids of all sub-classes.
+
+Definition 6.2.2 then validates instances against the **unstarred**
+interpretation of t_P given π̄ — "the schema fully specifies the structure
+of o-values in legal instances" (no stray attributes).
+
+The punchline of Section 6 — and :func:`compile_away_isa` — is that every
+inheritance schema is equivalent to a plain schema: take t_P as the class
+types, then replace each class reference P by the disjunction of its
+sub-classes. IQL runs on the compiled schema *unchanged*: union types
+subsume inheritance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import InstanceError, SchemaError
+from repro.inheritance.hierarchy import IsaHierarchy, inherited_assignment
+from repro.schema.instance import Instance
+from repro.schema.schema import Schema
+from repro.typesys.expressions import Intersection, TypeExpr, classref, union
+from repro.typesys.interpretation import member
+from repro.typesys.reduction import intersection_free, intersection_reduced
+from repro.values.ovalues import Oid, OValue
+
+
+class InheritanceSchema:
+    """(R, P, T, ≤) — Definition 6.2."""
+
+    def __init__(
+        self,
+        relations: Optional[Mapping[str, TypeExpr]] = None,
+        classes: Optional[Mapping[str, TypeExpr]] = None,
+        isa: Iterable[Tuple[str, str]] = (),
+    ):
+        self.base = Schema(relations, classes)
+        self.hierarchy = IsaHierarchy(self.base.classes, isa)
+
+    @property
+    def relations(self) -> Dict[str, TypeExpr]:
+        return self.base.relations
+
+    @property
+    def classes(self) -> Dict[str, TypeExpr]:
+        return self.base.classes
+
+    # -- effective class types ----------------------------------------------------
+
+    def effective_type(self, class_name: str) -> TypeExpr:
+        """t_P: the conjunction of the declared types of all super-classes,
+        under the *-interpretation, reduced to an intersection-free form
+        (Proposition 6.1). For the university example this turns
+
+            ta isa student, ta isa instructor,
+            T(student) = [name, course-taken], T(instructor) = [name, course-taught]
+
+        into t_ta = [name, course-taken, course-taught]."""
+        if class_name not in self.classes:
+            raise SchemaError(f"unknown class {class_name!r}")
+        supertypes = [
+            self.classes[sup] for sup in sorted(self.hierarchy.ancestors(class_name))
+        ]
+        merged = Intersection.make(*supertypes)
+        return intersection_free(merged, star=True)
+
+    def effective_types(self) -> Dict[str, TypeExpr]:
+        return {name: self.effective_type(name) for name in self.classes}
+
+    # -- instance validation (Definition 6.2.2) --------------------------------------
+
+    def validate_instance(self, instance: Instance) -> None:
+        """Check ``instance`` (built over the *plain* base schema, with
+        disjoint π) against the inheritance semantics:
+
+        1. ρ(R) ⊆ ⟦T(R)⟧π̄ for each relation,
+        2. ν(π(P)) ⊆ ⟦t_P⟧π̄ for each class,
+        3. ν total on set-valued classes (inherited from the base model).
+        """
+        pi_bar = inherited_assignment(instance.classes, self.hierarchy)
+        for name, member_type in self.relations.items():
+            for v in instance.relations.get(name, ()):
+                if not member(v, member_type, pi_bar):
+                    raise InstanceError(
+                        f"ρ({name}) member {v!r} is not of type {member_type!r} "
+                        f"under the inherited assignment"
+                    )
+        for name in self.classes:
+            t_p = self.effective_type(name)
+            for oid in instance.classes.get(name, ()):
+                value = instance.value_of(oid)
+                if value is None:
+                    continue
+                if not member(value, t_p, pi_bar):
+                    raise InstanceError(
+                        f"ν({oid!r}) = {value!r} is not of effective type "
+                        f"t_{name} = {t_p!r}"
+                    )
+
+    def is_valid_instance(self, instance: Instance) -> bool:
+        try:
+            self.validate_instance(instance)
+        except InstanceError:
+            return False
+        return True
+
+    # -- compilation to a plain schema (the Section 6.2 translation) -------------------
+
+    def compile_away_isa(self) -> Schema:
+        """The plain schema S′ = (R, P, T*) with no isa:
+
+        first substitute each class's declared type by its effective type
+        t_P, then replace every class reference P (in relation and class
+        types alike) by the disjunction of P's sub-classes. An instance is
+        legal for (R, P, T, ≤) iff it is legal for S′ — so IQL needs no
+        modification whatsoever to query inheritance schemas.
+        """
+        substitution = {
+            name: union(*(classref(sub) for sub in sorted(self.hierarchy.descendants(name))))
+            for name in self.classes
+        }
+        new_relations = {
+            name: t.substitute_classes(substitution) for name, t in self.relations.items()
+        }
+        new_classes = {
+            name: self.effective_type(name).substitute_classes(substitution)
+            for name in self.classes
+        }
+        return Schema(new_relations, new_classes)
+
+    def __repr__(self):
+        return f"{self.base!r}\nisa: {self.hierarchy!r}"

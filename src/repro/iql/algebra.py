@@ -1,0 +1,389 @@
+"""A relational algebra compiled into IQL (Section 3.4).
+
+"Using composition, it is easy to see that relational calculus queries and
+Datalog with stratified negation are expressible in IQL almost verbatim."
+This module makes the claim executable for the algebra: expressions over
+flat relations compile to IQL programs — selection, projection, natural
+join, rename, union, and difference (the operator that needs negation and
+therefore staging).
+
+Expressions are composable values::
+
+    q = Project(
+            Select(Join(Rel("Emp"), Rel("Dept")), eq_attr("dept", "dept")),
+            ["name", "budget"])
+    program = compile_query(q, schema, output="Answer")
+
+The compiler synthesizes one auxiliary relation per operator node and one
+stage per "stratum" (differences force everything beneath them to finish
+first — precisely the stratified-negation discipline of Section 3.4).
+All compiled programs are invention-free and range-restricted, hence IQLrr:
+the algebra lives in the PTIME fragment, as it should.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union as TyUnion
+
+from repro.errors import TypeCheckError
+from repro.iql.literals import Equality, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.terms import Const, NameTerm, TupleTerm, Var
+from repro.schema.schema import Schema
+from repro.typesys.expressions import D, TupleOf, TypeExpr, tuple_of
+from repro.values.ovalues import OValue, is_constant
+
+
+# -- expression AST ---------------------------------------------------------------
+
+
+class AlgebraExpr:
+    """Base class of algebra expressions."""
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Rel(AlgebraExpr):
+    """A base relation (must exist in the schema with a flat tuple type)."""
+
+    name: str
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        from repro.typesys.expressions import Base
+
+        t = schema.relations.get(self.name)
+        if not isinstance(t, TupleOf) or not all(
+            isinstance(ct, Base) for _, ct in t.fields
+        ):
+            raise TypeCheckError(
+                f"algebra expressions need flat relations over D; "
+                f"{self.name!r} has {t!r}"
+            )
+        return t.attributes
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A conjunct for Select: attr = constant, attr ≠ constant, or
+    attr1 = attr2 / attr1 ≠ attr2."""
+
+    left: str
+    right: TyUnion[str, OValue]
+    right_is_attr: bool
+    positive: bool = True
+
+
+def eq_const(attr: str, value: OValue) -> Predicate:
+    return Predicate(attr, value, right_is_attr=False)
+
+
+def neq_const(attr: str, value: OValue) -> Predicate:
+    return Predicate(attr, value, right_is_attr=False, positive=False)
+
+
+def eq_attr(a: str, b: str) -> Predicate:
+    return Predicate(a, b, right_is_attr=True)
+
+
+def neq_attr(a: str, b: str) -> Predicate:
+    return Predicate(a, b, right_is_attr=True, positive=False)
+
+
+@dataclass(frozen=True)
+class Select(AlgebraExpr):
+    source: AlgebraExpr
+    predicates: Tuple[Predicate, ...]
+
+    def __init__(self, source: AlgebraExpr, *predicates: Predicate):
+        object.__setattr__(self, "source", source)
+        flat: List[Predicate] = []
+        for p in predicates:
+            if isinstance(p, (list, tuple)):
+                flat.extend(p)
+            else:
+                flat.append(p)
+        object.__setattr__(self, "predicates", tuple(flat))
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        return self.source.attributes(schema)
+
+
+@dataclass(frozen=True)
+class Project(AlgebraExpr):
+    source: AlgebraExpr
+    attrs: Tuple[str, ...]
+
+    def __init__(self, source: AlgebraExpr, attrs: Sequence[str]):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "attrs", tuple(attrs))
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        available = set(self.source.attributes(schema))
+        missing = [a for a in self.attrs if a not in available]
+        if missing:
+            raise TypeCheckError(f"projection on missing attributes {missing}")
+        return tuple(sorted(self.attrs))
+
+
+@dataclass(frozen=True)
+class Rename(AlgebraExpr):
+    source: AlgebraExpr
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def __init__(self, source: AlgebraExpr, mapping: Dict[str, str]):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        renames = dict(self.mapping)
+        return tuple(sorted(renames.get(a, a) for a in self.source.attributes(schema)))
+
+
+@dataclass(frozen=True)
+class Join(AlgebraExpr):
+    """Natural join: tuples agreeing on all shared attributes."""
+
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        return tuple(
+            sorted(set(self.left.attributes(schema)) | set(self.right.attributes(schema)))
+        )
+
+
+@dataclass(frozen=True)
+class UnionOp(AlgebraExpr):
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        a, b = self.left.attributes(schema), self.right.attributes(schema)
+        if a != b:
+            raise TypeCheckError(f"union over mismatched attributes {a} vs {b}")
+        return a
+
+
+@dataclass(frozen=True)
+class Diff(AlgebraExpr):
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+    def attributes(self, schema: Schema) -> Tuple[str, ...]:
+        a, b = self.left.attributes(schema), self.right.attributes(schema)
+        if a != b:
+            raise TypeCheckError(f"difference over mismatched attributes {a} vs {b}")
+        return a
+
+
+# -- compilation -------------------------------------------------------------------
+
+
+@dataclass
+class _CompileState:
+    schema: Schema
+    aux_relations: Dict[str, TypeExpr] = field(default_factory=dict)
+    rules_by_stratum: Dict[int, List[Rule]] = field(default_factory=dict)
+    counter: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+
+    def fresh(self, attrs: Sequence[str]) -> str:
+        name = f"_alg{next(self.counter)}"
+        self.aux_relations[name] = tuple_of({a: D for a in attrs})
+        return name
+
+    def add_rule(self, stratum: int, rule: Rule) -> None:
+        self.rules_by_stratum.setdefault(stratum, []).append(rule)
+
+
+def _row(var_prefix: str, attrs: Sequence[str]) -> Dict[str, Var]:
+    return {a: Var(f"{var_prefix}_{a}", D) for a in attrs}
+
+
+def _compile(expr: AlgebraExpr, state: _CompileState) -> Tuple[str, int]:
+    """Compile ``expr``; returns (relation name, stratum it is complete at)."""
+    schema = state.schema
+    if isinstance(expr, Rel):
+        expr.attributes(schema)  # validates flatness
+        return expr.name, 0
+
+    if isinstance(expr, Select):
+        src_name, stratum = _compile(expr.source, state)
+        attrs = expr.source.attributes(schema)
+        out = state.fresh(attrs)
+        vars_row = _row("s", attrs)
+        body: List = [Membership(NameTerm(src_name), TupleTerm(vars_row))]
+        for p in expr.predicates:
+            if p.left not in vars_row:
+                raise TypeCheckError(f"selection on missing attribute {p.left!r}")
+            if p.right_is_attr:
+                if p.right not in vars_row:
+                    raise TypeCheckError(f"selection on missing attribute {p.right!r}")
+                body.append(Equality(vars_row[p.left], vars_row[p.right], p.positive))
+            else:
+                if not is_constant(p.right):
+                    raise TypeCheckError(f"{p.right!r} is not a constant")
+                body.append(Equality(vars_row[p.left], Const(p.right), p.positive))
+        state.add_rule(
+            stratum, Rule(Membership(NameTerm(out), TupleTerm(vars_row)), body, label=f"σ→{out}")
+        )
+        return out, stratum
+
+    if isinstance(expr, Project):
+        src_name, stratum = _compile(expr.source, state)
+        src_attrs = expr.source.attributes(schema)
+        out_attrs = expr.attributes(schema)
+        out = state.fresh(out_attrs)
+        vars_row = _row("p", src_attrs)
+        head_row = {a: vars_row[a] for a in out_attrs}
+        state.add_rule(
+            stratum,
+            Rule(
+                Membership(NameTerm(out), TupleTerm(head_row)),
+                [Membership(NameTerm(src_name), TupleTerm(vars_row))],
+                label=f"π→{out}",
+            ),
+        )
+        return out, stratum
+
+    if isinstance(expr, Rename):
+        src_name, stratum = _compile(expr.source, state)
+        renames = dict(expr.mapping)
+        src_attrs = expr.source.attributes(schema)
+        out_attrs = expr.attributes(schema)
+        out = state.fresh(out_attrs)
+        vars_row = _row("r", src_attrs)
+        head_row = {renames.get(a, a): v for a, v in vars_row.items()}
+        state.add_rule(
+            stratum,
+            Rule(
+                Membership(NameTerm(out), TupleTerm(head_row)),
+                [Membership(NameTerm(src_name), TupleTerm(vars_row))],
+                label=f"ρ→{out}",
+            ),
+        )
+        return out, stratum
+
+    if isinstance(expr, Join):
+        left_name, ls = _compile(expr.left, state)
+        right_name, rs = _compile(expr.right, state)
+        stratum = max(ls, rs)
+        left_attrs = expr.left.attributes(schema)
+        right_attrs = expr.right.attributes(schema)
+        out_attrs = expr.attributes(schema)
+        out = state.fresh(out_attrs)
+        # shared variables realize the natural-join condition
+        shared_vars = {a: Var(f"j_{a}", D) for a in out_attrs}
+        left_row = {a: shared_vars[a] for a in left_attrs}
+        right_row = {a: shared_vars[a] for a in right_attrs}
+        state.add_rule(
+            stratum,
+            Rule(
+                Membership(NameTerm(out), TupleTerm(shared_vars)),
+                [
+                    Membership(NameTerm(left_name), TupleTerm(left_row)),
+                    Membership(NameTerm(right_name), TupleTerm(right_row)),
+                ],
+                label=f"⋈→{out}",
+            ),
+        )
+        return out, stratum
+
+    if isinstance(expr, UnionOp):
+        left_name, ls = _compile(expr.left, state)
+        right_name, rs = _compile(expr.right, state)
+        stratum = max(ls, rs)
+        attrs = expr.attributes(schema)
+        out = state.fresh(attrs)
+        for src in (left_name, right_name):
+            vars_row = _row("u", attrs)
+            state.add_rule(
+                stratum,
+                Rule(
+                    Membership(NameTerm(out), TupleTerm(vars_row)),
+                    [Membership(NameTerm(src), TupleTerm(vars_row))],
+                    label=f"∪→{out}",
+                ),
+            )
+        return out, stratum
+
+    if isinstance(expr, Diff):
+        left_name, ls = _compile(expr.left, state)
+        right_name, rs = _compile(expr.right, state)
+        # Difference must observe the *completed* operands: its rule runs
+        # one stratum later — the stratified-negation staging of §3.4.
+        stratum = max(ls, rs) + 1
+        attrs = expr.attributes(schema)
+        out = state.fresh(attrs)
+        vars_row = _row("d", attrs)
+        state.add_rule(
+            stratum,
+            Rule(
+                Membership(NameTerm(out), TupleTerm(vars_row)),
+                [
+                    Membership(NameTerm(left_name), TupleTerm(vars_row)),
+                    Membership(NameTerm(right_name), TupleTerm(vars_row), positive=False),
+                ],
+                label=f"−→{out}",
+            ),
+        )
+        return out, stratum
+
+    raise TypeCheckError(f"unknown algebra expression {expr!r}")
+
+
+def compile_query(
+    expr: AlgebraExpr,
+    schema: Schema,
+    output: str = "Answer",
+    inputs: Optional[Sequence[str]] = None,
+) -> Program:
+    """Compile an algebra expression into an IQL program over ``schema``.
+
+    The result relation is named ``output``; ``inputs`` defaults to all the
+    base relations the expression mentions. The compiled program is
+    invention-free and range-restricted — IQLrr, i.e. PTIME — which the
+    tests assert for every compiled query.
+    """
+    state = _CompileState(schema=schema)
+    result_name, final_stratum = _compile(expr, state)
+
+    out_attrs = expr.attributes(schema)
+    state.aux_relations[output] = tuple_of({a: D for a in out_attrs})
+    vars_row = _row("o", out_attrs)
+    state.add_rule(
+        final_stratum,
+        Rule(
+            Membership(NameTerm(output), TupleTerm(vars_row)),
+            [Membership(NameTerm(result_name), TupleTerm(vars_row))],
+            label=f"emit→{output}",
+        ),
+    )
+
+    full_schema = schema.with_names(relations=state.aux_relations)
+    stages = [
+        state.rules_by_stratum[s] for s in sorted(state.rules_by_stratum)
+    ]
+    if inputs is None:
+        inputs = sorted(_base_relations(expr))
+    return Program(
+        full_schema,
+        stages=stages,
+        input_names=inputs,
+        output_names=[output],
+    )
+
+
+def _base_relations(expr: AlgebraExpr) -> set:
+    if isinstance(expr, Rel):
+        return {expr.name}
+    out = set()
+    for attr in ("source", "left", "right"):
+        sub = getattr(expr, attr, None)
+        if isinstance(sub, AlgebraExpr):
+            out |= _base_relations(sub)
+    return out

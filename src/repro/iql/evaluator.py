@@ -1,0 +1,539 @@
+"""The naive inflationary evaluator (Section 3.2).
+
+The semantics of a program G is defined through its one-step operator
+γ1(G): given the current instance I,
+
+1. compute the *valuation-domain* — the set of (rule, θ) pairs with
+   I ⊨ θ(body) such that **no** extension of θ satisfies the head (this
+   blocking condition is what makes the semantics inflationary and stops a
+   rule from re-inventing oids for the same body valuation forever),
+2. pick a *valuation-map* — fresh, pairwise distinct oids for the
+   head-only variables of each pair (the :class:`OidFactory`),
+3. add the derived ground facts, subject to the weak-assignment rule (★):
+   a non-set-valued oid is assigned a value only if it was undefined in I
+   and exactly one value was derived for it this step,
+4. place every invented oid in its class (with the default value:
+   undefined, or { } for set-valued classes).
+
+γ∞(G) iterates γ1 to a fixpoint; the program maps instances(Sin) to
+instances(Sout) by loading, iterating and projecting.
+
+Extensions handled here:
+
+* stage composition "``;``" — each stage runs to fixpoint in order,
+* IQL+ ``choose`` (Section 4.4) — head-only variables of a choose-rule are
+  bound to an *existing* oid instead, with an optional genericity check,
+* IQL* deletions (Section 4.5) — ``delete`` rules remove facts, with
+  cascading removal of dangling references; state cycling is detected so
+  non-inflationary programs cannot silently loop forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import EvaluationError, GenericityError, NonTerminationError
+from repro.iql.invention import CountingOidFactory, OidFactory
+from repro.iql.literals import Equality, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.terms import Deref, NameTerm, Var
+from repro.iql.valuation import Bindings, eval_term, match, solve_body
+from repro.schema.instance import Instance
+from repro.schema.isomorphism import orbit_partition
+from repro.values.ovalues import Oid, OValue, sort_key
+
+
+@dataclass
+class EvaluatorLimits:
+    """Budgets that turn divergence into errors instead of hangs."""
+
+    max_steps: int = 10_000
+    enumeration_budget: int = 100_000
+    max_invented_oids: int = 1_000_000
+
+
+@dataclass
+class EvaluationStats:
+    """Observability for benchmarks: what the fixpoint actually did."""
+
+    steps: int = 0
+    facts_added: int = 0
+    facts_deleted: int = 0
+    oids_invented: int = 0
+    valuations_considered: int = 0
+    per_stage_steps: List[int] = field(default_factory=list)
+
+
+@dataclass
+class TraceEvent:
+    """One derivation event, for debugging rule programs.
+
+    ``kind`` is "fact" (a ground fact added), "invent" (an oid created),
+    "assign" (a weak assignment that stuck), "ignore" (a weak assignment
+    dropped by (★)), or "delete". ``rule`` is the rule's label or repr.
+    """
+
+    step: int
+    kind: str
+    rule: str
+    detail: str
+
+    def __repr__(self):
+        return f"[step {self.step}] {self.kind:<7} {self.rule}: {self.detail}"
+
+
+@dataclass
+class EvaluationResult:
+    """The full instance over S, its projection on Sout, and statistics."""
+
+    full: Instance
+    output: Instance
+    stats: EvaluationStats
+    trace: Optional[List["TraceEvent"]] = None
+
+
+class Evaluator:
+    """Evaluates IQL / IQL+ / IQL* programs by naive inflationary iteration.
+
+    ``choose_mode`` controls the genericity discipline of IQL+:
+
+    * ``"verify"`` — candidates must form a single orbit of the instance's
+      O-automorphism group (exact but expensive; fine at paper scale),
+    * ``"trusted"`` — skip the check and pick the canonical candidate;
+      correct whenever the program is known to offer only indistinguishable
+      copies (the Theorem 4.4.1 construction),
+    * ``"nondeterministic"`` — the N-IQL of the paper's Remark: pick an
+      arbitrary (seeded-random) candidate even when that violates
+      genericity. The result is then a *nondeterministic* transformation —
+      outputs for the same input need not be O-isomorphic.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        oid_factory: Optional[OidFactory] = None,
+        limits: Optional[EvaluatorLimits] = None,
+        choose_mode: str = "verify",
+        seed: int = 0,
+        trace: bool = False,
+        seminaive: bool = True,
+    ):
+        if choose_mode not in ("verify", "trusted", "nondeterministic"):
+            raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
+        self.program = program
+        self.oid_factory = oid_factory or CountingOidFactory()
+        self.limits = limits or EvaluatorLimits()
+        self.choose_mode = choose_mode
+        self.trace_enabled = trace
+        self._trace: Optional[List[TraceEvent]] = [] if trace else None
+        # Delta rewriting for Datalog-positive stages (repro.iql.seminaive);
+        # disabled automatically under tracing so every event is observed.
+        self.seminaive = seminaive and not trace
+        import random as _random
+
+        self._rng = _random.Random(seed)
+
+    def _emit(self, stats: "EvaluationStats", kind: str, rule: Rule, detail: str) -> None:
+        if self._trace is not None:
+            label = rule.label or repr(rule.head)
+            self._trace.append(TraceEvent(stats.steps + 1, kind, label, detail))
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, input_instance: Instance) -> EvaluationResult:
+        """Evaluate the program on ``input_instance`` (over Sin)."""
+        if input_instance.schema != self.program.input_schema:
+            raise EvaluationError(
+                "input instance schema does not match the program's input schema"
+            )
+        working = input_instance.with_schema(self.program.schema)
+        stats = EvaluationStats()
+        for stage in self.program.stages:
+            self._run_stage(working, list(stage), stats)
+        output = working.project(self.program.output_schema)
+        return EvaluationResult(
+            full=working, output=output, stats=stats, trace=self._trace
+        )
+
+    def __call__(self, input_instance: Instance) -> Instance:
+        return self.run(input_instance).output
+
+    # -- stage fixpoint -------------------------------------------------------------
+
+    def _run_stage(self, instance: Instance, rules: List[Rule], stats: EvaluationStats) -> None:
+        if self.seminaive:
+            from repro.iql.seminaive import run_stage_seminaive, stage_eligible
+
+            if stage_eligible(rules, instance):
+                rounds = run_stage_seminaive(
+                    instance,
+                    rules,
+                    stats,
+                    self.limits.enumeration_budget,
+                    max_steps=self.limits.max_steps,
+                )
+                stats.per_stage_steps.append(rounds)
+                return
+        non_inflationary = any(rule.delete for rule in rules)
+        seen_states: Set[int] = set()
+        steps_here = 0
+        while True:
+            if stats.steps >= self.limits.max_steps:
+                raise NonTerminationError(
+                    f"no fixpoint within {self.limits.max_steps} steps; "
+                    f"recursion through invention can diverge (Example 3.4.2)"
+                )
+            if non_inflationary:
+                # IQL* steps can shrink the instance, so "no mutation" is
+                # not the fixpoint test: compare whole states, and detect
+                # oscillation (a revisited non-fixpoint state) exactly.
+                before = instance.ground_facts()
+                state = hash(before)
+                if state in seen_states:
+                    raise NonTerminationError(
+                        "IQL* evaluation revisited a state without reaching a fixpoint"
+                    )
+                seen_states.add(state)
+                self._one_step(instance, rules, stats)
+                changed = instance.ground_facts() != before
+            else:
+                changed = self._one_step(instance, rules, stats)
+            stats.steps += 1
+            steps_here += 1
+            if not changed:
+                break
+        stats.per_stage_steps.append(steps_here)
+
+    # -- the one-step operator γ1 ----------------------------------------------------
+
+    def _one_step(self, instance: Instance, rules: List[Rule], stats: EvaluationStats) -> bool:
+        additions: List[Tuple[Rule, Bindings]] = []
+        deletions: List[Tuple[Rule, Bindings]] = []
+
+        for rule in rules:
+            for theta in solve_body(
+                rule.body, instance, enumeration_budget=self.limits.enumeration_budget
+            ):
+                stats.valuations_considered += 1
+                if rule.delete:
+                    # Deletions are derived unconditionally (deleting an
+                    # absent fact is a no-op); applying them after the
+                    # step's insertions makes "delete wins" hold within a
+                    # step, as in the *-languages of Abiteboul–Vianu.
+                    deletions.append((rule, theta))
+                else:
+                    if not self._head_satisfiable(rule, theta, instance):
+                        additions.append((rule, theta))
+
+        if not additions and not deletions:
+            return False
+
+        changed = False
+
+        # Invention / choose: extend each valuation on head-only variables.
+        extended: List[Tuple[Rule, Bindings]] = []
+        invented: List[Tuple[str, Oid]] = []
+        for rule, theta in additions:
+            theta = dict(theta)
+            inv_vars = sorted(rule.invention_variables(), key=lambda v: v.name)
+            if rule.has_choose():
+                for var in inv_vars:
+                    theta[var] = self._choose(var, instance)
+            else:
+                for var in inv_vars:
+                    oid = self.oid_factory.invent(var.type.name)
+                    theta[var] = oid
+                    invented.append((var.type.name, oid))
+                    self._emit(stats, "invent", rule, f"{oid!r} ∈ {var.type.name}")
+                    stats.oids_invented += 1
+                    if stats.oids_invented > self.limits.max_invented_oids:
+                        raise NonTerminationError(
+                            f"invented more than {self.limits.max_invented_oids} oids"
+                        )
+            extended.append((rule, theta))
+
+        # Place invented oids in their classes first (their facts may refer
+        # to one another within the same step).
+        for class_name, oid in invented:
+            if instance.add_class_member(class_name, oid):
+                changed = True
+                stats.facts_added += 1
+
+        # Derive facts; group weak assignments for the (★) rule.
+        weak: Dict[Oid, Set[OValue]] = {}
+        weak_was_defined: Dict[Oid, bool] = {}
+        for rule, theta in extended:
+            head = rule.head
+            if isinstance(head, Membership):
+                container = head.container
+                element = eval_term(head.element, theta, instance)
+                if element is None:
+                    raise EvaluationError(
+                        f"head {head!r} not evaluable under {theta!r} "
+                        f"(undefined dereference in a head term)"
+                    )
+                if isinstance(container, NameTerm):
+                    name = container.name
+                    if instance.schema.is_relation(name):
+                        if instance.add_relation_member(name, element):
+                            changed = True
+                            stats.facts_added += 1
+                            self._emit(stats, "fact", rule, f"{name}({element!r})")
+                    else:
+                        if not isinstance(element, Oid):
+                            raise EvaluationError(
+                                f"class head {head!r} derived non-oid {element!r}"
+                            )
+                        if instance.add_class_member(name, element):
+                            changed = True
+                            stats.facts_added += 1
+                            self._emit(stats, "fact", rule, f"{name}({element!r})")
+                elif isinstance(container, Deref):
+                    oid = theta[container.var]
+                    if instance.add_set_element(oid, element):
+                        changed = True
+                        stats.facts_added += 1
+                        self._emit(stats, "fact", rule, f"{oid!r}^({element!r})")
+                else:  # pragma: no cover - rejected by the type checker
+                    raise EvaluationError(f"illegal head container {container!r}")
+            elif isinstance(head, Equality):
+                deref = head.left
+                if not isinstance(deref, Deref):  # pragma: no cover
+                    raise EvaluationError(f"illegal equality head {head!r}")
+                oid = theta[deref.var]
+                value = eval_term(head.right, theta, instance)
+                if value is None:
+                    raise EvaluationError(
+                        f"head {head!r} not evaluable (undefined dereference)"
+                    )
+                if oid not in weak_was_defined:
+                    weak_was_defined[oid] = instance.value_of(oid) is not None
+                weak.setdefault(oid, set()).add(value)
+
+        # (★): assign only previously-undefined oids with a unique derived value.
+        for oid, values in weak.items():
+            if weak_was_defined[oid]:
+                if self._trace is not None:
+                    self._trace.append(
+                        TraceEvent(
+                            stats.steps + 1,
+                            "ignore",
+                            "(★)",
+                            f"{oid!r} already defined; derived value(s) dropped",
+                        )
+                    )
+                continue
+            if len(values) != 1:
+                if self._trace is not None:
+                    self._trace.append(
+                        TraceEvent(
+                            stats.steps + 1,
+                            "ignore",
+                            "(★)",
+                            f"{oid!r}: {len(values)} conflicting values dropped",
+                        )
+                    )
+                continue
+            if instance.assign(oid, next(iter(values))):
+                changed = True
+                stats.facts_added += 1
+                if self._trace is not None:
+                    self._trace.append(
+                        TraceEvent(
+                            stats.steps + 1,
+                            "assign",
+                            "(★)",
+                            f"{oid!r} := {next(iter(values))!r}",
+                        )
+                    )
+
+        # IQL* deletions, applied after additions: a fact both derived and
+        # deleted in the same step ends up deleted.
+        if deletions:
+            changed = self._apply_deletions(instance, deletions, stats) or changed
+
+        return changed
+
+    # -- head satisfiability (the valuation-domain blocking condition) ---------------
+
+    def _head_satisfiable(self, rule: Rule, theta: Bindings, instance: Instance) -> bool:
+        """∃ extension θ̄ of θ with I ⊨ θ̄ head(r)?
+
+        Head-only variables range over the *existing* oids of their class
+        (the type interpretation given π); for fully-bound heads this is
+        plain satisfaction.
+        """
+        head = rule.head
+        if isinstance(head, Membership):
+            # Fast paths avoid materializing the container as an OSet per
+            # valuation — the blocking check runs once per candidate firing.
+            if isinstance(head.container, NameTerm):
+                name = head.container.name
+                if instance.schema.is_relation(name):
+                    members = instance.relations[name]
+                else:
+                    members = instance.classes[name]
+                element = eval_term(head.element, theta, instance)
+                if element is not None:
+                    return element in members
+                for existing in members:
+                    for _ in match(head.element, existing, theta, instance):
+                        return True
+                return False
+            container = eval_term(head.container, theta, instance)
+            if container is None:
+                return False
+            for element in container:
+                for _ in match(head.element, element, theta, instance):
+                    return True
+            return False
+        if isinstance(head, Equality):
+            deref = head.left
+            oid = theta.get(deref.var)
+            candidates = (
+                [oid]
+                if oid is not None
+                else sorted(instance.classes.get(deref.var.type.name, ()), key=sort_key)
+            )
+            for candidate in candidates:
+                value = instance.value_of(candidate)
+                if value is None:
+                    continue
+                extended = dict(theta)
+                extended[deref.var] = candidate
+                for _ in match(head.right, value, extended, instance):
+                    return True
+            return False
+        raise EvaluationError(f"illegal head {head!r}")  # pragma: no cover
+
+    # -- choose (IQL+) -----------------------------------------------------------------
+
+    def _choose(self, var: Var, instance: Instance) -> Oid:
+        class_name = var.type.name
+        candidates = sorted(instance.classes.get(class_name, ()), key=sort_key)
+        if not candidates:
+            raise GenericityError(f"choose over empty class {class_name!r}")
+        if self.choose_mode == "nondeterministic":
+            # N-IQL: the witness operator — any candidate, genericity be
+            # damned. Nondeterministically complete (Remark N-IQL).
+            return self._rng.choice(candidates)
+        if len(candidates) > 1 and self.choose_mode == "verify":
+            orbits = orbit_partition(instance, candidates)
+            if len(orbits) > 1:
+                raise GenericityError(
+                    f"choose over class {class_name!r} would violate genericity: "
+                    f"{len(candidates)} candidates fall into {len(orbits)} distinguishable orbits"
+                )
+        return candidates[0]
+
+    # -- deletions (IQL*) ----------------------------------------------------------------
+
+    def _apply_deletions(
+        self,
+        instance: Instance,
+        deletions: List[Tuple[Rule, Bindings]],
+        stats: EvaluationStats,
+    ) -> bool:
+        changed = False
+        doomed_oids: Set[Oid] = set()
+        for rule, theta in deletions:
+            head = rule.head
+            if isinstance(head, Membership):
+                container = head.container
+                element = eval_term(head.element, theta, instance)
+                if element is None:
+                    continue
+                if isinstance(container, NameTerm):
+                    name = container.name
+                    if instance.schema.is_relation(name):
+                        if element in instance.relations[name]:
+                            instance.relations[name].discard(element)
+                            changed = True
+                            stats.facts_deleted += 1
+                    else:
+                        if isinstance(element, Oid) and element in instance.classes[name]:
+                            doomed_oids.add(element)
+                elif isinstance(container, Deref):
+                    oid = theta[container.var]
+                    current = instance.value_of(oid)
+                    if current is not None and element in current:
+                        instance.nu[oid] = type(current)(
+                            v for v in current if v != element
+                        )
+                        changed = True
+                        stats.facts_deleted += 1
+            elif isinstance(head, Equality):
+                oid = theta[head.left.var]
+                value = eval_term(head.right, theta, instance)
+                if value is not None and instance.nu.get(oid) == value:
+                    del instance.nu[oid]
+                    changed = True
+                    stats.facts_deleted += 1
+        if doomed_oids:
+            changed = True
+            stats.facts_deleted += len(doomed_oids)
+            self._cascade_delete(instance, doomed_oids, stats)
+        return changed
+
+    def _cascade_delete(
+        self, instance: Instance, doomed: Set[Oid], stats: EvaluationStats
+    ) -> None:
+        """Remove oids and everything that dangles (Section 4.5).
+
+        "Deleting an oid forces deletion of other objects that have this
+        oid in their o-value": relation members mentioning a doomed oid are
+        removed, and objects whose value mentions one are deleted in turn,
+        transitively — the reference-count/garbage-collection discipline
+        the paper alludes to.
+        """
+        from repro.values.ovalues import oids_of
+
+        worklist = set(doomed)
+        removed: Set[Oid] = set()
+        while worklist:
+            batch, worklist = worklist, set()
+            removed |= batch
+            for oid in batch:
+                name = instance.class_of(oid)
+                if name is not None:
+                    instance.classes[name].discard(oid)
+                    instance._class_of.pop(oid, None)
+                instance.nu.pop(oid, None)
+            for name, members in instance.relations.items():
+                stale = {v for v in members if oids_of(v) & removed}
+                if stale:
+                    members -= stale
+                    stats.facts_deleted += len(stale)
+            for oid, value in list(instance.nu.items()):
+                if oid in removed:
+                    continue
+                if oids_of(value) & removed:
+                    if oid not in removed:
+                        worklist.add(oid)
+
+
+# -- convenience entry points ----------------------------------------------------------
+
+
+def evaluate(
+    program: Program,
+    input_instance: Instance,
+    oid_factory: Optional[OidFactory] = None,
+    limits: Optional[EvaluatorLimits] = None,
+    choose_mode: str = "verify",
+) -> Instance:
+    """Run ``program`` on ``input_instance`` and return the output instance."""
+    return Evaluator(program, oid_factory, limits, choose_mode).run(input_instance).output
+
+
+def evaluate_full(
+    program: Program,
+    input_instance: Instance,
+    oid_factory: Optional[OidFactory] = None,
+    limits: Optional[EvaluatorLimits] = None,
+    choose_mode: str = "verify",
+) -> EvaluationResult:
+    """Run ``program`` and return the full result (instance over S + stats)."""
+    return Evaluator(program, oid_factory, limits, choose_mode).run(input_instance)

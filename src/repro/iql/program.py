@@ -1,0 +1,101 @@
+"""IQL programs G(S, Sin, Sout) (Section 3).
+
+A program is a finite set of rules over a schema S, together with two
+projections of S: the input schema Sin and the output schema Sout. Its
+semantics is a binary relation between instances(Sin) and instances(Sout):
+the input is loaded into S, the rules run to their inflationary fixpoint,
+and the result is projected on Sout.
+
+Sequential composition "``;``" is definable inside IQL (Section 3.4, via
+negation and inflationary semantics); following the paper's own usage we
+treat it as a meta-construct: a program is a sequence of *stages*, each a
+set of rules run to fixpoint before the next stage starts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TypeCheckError
+from repro.iql.rules import Rule
+from repro.schema.schema import Schema
+
+
+class Program:
+    """An IQL program: stages of rules over ``schema``, with input/output
+    projections named by ``input_names`` / ``output_names``."""
+
+    __slots__ = ("schema", "stages", "input_names", "output_names")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rules: Optional[Iterable[Rule]] = None,
+        stages: Optional[Sequence[Iterable[Rule]]] = None,
+        input_names: Iterable[str] = (),
+        output_names: Iterable[str] = (),
+    ):
+        if (rules is None) == (stages is None):
+            raise TypeCheckError("provide exactly one of rules= (single stage) or stages=")
+        if rules is not None:
+            stage_list: List[Tuple[Rule, ...]] = [tuple(rules)]
+        else:
+            stage_list = [tuple(stage) for stage in stages]
+        if not stage_list or any(len(stage) == 0 for stage in stage_list):
+            raise TypeCheckError("every stage must contain at least one rule")
+        self.schema = schema
+        self.stages: Tuple[Tuple[Rule, ...], ...] = tuple(stage_list)
+        self.input_names = tuple(input_names)
+        self.output_names = tuple(output_names)
+        unknown = (set(self.input_names) | set(self.output_names)) - schema.names
+        if unknown:
+            raise TypeCheckError(f"input/output names not in the schema: {sorted(unknown)}")
+
+    # -- projections --------------------------------------------------------------
+
+    @property
+    def input_schema(self) -> Schema:
+        return self.schema.project(self.input_names)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.schema.project(self.output_names)
+
+    def has_disjoint_io(self) -> bool:
+        """True iff Sin and Sout share no names (the dio setting of §4.2)."""
+        return not set(self.input_names) & set(self.output_names)
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        """All rules, across stages."""
+        return tuple(rule for stage in self.stages for rule in stage)
+
+    def then(self, other: "Program") -> "Program":
+        """Sequential composition G1;G2 (schemas merged)."""
+        schema = self.schema.merge(other.schema)
+        return Program(
+            schema,
+            stages=list(self.stages) + list(other.stages),
+            input_names=self.input_names,
+            output_names=other.output_names or self.output_names,
+        )
+
+    def uses_choose(self) -> bool:
+        return any(rule.has_choose() for rule in self.rules)
+
+    def uses_deletion(self) -> bool:
+        return any(rule.delete for rule in self.rules)
+
+    def is_plain_iql(self) -> bool:
+        """True iff neither IQL+ (choose) nor IQL* (deletion) features occur."""
+        return not self.uses_choose() and not self.uses_deletion()
+
+    def __repr__(self):
+        parts = []
+        for i, stage in enumerate(self.stages):
+            if len(self.stages) > 1:
+                parts.append(f"-- stage {i + 1} --")
+            parts.extend(repr(rule) for rule in stage)
+        return "\n".join(parts)

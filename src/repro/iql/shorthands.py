@@ -1,0 +1,174 @@
+"""Shorthands and derived operations (Section 3.4).
+
+The paper writes ``R(t1, ..., tk)`` for ``R([A1: t1, ..., Ak: tk])`` under
+an implicit attribute ordering, omits variable types where inference fills
+them in, and uses nest/unnest as derived operations. This module supplies
+the same conveniences for programmatic construction:
+
+* :func:`atom` / :func:`neg` — positional atoms over relations and classes,
+* :func:`positional_attrs` — the canonical zero-padded attribute names,
+  whose lexicographic order equals their positional order,
+* :func:`make_vars` — bulk variable construction,
+* :func:`unnest_program` / :func:`nest_program` — the Example 3.4.1
+  programs, generalized to any attribute pair,
+* :func:`datalog_rules_to_iql` lives in :mod:`repro.datalog.embed` (the
+  embedding needs the Datalog AST).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import TypeCheckError
+from repro.iql.literals import Equality, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.terms import NameTerm, Term, TupleTerm, Var, as_term
+from repro.schema.schema import Schema
+from repro.typesys.expressions import ClassRef, SetOf, TupleOf, TypeExpr, classref, set_of, tuple_of
+
+
+def positional_attrs(k: int) -> Tuple[str, ...]:
+    """``k`` attribute names whose sorted order equals positional order.
+
+    Zero-padded (``A01``, ``A02``, ...) so relations with ten or more
+    columns still order correctly under the canonical attribute sort.
+    """
+    width = max(2, len(str(k)))
+    return tuple(f"A{i + 1:0{width}d}" for i in range(k))
+
+
+def columns(*types: TypeExpr) -> TupleOf:
+    """A tuple type with positional attributes: ``columns(D, D)`` is the
+    paper's ``[A1: D, A2: D]``."""
+    attrs = positional_attrs(len(types))
+    return tuple_of({attr: t for attr, t in zip(attrs, types)})
+
+
+def atom(schema: Schema, name: str, *args, positive: bool = True) -> Membership:
+    """``name(t1, ..., tk)`` — the positional shorthand of Section 3.4.
+
+    For a relation whose member type is a tuple of k attributes, k
+    arguments map positionally (canonical attribute order); a single
+    argument against a non-tuple member type is the member itself; class
+    atoms ``P(x)`` always take a single argument.
+    """
+    container = NameTerm(name)
+    if schema.is_class(name):
+        if len(args) != 1:
+            raise TypeCheckError(f"class atom {name}(x) takes exactly one argument")
+        return Membership(container, as_term(args[0]), positive)
+    if not schema.is_relation(name):
+        raise TypeCheckError(f"unknown relation/class {name!r}")
+    member_type = schema.relations[name]
+    if isinstance(member_type, TupleOf) and len(member_type.attributes) == len(args):
+        fields = {attr: as_term(arg) for attr, arg in zip(member_type.attributes, args)}
+        return Membership(container, TupleTerm(fields), positive)
+    if len(args) == 1:
+        return Membership(container, as_term(args[0]), positive)
+    raise TypeCheckError(
+        f"{name} has member type {member_type!r}; cannot build a {len(args)}-ary atom"
+    )
+
+
+def neg(schema: Schema, name: str, *args) -> Membership:
+    """``¬name(t1, ..., tk)``."""
+    return atom(schema, name, *args, positive=False)
+
+
+def make_vars(type: TypeExpr, *names: str) -> List[Var]:
+    """Variables of a shared type: ``x, y = make_vars(D, "x", "y")``."""
+    return [Var(name, type) for name in names]
+
+
+# -- nest / unnest (Example 3.4.1) ----------------------------------------------
+
+
+def unnest_program(
+    source: str,
+    target: str,
+    key_type: TypeExpr,
+    element_type: TypeExpr,
+) -> Program:
+    """Unnest ``source: [A, {B}]`` into ``target: [A, B]`` — the single rule
+
+        target(x, y) ← source(x, Y), Y(y).
+    """
+    schema = Schema(
+        relations={
+            source: columns(key_type, set_of(element_type)),
+            target: columns(key_type, element_type),
+        }
+    )
+    x = Var("x", key_type)
+    y = Var("y", element_type)
+    big_y = Var("Y", set_of(element_type))
+    rule = Rule(
+        head=atom(schema, target, x, y),
+        body=[atom(schema, source, x, big_y), Membership(big_y, y)],
+        label="unnest",
+    )
+    return Program(schema, rules=[rule], input_names=[source], output_names=[target])
+
+
+def nest_program(
+    source: str,
+    target: str,
+    key_type: TypeExpr,
+    element_type: TypeExpr,
+    aux_class: str = "P_nest",
+    aux_prefix: str = "R_nest",
+) -> Program:
+    """Nest ``source: [A, B]`` into ``target: [A, {B}]`` (Example 3.4.1).
+
+    Stage G1 invents one set-valued oid per key and pours the grouped
+    elements into it; stage G2 dereferences into the result::
+
+        R4(x)     ← source(x, y)
+        R5(x, z)  ← R4(x)                 -- z invented, one oid per x
+        ẑ(y)      ← source(x, y), R5(x, z)
+        ;
+        target(x, ẑ) ← R5(x, z)
+
+    This is the paper's demonstration that COL data-functions / LDL
+    grouping need no dedicated primitive: invented oids do the job.
+    """
+    r4 = f"{aux_prefix}4"
+    r5 = f"{aux_prefix}5"
+    schema = Schema(
+        relations={
+            source: columns(key_type, element_type),
+            target: columns(key_type, set_of(element_type)),
+            r4: columns(key_type),
+            r5: columns(key_type, classref(aux_class)),
+        },
+        classes={aux_class: set_of(element_type)},
+    )
+    x = Var("x", key_type)
+    y = Var("y", element_type)
+    z = Var("z", classref(aux_class))
+    stage1 = [
+        Rule(atom(schema, r4, x), [atom(schema, source, x, y)], label="keys"),
+        Rule(atom(schema, r5, x, z), [atom(schema, r4, x)], label="invent-groups"),
+        Rule(
+            Membership(z.hat(), y),
+            [atom(schema, source, x, y), atom(schema, r5, x, z)],
+            label="pour",
+        ),
+    ]
+    stage2 = [
+        Rule(atom(schema, target, x, z.hat()), [atom(schema, r5, x, z)], label="collect"),
+    ]
+    return Program(
+        schema, stages=[stage1, stage2], input_names=[source], output_names=[target]
+    )
+
+
+def compose(*programs: Program) -> Program:
+    """G1; G2; ...; Gk — sequential composition over the merged schema."""
+    if not programs:
+        raise TypeCheckError("compose() needs at least one program")
+    result = programs[0]
+    for nxt in programs[1:]:
+        result = result.then(nxt)
+    return result

@@ -1,0 +1,324 @@
+"""The PTIME sublanguages of IQL (Section 5).
+
+Definitions 5.1-5.3 carve out IQLrr ⊂ IQLpr ⊂ IQL by three syntactic
+conditions:
+
+* **ptime-restriction** (Definition 5.1): every body variable is reachable
+  from set-constructor-free types through positive literals — enumeration
+  of set-free type interpretations over constants(I) is polynomial,
+* **range-restriction** (Definition 5.2): stricter — only class-typed
+  variables are granted for free; everything else must be bound through
+  positive literals (no type-interpretation search at all),
+* **invention-freedom** / **recursion-freedom** (Section 5): each stage of
+  the composition must either invent no oids or be acyclic in the
+  dependency graph G(Γ), which is what stops invention loops like
+  ``R3(y, z) ← R3(x, y)`` from diverging.
+
+Theorem 5.4: every IQLpr program evaluates in time polynomial in the size
+of the input instance; benchmark E10 measures exactly this.
+
+The dependency graph follows the paper's definition, generalized (per its
+footnote 6) to rules whose head is x̂(t) or x̂ = t: the "leftmost symbol"
+of such a rule is the class of the dereferenced variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import SublanguageError
+from repro.iql.literals import Choose, Equality, Literal, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.terms import Deref, NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.typesys.expressions import ClassRef
+
+
+# -- restriction of variables (Definitions 5.1 and 5.2) ---------------------------
+
+
+def _restricted_vars(rule: Rule, base_case) -> FrozenSet[Var]:
+    """The least fixpoint of the restriction propagation.
+
+    ``base_case(var)`` decides clause (1); clause (2) propagates through
+    positive body literals t1(t2) / t1 = t2 / t2 = t1: once every variable
+    of t1 is restricted, every variable of t2 is.
+    """
+    body_vars = rule.body_variables()
+    restricted: Set[Var] = {v for v in body_vars if base_case(v)}
+
+    pairs: List[Tuple[Term, Term]] = []
+    for literal in rule.body:
+        if not literal.positive or isinstance(literal, Choose):
+            continue
+        if isinstance(literal, Membership):
+            pairs.append((literal.container, literal.element))
+        elif isinstance(literal, Equality):
+            pairs.append((literal.left, literal.right))
+            pairs.append((literal.right, literal.left))
+
+    changed = True
+    while changed:
+        changed = False
+        for t1, t2 in pairs:
+            if t1.variables() <= restricted:
+                new = t2.variables() - restricted
+                if new:
+                    restricted |= new
+                    changed = True
+    return frozenset(restricted)
+
+
+def ptime_restricted_vars(rule: Rule) -> FrozenSet[Var]:
+    """Definition 5.1: base case = type without the set constructor."""
+    return _restricted_vars(rule, lambda v: not v.type.has_set_constructor())
+
+
+def range_restricted_vars(rule: Rule) -> FrozenSet[Var]:
+    """Definition 5.2: base case = class type."""
+    return _restricted_vars(rule, lambda v: isinstance(v.type, ClassRef))
+
+
+def is_ptime_restricted(rule: Rule) -> bool:
+    return rule.body_variables() <= ptime_restricted_vars(rule)
+
+
+def is_range_restricted(rule: Rule) -> bool:
+    return rule.body_variables() <= range_restricted_vars(rule)
+
+
+# -- invention / recursion freedom -------------------------------------------------
+
+
+def is_invention_free(rules: Iterable[Rule]) -> bool:
+    """No variable occurs in a head and not the corresponding body."""
+    return all(rule.is_invention_free() for rule in rules)
+
+
+def _head_symbol(rule: Rule) -> str:
+    """The paper's "leftmost symbol", generalized per its footnote 6.
+
+    For a relation/class head R(t) / P(t) it is that name; for a value head
+    x̂(t) or x̂ = t it is the *value plane* of x's class, written ``^P`` —
+    a node distinct from the extent node ``P``. The distinction is what
+    keeps the paper's own Example 3.4.1 recursion-free: a rule that pours
+    values into existing P-objects does not grow the extent of P, so it
+    must not close an invention cycle through P.
+    """
+    name = rule.head_name()
+    if name is not None:
+        return name
+    deref = rule.head_deref()
+    if deref is not None:
+        return f"^{deref.var.type.name}"
+    raise SublanguageError(f"cannot determine the head symbol of {rule!r}")
+
+
+def dependency_graph(rules: Sequence[Rule]) -> Dict[str, Set[str]]:
+    """The directed graph G(Γ) of Section 5, as adjacency sets n → {n'}.
+
+    Nodes are relation names, class *extent* nodes P, and class *value
+    plane* nodes ^P (footnote-6 generalization — the paper's (*) assumes
+    relation heads only; rules with x̂ heads grow ν, not π).
+
+    Arcs run from everything a rule consumes — relation/class names in the
+    body (1)(a), classes in the types of body variables (1)(b), and the
+    value planes of dereferences read anywhere in the rule — to everything
+    it can grow: its head symbol (2)(a) and the classes its invention
+    variables populate (2)(b).
+    """
+    edges: Dict[str, Set[str]] = {}
+
+    def add_edge(src: str, dst: str) -> None:
+        edges.setdefault(src, set()).add(dst)
+        edges.setdefault(dst, set())
+
+    for rule in rules:
+        sources: Set[str] = set()
+        for literal in rule.body:
+            for term in _terms_of(literal):
+                for sub in _walk_terms(term):
+                    if isinstance(sub, NameTerm):
+                        sources.add(sub.name)  # (1)(a)
+                    if isinstance(sub, Var):
+                        sources |= sub.type.class_names()  # (1)(b)
+                    if isinstance(sub, Deref):
+                        sources.add(f"^{sub.var.type.name}")  # value read
+        # Dereferences *read* inside the head (e.g. R1(ẑ) ← P(z)) are also
+        # consumption: the derived facts depend on those values.
+        head_container_var = None
+        deref = rule.head_deref()
+        if deref is not None:
+            head_container_var = deref.var
+        for term in _terms_of(rule.head):
+            for sub in _walk_terms(term):
+                if isinstance(sub, Deref) and sub.var != head_container_var:
+                    sources.add(f"^{sub.var.type.name}")
+
+        targets: Set[str] = {_head_symbol(rule)}  # (2)(a)
+        for var in rule.invention_variables():  # (2)(b)
+            if isinstance(var.type, ClassRef):
+                targets.add(var.type.name)
+        for src in sources:
+            for dst in targets:
+                add_edge(src, dst)
+        for dst in targets:
+            edges.setdefault(dst, set())
+    return edges
+
+
+def _terms_of(literal: Literal):
+    if isinstance(literal, Membership):
+        yield literal.container
+        yield literal.element
+    elif isinstance(literal, Equality):
+        yield literal.left
+        yield literal.right
+
+
+def _walk_terms(term: Term):
+    yield term
+    if isinstance(term, SetTerm):
+        for sub in term.terms:
+            yield from _walk_terms(sub)
+    elif isinstance(term, TupleTerm):
+        for _, sub in term.fields:
+            yield from _walk_terms(sub)
+    elif isinstance(term, Deref):
+        yield term.var
+
+
+def has_cycle(edges: Dict[str, Set[str]]) -> bool:
+    """Depth-first cycle detection over an adjacency-set graph."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in edges}
+
+    def visit(node: str) -> bool:
+        colour[node] = GREY
+        for succ in edges.get(node, ()):
+            if colour[succ] == GREY:
+                return True
+            if colour[succ] == WHITE and visit(succ):
+                return True
+        colour[node] = BLACK
+        return False
+
+    return any(colour[node] == WHITE and visit(node) for node in list(edges))
+
+
+def is_recursion_free(rules: Sequence[Rule]) -> bool:
+    """G(Γ) is acyclic — invention cannot feed itself."""
+    return not has_cycle(dependency_graph(rules))
+
+
+# -- program-level classification (Definition 5.3) -----------------------------------
+
+
+@dataclass
+class StageReport:
+    """Which restrictions one stage satisfies."""
+
+    index: int
+    ptime_restricted: bool
+    range_restricted: bool
+    invention_free: bool
+    recursion_free: bool
+    offending_vars: List[str] = field(default_factory=list)
+
+    @property
+    def admissible_pr(self) -> bool:
+        return self.ptime_restricted and (self.invention_free or self.recursion_free)
+
+    @property
+    def admissible_rr(self) -> bool:
+        return self.range_restricted and (self.invention_free or self.recursion_free)
+
+
+@dataclass
+class SublanguageReport:
+    """The program's position in the IQLrr ⊂ IQLpr ⊂ IQL hierarchy."""
+
+    stages: List[StageReport]
+
+    @property
+    def is_iql_pr(self) -> bool:
+        return all(stage.admissible_pr for stage in self.stages)
+
+    @property
+    def is_iql_rr(self) -> bool:
+        return all(stage.admissible_rr for stage in self.stages)
+
+    def summary(self) -> str:
+        if self.is_iql_rr:
+            return "IQLrr (range-restricted; PTIME data complexity)"
+        if self.is_iql_pr:
+            return "IQLpr (ptime-restricted; PTIME data complexity)"
+        return "full IQL (no PTIME guarantee)"
+
+
+def classify(program: Program) -> SublanguageReport:
+    """Analyze every stage of ``program`` against Definitions 5.1-5.3."""
+    stages = []
+    for index, stage in enumerate(program.stages):
+        rules = list(stage)
+        offending = sorted(
+            {
+                v.name
+                for rule in rules
+                for v in rule.body_variables() - range_restricted_vars(rule)
+            }
+        )
+        stages.append(
+            StageReport(
+                index=index,
+                ptime_restricted=all(is_ptime_restricted(r) for r in rules),
+                range_restricted=all(is_range_restricted(r) for r in rules),
+                invention_free=is_invention_free(rules),
+                recursion_free=is_recursion_free(rules),
+                offending_vars=offending,
+            )
+        )
+    return SublanguageReport(stages)
+
+
+def require_iql_rr(program: Program) -> Program:
+    """Raise unless the program is IQLrr; returns it unchanged otherwise."""
+    report = classify(program)
+    if not report.is_iql_rr:
+        bad = [s for s in report.stages if not s.admissible_rr]
+        raise SublanguageError(
+            f"program is not IQLrr; offending stages: "
+            f"{[(s.index, s.offending_vars) for s in bad]}"
+        )
+    return program
+
+
+def require_iql_pr(program: Program) -> Program:
+    """Raise unless the program is IQLpr; returns it unchanged otherwise."""
+    report = classify(program)
+    if not report.is_iql_pr:
+        raise SublanguageError("program is not IQLpr")
+    return program
+
+
+# -- Lemma 5.7 instrumentation ----------------------------------------------------------
+
+
+def max_constructor_width(program: Program) -> int:
+    """The paper's ``m``: the largest set/tuple constructor a rule can build.
+
+    Lemma 5.7 shows an invention-free step keeps the instance's branching
+    factor below max(m, n) where n is the input's branching factor; test
+    E15 measures this bound on real evaluations.
+    """
+    best = 0
+    for rule in program.rules:
+        for literal in (rule.head, *rule.body):
+            for term in _terms_of(literal):
+                for sub in _walk_terms(term):
+                    if isinstance(sub, SetTerm):
+                        best = max(best, len(sub.terms))
+                    elif isinstance(sub, TupleTerm):
+                        best = max(best, len(sub.fields))
+    return best

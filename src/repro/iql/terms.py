@@ -1,0 +1,262 @@
+"""IQL terms (Section 3.1).
+
+The term language, for ``k ≥ 0``:
+
+* each typed variable ``x`` is a term of its type,
+* each relation name R is a term of type {T(R)}; each class name P is a
+  term of type {P},
+* for a variable ``x`` of class type P, the *dereference* ``x̂`` is a term
+  of type T(P) — the paper's controlled indirection,
+* ``{t1, ..., tk}`` is a set term, ``[A1: t1, ..., Ak: tk]`` a tuple term.
+
+Constants are also admitted as terms here. The paper omits them "to
+simplify the presentation as in Chandra and Harel" and notes they "can be
+added easily without changing the framework" (Remark 3.1.1) — examples are
+far more pleasant with them, so we add them.
+
+Terms are immutable and hashable. Variable identity is by *name*: two
+``Var("x", t)`` objects with the same name denote the same variable, and
+the type checker verifies that a rule types each name consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.errors import TypeCheckError
+from repro.typesys.expressions import ClassRef, SetOf, TupleOf, TypeExpr
+from repro.schema.schema import Schema
+from repro.values.ovalues import OValue, is_constant
+
+
+class Term:
+    """Base class for IQL terms."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet["Var"]:
+        """All variables occurring in this term."""
+        return frozenset()
+
+    def type_in(self, schema: Schema) -> TypeExpr:
+        """The (static) type of this term over ``schema``."""
+        raise NotImplementedError
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+
+class Var(Term):
+    """A typed variable. Identity is by name; the type travels with it."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type: TypeExpr):
+        if not isinstance(name, str) or not name:
+            raise TypeCheckError(f"variable name must be a non-empty string, got {name!r}")
+        if not isinstance(type, TypeExpr):
+            raise TypeCheckError(f"variable {name!r} needs a type expression, got {type!r}")
+        self.name = name
+        self.type = type
+
+    def variables(self) -> FrozenSet["Var"]:
+        return frozenset([self])
+
+    def type_in(self, schema: Schema) -> TypeExpr:
+        return self.type
+
+    @property
+    def class_name(self) -> Optional[str]:
+        """The class P when this variable has type P, else None."""
+        return self.type.name if isinstance(self.type, ClassRef) else None
+
+    def hat(self) -> "Deref":
+        """The dereference x̂ of this (class-typed) variable."""
+        return Deref(self)
+
+    def __repr__(self):
+        return self.name
+
+    def __hash__(self):
+        return hash((Var, self.name))
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and self.name == other.name
+
+
+class Const(Term):
+    """A constant of the base domain D used as a term (Remark 3.1.1)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: OValue):
+        if not is_constant(value):
+            raise TypeCheckError(f"{value!r} is not a constant of D")
+        self.value = value
+
+    def type_in(self, schema: Schema) -> TypeExpr:
+        from repro.typesys.expressions import Base
+
+        return Base()
+
+    def __repr__(self):
+        return repr(self.value)
+
+    def __hash__(self):
+        return hash((Const, self.value))
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and self.value == other.value
+
+
+class NameTerm(Term):
+    """A relation or class name used as a term.
+
+    R has type {T(R)} (the relation is a set of member values); P has type
+    {P} (the class is a set of its oids).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeCheckError(f"invalid relation/class name {name!r}")
+        self.name = name
+
+    def type_in(self, schema: Schema) -> TypeExpr:
+        if schema.is_relation(self.name):
+            return SetOf(schema.relations[self.name])
+        if schema.is_class(self.name):
+            return SetOf(ClassRef(self.name))
+        raise TypeCheckError(f"unknown relation/class {self.name!r}")
+
+    def __repr__(self):
+        return self.name
+
+    def __hash__(self):
+        return hash((NameTerm, self.name))
+
+    def __eq__(self, other):
+        return isinstance(other, NameTerm) and self.name == other.name
+
+
+class Deref(Term):
+    """x̂ — the value of the oid bound to ``var`` (Section 3.1).
+
+    Only variables of class type may be dereferenced; the term's type is
+    T(P). Dereferencing is the language's single, type-checked use of
+    indirection.
+    """
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: Var):
+        if not isinstance(var, Var):
+            raise TypeCheckError(f"only variables can be dereferenced, got {var!r}")
+        self.var = var
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset([self.var])
+
+    def type_in(self, schema: Schema) -> TypeExpr:
+        if not isinstance(self.var.type, ClassRef):
+            raise TypeCheckError(
+                f"x̂ requires x of class type; {self.var.name!r} has type {self.var.type!r}"
+            )
+        name = self.var.type.name
+        if not schema.is_class(name):
+            raise TypeCheckError(f"variable {self.var.name!r} refers to unknown class {name!r}")
+        return schema.classes[name]
+
+    def __repr__(self):
+        return f"{self.var.name}^"
+
+    def __hash__(self):
+        return hash((Deref, self.var))
+
+    def __eq__(self, other):
+        return isinstance(other, Deref) and self.var == other.var
+
+
+class SetTerm(Term):
+    """``{t1, ..., tk}`` — a set of terms, all of the same type; type {t}."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, *terms: Term):
+        for t in terms:
+            if not isinstance(t, Term):
+                raise TypeCheckError(f"not a term: {t!r}")
+        self.terms: Tuple[Term, ...] = tuple(terms)
+
+    def variables(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for t in self.terms:
+            out |= t.variables()
+        return out
+
+    def type_in(self, schema: Schema) -> TypeExpr:
+        from repro.typesys.expressions import Empty, Union
+
+        if not self.terms:
+            return SetOf(Empty())
+        types = {t.type_in(schema) for t in self.terms}
+        if len(types) == 1:
+            return SetOf(types.pop())
+        raise TypeCheckError(
+            f"set term {self!r} mixes member types {sorted(map(repr, types))}"
+        )
+
+    def __repr__(self):
+        return "{" + ", ".join(repr(t) for t in self.terms) + "}"
+
+    def __hash__(self):
+        return hash((SetTerm, self.terms))
+
+    def __eq__(self, other):
+        return isinstance(other, SetTerm) and self.terms == other.terms
+
+
+class TupleTerm(Term):
+    """``[A1: t1, ..., Ak: tk]`` — a tuple of terms; canonical attr order."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Mapping[str, Term] = None, **kwargs: Term):
+        items: Dict[str, Term] = dict(fields or {})
+        for attr, t in kwargs.items():
+            if attr in items:
+                raise TypeCheckError(f"duplicate attribute {attr!r}")
+            items[attr] = t
+        for attr, t in items.items():
+            if not isinstance(t, Term):
+                raise TypeCheckError(f"component {attr} is not a term: {t!r}")
+        self.fields: Tuple[Tuple[str, Term], ...] = tuple(sorted(items.items()))
+
+    def variables(self) -> FrozenSet[Var]:
+        out: FrozenSet[Var] = frozenset()
+        for _, t in self.fields:
+            out |= t.variables()
+        return out
+
+    def type_in(self, schema: Schema) -> TypeExpr:
+        return TupleOf({attr: t.type_in(schema) for attr, t in self.fields})
+
+    def __repr__(self):
+        inner = ", ".join(f"{attr}: {t!r}" for attr, t in self.fields)
+        return f"[{inner}]"
+
+    def __hash__(self):
+        return hash((TupleTerm, self.fields))
+
+    def __eq__(self, other):
+        return isinstance(other, TupleTerm) and self.fields == other.fields
+
+
+def as_term(value) -> Term:
+    """Coerce a Python value into a term: constants wrap in :class:`Const`."""
+    if isinstance(value, Term):
+        return value
+    if is_constant(value):
+        return Const(value)
+    raise TypeCheckError(f"cannot interpret {value!r} as a term")

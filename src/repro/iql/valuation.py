@@ -1,0 +1,302 @@
+"""Valuations, term evaluation and pattern matching (Section 3.2).
+
+A *valuation* θ (given an instance I) is a partial map from variables to
+o-values such that θx lies in the interpretation of x's type given π, and
+the constants of θx come from constants(I). Valuations extend to terms:
+
+* θR and θP are the current extensions of the relation/class,
+* θx̂ is ν(θx) — the set of its ô(v) facts for set-valued oids, the ô = v
+  value otherwise (undefined if ν is),
+* set and tuple terms evaluate componentwise.
+
+This module provides the two directions the evaluator needs:
+
+* :func:`eval_term` — evaluate a term under (possibly partial) bindings;
+  returns None when a variable is unbound or a dereference undefined,
+* :func:`match` — extend bindings so that a term evaluates to a given
+  value (the generator yields every such extension),
+* :func:`solve_body` — enumerate all valuations of a rule body, choosing a
+  literal order greedily and falling back to type-interpretation
+  enumeration for variables no literal can bind (the non-range-restricted
+  case, e.g. the ``R1(X) ← X = X`` powerset program of Example 3.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.iql.literals import Choose, Equality, Literal, Membership
+from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.schema.instance import Instance
+from repro.typesys.enumeration import enumerate_type
+from repro.typesys.interpretation import member
+from repro.values.ovalues import Oid, OSet, OTuple, OValue, sort_key
+
+Bindings = Dict[Var, OValue]
+
+
+def eval_term(term: Term, bindings: Bindings, instance: Instance) -> Optional[OValue]:
+    """θt, or None if the term is not yet evaluable under ``bindings``."""
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        return bindings.get(term)
+    if isinstance(term, NameTerm):
+        name = term.name
+        if instance.schema.is_relation(name):
+            return OSet(instance.relations[name])
+        return OSet(instance.classes[name])
+    if isinstance(term, Deref):
+        oid = bindings.get(term.var)
+        if oid is None:
+            return None
+        if not isinstance(oid, Oid):
+            raise EvaluationError(f"{term.var.name!r} bound to non-oid {oid!r} in a dereference")
+        return instance.value_of(oid)
+    if isinstance(term, SetTerm):
+        elements = []
+        for sub in term.terms:
+            v = eval_term(sub, bindings, instance)
+            if v is None:
+                return None
+            elements.append(v)
+        return OSet(elements)
+    if isinstance(term, TupleTerm):
+        fields = {}
+        for attr, sub in term.fields:
+            v = eval_term(sub, bindings, instance)
+            if v is None:
+                return None
+            fields[attr] = v
+        return OTuple(fields)
+    raise EvaluationError(f"not a term: {term!r}")
+
+
+def is_evaluable(term: Term, bindings: Bindings) -> bool:
+    """True iff :func:`eval_term` would produce a value (all vars bound and,
+    for dereferences, the oid's value defined is still checked at eval time)."""
+    return all(var in bindings for var in term.variables())
+
+
+def match(
+    term: Term, value: OValue, bindings: Bindings, instance: Instance
+) -> Iterator[Bindings]:
+    """All extensions of ``bindings`` making ``term`` evaluate to ``value``.
+
+    Variable bindings respect the valuation conditions: the value must
+    belong to the variable's type interpretation given the current π (this
+    is where class-typed variables refuse oids of other classes, and where
+    union coercion in bodies is effectively decided).
+    """
+    if isinstance(term, Const):
+        if term.value == value:
+            yield bindings
+        return
+    if isinstance(term, Var):
+        bound = bindings.get(term)
+        if bound is not None:
+            if bound == value:
+                yield bindings
+            return
+        if member(value, term.type, instance.classes):
+            extended = dict(bindings)
+            extended[term] = value
+            yield extended
+        return
+    if isinstance(term, NameTerm):
+        if eval_term(term, bindings, instance) == value:
+            yield bindings
+        return
+    if isinstance(term, Deref):
+        oid = bindings.get(term.var)
+        if oid is not None:
+            if instance.value_of(oid) == value:
+                yield bindings
+            return
+        # Unbound dereference: find class oids whose value matches.
+        class_name = term.var.type.name
+        for candidate in sorted(instance.classes.get(class_name, ()), key=sort_key):
+            if instance.value_of(candidate) == value:
+                extended = dict(bindings)
+                extended[term.var] = candidate
+                yield extended
+        return
+    if isinstance(term, TupleTerm):
+        if not isinstance(value, OTuple):
+            return
+        attrs = tuple(attr for attr, _ in term.fields)
+        if attrs != value.attributes:
+            return
+        yield from _match_sequence(
+            [(sub, value[attr]) for attr, sub in term.fields], bindings, instance
+        )
+        return
+    if isinstance(term, SetTerm):
+        if not isinstance(value, OSet):
+            return
+        if not term.terms:
+            if len(value) == 0:
+                yield bindings
+            return
+        if len(value) == 0:
+            return  # a non-empty list of terms always denotes ≥ 1 element
+        elements = sorted(value, key=sort_key)
+        seen = set()
+        for assignment in _set_assignments(len(term.terms), elements):
+            for extended in _match_sequence(
+                list(zip(term.terms, assignment)), bindings, instance
+            ):
+                # The term set must equal the value exactly (cover check).
+                result = eval_term(term, extended, instance)
+                if result == value:
+                    key = tuple(sorted((v.name, repr(extended[v])) for v in term.variables()))
+                    if key not in seen:
+                        seen.add(key)
+                        yield extended
+        return
+    raise EvaluationError(f"not a term: {term!r}")
+
+
+def _match_sequence(
+    pairs: List[Tuple[Term, OValue]], bindings: Bindings, instance: Instance
+) -> Iterator[Bindings]:
+    if not pairs:
+        yield bindings
+        return
+    (term, value), rest = pairs[0], pairs[1:]
+    for extended in match(term, value, bindings, instance):
+        yield from _match_sequence(rest, extended, instance)
+
+
+def _set_assignments(k: int, elements: List[OValue]) -> Iterator[Tuple[OValue, ...]]:
+    """All ways to assign ``k`` term slots to elements (onto not required
+    here; the cover check in :func:`match` enforces exact equality)."""
+    if k == 0:
+        yield ()
+        return
+    for first in elements:
+        for rest in _set_assignments(k - 1, elements):
+            yield (first,) + rest
+
+
+# -- literal satisfaction under full bindings ------------------------------------
+
+
+def satisfies(literal: Literal, bindings: Bindings, instance: Instance) -> bool:
+    """I ⊨ θ[literal], for θ defined on all the literal's variables."""
+    if isinstance(literal, Choose):
+        return True  # handled by the evaluator's invention machinery
+    if isinstance(literal, Membership):
+        container = eval_term(literal.container, bindings, instance)
+        element = eval_term(literal.element, bindings, instance)
+        if container is None or element is None:
+            return False
+        if not isinstance(container, OSet):
+            raise EvaluationError(
+                f"membership against non-set value {container!r} in {literal!r}"
+            )
+        return (element in container) == literal.positive
+    if isinstance(literal, Equality):
+        left = eval_term(literal.left, bindings, instance)
+        right = eval_term(literal.right, bindings, instance)
+        if left is None or right is None:
+            return False
+        return (left == right) == literal.positive
+    raise EvaluationError(f"unknown literal {literal!r}")
+
+
+# -- body solving ------------------------------------------------------------------
+
+
+def solve_body(
+    body: Sequence[Literal],
+    instance: Instance,
+    enumeration_budget: int = 100_000,
+    initial: Optional[Bindings] = None,
+) -> Iterator[Bindings]:
+    """All valuations θ of the body's variables with I ⊨ θ(body).
+
+    Strategy: repeatedly pick a *processable* literal — a positive
+    membership whose container is evaluable, or a positive equality with
+    one side evaluable — and branch on its matches; literals whose
+    variables are all bound become filters. When nothing is processable,
+    fall back to enumerating one unbound variable's type interpretation
+    restricted to constants(I) (the valuation definition makes this the
+    exact search space). Negative literals are only ever used as filters,
+    as inflationary Datalog¬ requires.
+    """
+    constants = sorted(instance.constants(), key=sort_key)
+    literals = [lit for lit in body if not isinstance(lit, Choose)]
+
+    def process(remaining: List[Literal], bindings: Bindings) -> Iterator[Bindings]:
+        if not remaining:
+            yield dict(bindings)
+            return
+
+        # 1. Filters first: fully-bound literals just get checked.
+        for i, lit in enumerate(remaining):
+            if all(v in bindings for v in lit.variables()):
+                if satisfies(lit, bindings, instance):
+                    yield from process(remaining[:i] + remaining[i + 1 :], bindings)
+                return
+
+        # 2. A positive membership with evaluable container binds by iteration.
+        for i, lit in enumerate(remaining):
+            if (
+                isinstance(lit, Membership)
+                and lit.positive
+                and is_evaluable(lit.container, bindings)
+            ):
+                rest = remaining[:i] + remaining[i + 1 :]
+                # Iterate the container without materializing an OSet: the
+                # inner loop of every join runs through here.
+                if isinstance(lit.container, NameTerm):
+                    name = lit.container.name
+                    if instance.schema.is_relation(name):
+                        members = list(instance.relations[name])
+                    else:
+                        members = list(instance.classes[name])
+                else:
+                    container = eval_term(lit.container, bindings, instance)
+                    if container is None:
+                        return  # undefined dereference: no facts to match
+                    if not isinstance(container, OSet):
+                        raise EvaluationError(
+                            f"membership against non-set value {container!r} in {lit!r}"
+                        )
+                    members = list(container)
+                for element in members:
+                    for extended in match(lit.element, element, bindings, instance):
+                        yield from process(rest, extended)
+                return
+
+        # 3. A positive equality with one evaluable side binds by matching.
+        for i, lit in enumerate(remaining):
+            if isinstance(lit, Equality) and lit.positive:
+                rest = remaining[:i] + remaining[i + 1 :]
+                for known, pattern in ((lit.left, lit.right), (lit.right, lit.left)):
+                    if is_evaluable(known, bindings):
+                        value = eval_term(known, bindings, instance)
+                        if value is None:
+                            return  # undefined dereference: unsatisfiable
+                        for extended in match(pattern, value, bindings, instance):
+                            yield from process(rest, extended)
+                        return
+
+        # 4. Dead end: enumerate the type interpretation of one unbound var.
+        unbound = sorted(
+            {v for lit in remaining for v in lit.variables() if v not in bindings},
+            key=lambda v: v.name,
+        )
+        if not unbound:  # pragma: no cover - step 1 would have consumed these
+            raise EvaluationError(f"stuck with fully bound literals: {remaining!r}")
+        var = unbound[0]
+        for value in enumerate_type(
+            var.type, constants, instance.classes, budget=enumeration_budget
+        ):
+            extended = dict(bindings)
+            extended[var] = value
+            yield from process(remaining, extended)
+
+    yield from process(list(literals), dict(initial or {}))

@@ -1,0 +1,29 @@
+"""Surface syntax: tokenizer, schema/rule/program parsers, type inference."""
+
+from repro.parser.grammar import (
+    RuleParser,
+    parse_schema_block,
+    parse_type,
+    program_from_source,
+    schema_from_source,
+    type_from_source,
+)
+from repro.parser.infer import infer_variable_types
+from repro.parser.unparse import program_to_source, schema_to_source, type_to_source
+from repro.parser.lexer import Token, TokenStream, tokenize
+
+__all__ = [
+    "RuleParser",
+    "parse_schema_block",
+    "parse_type",
+    "program_from_source",
+    "schema_from_source",
+    "type_from_source",
+    "infer_variable_types",
+    "program_to_source",
+    "schema_to_source",
+    "type_to_source",
+    "Token",
+    "TokenStream",
+    "tokenize",
+]

@@ -1,0 +1,420 @@
+"""Recursive-descent parsers for types, schemas, terms, rules and programs.
+
+The program grammar::
+
+    program   := schema_decl var_decl* io_decl* rules_decl
+    schema_decl := "schema" "{" decl* "}"
+    decl      := "relation" NAME ":" type
+               | "class" NAME ("isa" NAME ("," NAME)*)? ":" type
+    type      := type1 (("|" | "&") type1)*
+    type1     := "D" | "none" | NAME | "{" type "}"
+               | "[" (ATTR ":" type ("," ATTR ":" type)*)? "]"
+    var_decl  := "var" NAME ("," NAME)* ":" type
+    io_decl   := ("input" | "output") NAME ("," NAME)*
+    rules_decl := "rules" "{" (rule | ";")* "}"
+    rule      := ("delete")? head (":-" body)? "."
+    head      := atom | deref "(" term ")" | deref "=" term
+    body      := literal ("," literal)*
+    literal   := "choose" | ("not")? atom | term ("=" | "!=") term
+    atom      := NAME "(" (term ("," term)*)? ")"
+    term      := NAME "^"? | constant | "{" terms? "}" | "[" fields? "]"
+
+``D`` parses as the base type; an identifier in type position is a class
+reference. In term position an identifier is a variable unless it is
+followed by ``(`` inside a literal (an atom) or is a declared relation or
+class name used as a set term.
+
+Variable types come from ``var`` declarations or from inference
+(:mod:`repro.parser.infer`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ParseError
+from repro.iql.literals import Choose, Equality, Literal, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.inheritance.inhschema import InheritanceSchema
+from repro.parser.lexer import Token, TokenStream, tokenize
+from repro.schema.schema import Schema
+from repro.typesys.expressions import (
+    D,
+    EMPTY,
+    TypeExpr,
+    classref,
+    intersection,
+    set_of,
+    tuple_of,
+    union,
+)
+
+
+# -- types -----------------------------------------------------------------------
+
+
+def parse_type(stream: TokenStream, class_names: Set[str]) -> TypeExpr:
+    left = _parse_type1(stream, class_names)
+    while stream.at("|") or stream.at("&"):
+        op = stream.advance().value
+        right = _parse_type1(stream, class_names)
+        left = union(left, right) if op == "|" else intersection(left, right)
+    return left
+
+
+def _parse_type1(stream: TokenStream, class_names: Set[str]) -> TypeExpr:
+    token = stream.peek()
+    if stream.accept("keyword", "none"):
+        return EMPTY
+    if token.kind == "ident":
+        stream.advance()
+        if token.value == "D":
+            return D
+        if class_names and token.value not in class_names:
+            raise ParseError(
+                f"unknown class {token.value!r} in type", token.line, token.column
+            )
+        return classref(token.value)
+    if stream.accept("{"):
+        inner = parse_type(stream, class_names)
+        stream.expect("}")
+        return set_of(inner)
+    if stream.accept("["):
+        fields: Dict[str, TypeExpr] = {}
+        while not stream.at("]"):
+            attr = stream.expect("ident").value
+            stream.expect(":")
+            fields[attr] = parse_type(stream, class_names)
+            if not stream.accept(","):
+                break
+        stream.expect("]")
+        return tuple_of(fields)
+    if stream.accept("("):
+        inner = parse_type(stream, class_names)
+        stream.expect(")")
+        return inner
+    raise ParseError(f"expected a type, found {token.value!r}", token.line, token.column)
+
+
+def type_from_source(text: str, class_names: Sequence[str] = ()) -> TypeExpr:
+    stream = TokenStream(tokenize(text))
+    t = parse_type(stream, set(class_names))
+    if not stream.at_end():
+        token = stream.peek()
+        raise ParseError(f"trailing input {token.value!r}", token.line, token.column)
+    return t
+
+
+# -- schemas -----------------------------------------------------------------------
+
+
+def parse_schema_block(stream: TokenStream):
+    """Parse ``schema { ... }``; returns (relations, classes, isa_pairs)."""
+    stream.expect("keyword", "schema")
+    stream.expect("{")
+    # First pass over the block to collect class names (types may forward-
+    # reference classes declared later — Example 1.1 needs this).
+    start = stream.position
+    class_names: Set[str] = set()
+    depth = 1
+    position = stream.position
+    while depth > 0:
+        token = stream.tokens[position]
+        if token.kind == "{":
+            depth += 1
+        elif token.kind == "}":
+            depth -= 1
+        elif token.kind == "keyword" and token.value == "class" and depth == 1:
+            class_names.add(stream.tokens[position + 1].value)
+        elif token.kind == "eof":
+            raise ParseError("unterminated schema block", token.line, token.column)
+        position += 1
+
+    relations: Dict[str, TypeExpr] = {}
+    classes: Dict[str, TypeExpr] = {}
+    isa_pairs: List[Tuple[str, str]] = []
+    while not stream.at("}"):
+        if stream.accept("keyword", "relation"):
+            name = stream.expect("ident").value
+            stream.expect(":")
+            relations[name] = parse_type(stream, class_names)
+        elif stream.accept("keyword", "class"):
+            name = stream.expect("ident").value
+            while stream.accept("keyword", "isa"):
+                isa_pairs.append((name, stream.expect("ident").value))
+                while stream.accept(","):
+                    isa_pairs.append((name, stream.expect("ident").value))
+            stream.expect(":")
+            classes[name] = parse_type(stream, class_names)
+        else:
+            token = stream.peek()
+            raise ParseError(
+                f"expected 'relation' or 'class', found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        stream.accept(";")
+    stream.expect("}")
+    return relations, classes, isa_pairs
+
+
+def schema_from_source(text: str):
+    """Parse a standalone schema; returns :class:`Schema`, or
+    :class:`InheritanceSchema` when isa declarations are present."""
+    stream = TokenStream(tokenize(text))
+    relations, classes, isa_pairs = parse_schema_block(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise ParseError(f"trailing input {token.value!r}", token.line, token.column)
+    if isa_pairs:
+        return InheritanceSchema(relations, classes, isa_pairs)
+    return Schema(relations, classes)
+
+
+# -- terms and rules -----------------------------------------------------------------
+
+
+class RuleParser:
+    """Parses rules over a known schema with (partially) known variable types.
+
+    Variables whose types are not declared are created with a placeholder
+    type and resolved by :mod:`repro.parser.infer` afterwards.
+    """
+
+    PLACEHOLDER = EMPTY  # replaced by inference; EMPTY never survives
+
+    def __init__(self, schema: Schema, var_types: Dict[str, TypeExpr]):
+        self.schema = schema
+        self.var_types = dict(var_types)
+        self.placeholder_vars: Set[str] = set()
+
+    def _var(self, name: str) -> Var:
+        if name in self.var_types:
+            return Var(name, self.var_types[name])
+        self.placeholder_vars.add(name)
+        return Var(name, self.PLACEHOLDER)
+
+    # -- terms -------------------------------------------------------------------
+
+    def parse_term(self, stream: TokenStream) -> Term:
+        token = stream.peek()
+        if token.kind == "string":
+            stream.advance()
+            return Const(token.value)
+        if token.kind == "number":
+            stream.advance()
+            text = token.value
+            return Const(float(text) if "." in text else int(text))
+        if token.kind == "ident":
+            stream.advance()
+            name = token.value
+            if stream.accept("^"):
+                return Deref(self._var(name))
+            if name in self.schema.names:
+                return NameTerm(name)
+            return self._var(name)
+        if stream.accept("{"):
+            terms: List[Term] = []
+            while not stream.at("}"):
+                terms.append(self.parse_term(stream))
+                if not stream.accept(","):
+                    break
+            stream.expect("}")
+            return SetTerm(*terms)
+        if stream.accept("["):
+            fields: Dict[str, Term] = {}
+            while not stream.at("]"):
+                attr = stream.expect("ident").value
+                stream.expect(":")
+                fields[attr] = self.parse_term(stream)
+                if not stream.accept(","):
+                    break
+            stream.expect("]")
+            return TupleTerm(fields)
+        raise ParseError(f"expected a term, found {token.value!r}", token.line, token.column)
+
+    # -- literals -----------------------------------------------------------------
+
+    def parse_literal(self, stream: TokenStream) -> Literal:
+        if stream.accept("keyword", "choose"):
+            return Choose()
+        negated = bool(stream.accept("keyword", "not"))
+        term = self.parse_term_or_atom(stream)
+        if isinstance(term, Membership):
+            return term.negate() if negated else term
+        if stream.accept("="):
+            right = self.parse_term(stream)
+            if negated:
+                raise ParseError("use != for negated equality")
+            return Equality(term, right)
+        if stream.accept("!="):
+            right = self.parse_term(stream)
+            return Equality(term, right, positive=False)
+        if negated:
+            raise ParseError("'not' must precede an atom")
+        raise ParseError(f"expected a literal near {stream.peek().value!r}")
+
+    def parse_term_or_atom(self, stream: TokenStream):
+        """An atom ``container(args)`` or a bare term.
+
+        ``name(...)`` parses as an atom over a relation/class name or over
+        a dereference/variable container (``X(y)``, ``p^(q)``)."""
+        token = stream.peek()
+        if token.kind == "ident":
+            name = token.value
+            next_token = stream.peek(1)
+            if next_token.kind == "(" and name in self.schema.names:
+                stream.advance()
+                args = self._parse_args(stream)
+                return self._positional_atom(name, args, token)
+            if next_token.kind == "^":
+                stream.advance()
+                stream.advance()
+                deref = Deref(self._var(name))
+                if stream.at("("):
+                    args = self._parse_args(stream)
+                    if len(args) != 1:
+                        raise ParseError(
+                            "x^(t) takes exactly one element", token.line, token.column
+                        )
+                    return Membership(deref, args[0])
+                return deref
+            if next_token.kind == "(":
+                stream.advance()
+                args = self._parse_args(stream)
+                if len(args) != 1:
+                    raise ParseError(
+                        "X(t) takes exactly one element", token.line, token.column
+                    )
+                return Membership(self._var(name), args[0])
+        return self.parse_term(stream)
+
+    def _parse_args(self, stream: TokenStream) -> List[Term]:
+        stream.expect("(")
+        args: List[Term] = []
+        while not stream.at(")"):
+            args.append(self.parse_term(stream))
+            if not stream.accept(","):
+                break
+        stream.expect(")")
+        return args
+
+    def _positional_atom(self, name: str, args: List[Term], token: Token) -> Membership:
+        from repro.typesys.expressions import TupleOf
+
+        container = NameTerm(name)
+        if self.schema.is_class(name):
+            if len(args) != 1:
+                raise ParseError(
+                    f"class atom {name}(x) takes one argument", token.line, token.column
+                )
+            return Membership(container, args[0])
+        member_type = self.schema.relations[name]
+        if isinstance(member_type, TupleOf) and len(member_type.attributes) == len(args):
+            if len(args) == 1 and isinstance(args[0], TupleTerm):
+                return Membership(container, args[0])
+            fields = dict(zip(member_type.attributes, args))
+            return Membership(container, TupleTerm(fields))
+        if len(args) == 1:
+            return Membership(container, args[0])
+        raise ParseError(
+            f"{name} expects {getattr(member_type, 'attributes', 1)} columns, got {len(args)}",
+            token.line,
+            token.column,
+        )
+
+    # -- rules ---------------------------------------------------------------------
+
+    def parse_rule(self, stream: TokenStream) -> Rule:
+        delete = bool(stream.accept("keyword", "delete"))
+        head = self.parse_term_or_atom(stream)
+        if isinstance(head, Deref):
+            stream.expect("=")
+            right = self.parse_term(stream)
+            head = Equality(head, right)
+        if not isinstance(head, (Membership, Equality)):
+            raise ParseError(f"illegal rule head near {stream.peek().value!r}")
+        body: List[Literal] = []
+        if stream.accept(":-"):
+            while not stream.at("."):
+                body.append(self.parse_literal(stream))
+                if not stream.accept(","):
+                    break
+        stream.expect(".")
+        return Rule(head, body, delete=delete)
+
+
+# -- programs -------------------------------------------------------------------------
+
+
+def program_from_source(text: str) -> Program:
+    """Parse a full program file: schema, var/input/output decls, rules.
+
+    Variable types omitted from ``var`` declarations are inferred; see
+    :func:`repro.parser.infer.infer_variable_types`.
+    """
+    from repro.parser.infer import infer_variable_types
+
+    stream = TokenStream(tokenize(text))
+    relations, classes, isa_pairs = parse_schema_block(stream)
+    if isa_pairs:
+        schema = InheritanceSchema(relations, classes, isa_pairs).compile_away_isa()
+    else:
+        schema = Schema(relations, classes)
+
+    var_types: Dict[str, TypeExpr] = {}
+    inputs: List[str] = []
+    outputs: List[str] = []
+    while True:
+        if stream.accept("keyword", "var"):
+            names = [stream.expect("ident").value]
+            while stream.accept(","):
+                names.append(stream.expect("ident").value)
+            stream.expect(":")
+            t = parse_type(stream, set(schema.classes))
+            for name in names:
+                var_types[name] = t
+            stream.accept(";")
+        elif stream.accept("keyword", "input"):
+            inputs.append(stream.expect("ident").value)
+            while stream.accept(","):
+                inputs.append(stream.expect("ident").value)
+            stream.accept(";")
+        elif stream.accept("keyword", "output"):
+            outputs.append(stream.expect("ident").value)
+            while stream.accept(","):
+                outputs.append(stream.expect("ident").value)
+            stream.accept(";")
+        else:
+            break
+
+    stream.expect("keyword", "rules")
+    stream.expect("{")
+    parser = RuleParser(schema, var_types)
+    stages: List[List[Rule]] = [[]]
+    while not stream.at("}"):
+        if stream.accept(";"):
+            if stages[-1]:
+                stages.append([])
+            continue
+        stages[-1].append(parser.parse_rule(stream))
+    stream.expect("}")
+    if not stream.at_end():
+        token = stream.peek()
+        raise ParseError(f"trailing input {token.value!r}", token.line, token.column)
+    if not stages[-1]:
+        stages.pop()
+    if not stages:
+        raise ParseError("program has no rules")
+
+    program = Program(
+        schema,
+        stages=stages,
+        input_names=inputs,
+        output_names=outputs or sorted(schema.names),
+    )
+    if parser.placeholder_vars:
+        program = infer_variable_types(program, parser.placeholder_vars)
+    return program

@@ -1,0 +1,265 @@
+"""Variable-type inference for parsed programs (Section 3.3).
+
+"Having to declare the type information for each term would make the
+programs tedious to write ... Automatic partial type inference, based on a
+number of shorthand conventions, can replace explicit declarations."
+
+The conventions implemented here:
+
+1. an argument of a relation/class atom gets the corresponding component
+   of the declared member type (``R(x, y)`` over [A1: D, A2: P] gives
+   x: D, y: P),
+2. an element of a membership over a typed set container gets the member
+   type (``Y(y)`` with Y: {D} gives y: D; ``p^(q)`` with T(P) = {Q} gives
+   q: Q),
+3. a set container over a typed element gets the set type (``Y(y)`` with
+   y: D gives Y: {D}),
+4. an equality with one fully typed side types the other side —
+   considered *after* the membership conventions, because union coercion
+   makes equality constraints deliberately looser (in ``y = x^`` of
+   Example 3.4.3, y's type comes from its atom, not from x̂'s union type).
+
+Types are scoped per rule (the paper's variables are rule-local); a name
+may have different types in different rules. Variables that remain
+untyped raise :class:`ParseError` asking for an explicit ``var``
+declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ParseError
+from repro.iql.literals import Choose, Equality, Literal, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.schema.schema import Schema
+from repro.typesys.expressions import (
+    ClassRef,
+    Empty,
+    SetOf,
+    TupleOf,
+    TypeExpr,
+)
+
+PLACEHOLDER = Empty()
+
+
+def infer_variable_types(program: Program, placeholder_names: Set[str]) -> Program:
+    """Resolve all placeholder-typed variables and rebuild the program."""
+    new_stages: List[List[Rule]] = []
+    for stage in program.stages:
+        new_stage = []
+        for rule in stage:
+            new_stage.append(_infer_rule(rule, program.schema, placeholder_names))
+        new_stages.append(new_stage)
+    return Program(
+        program.schema,
+        stages=new_stages,
+        input_names=program.input_names,
+        output_names=program.output_names,
+    )
+
+
+def _is_placeholder(var: Var, placeholder_names: Set[str]) -> bool:
+    return var.name in placeholder_names and isinstance(var.type, Empty)
+
+
+def _infer_rule(rule: Rule, schema: Schema, placeholder_names: Set[str]) -> Rule:
+    resolved: Dict[str, TypeExpr] = {}
+    literals = list(rule.body) + [rule.head]
+
+    # Seed with the types of explicitly typed variables (declared via var).
+    for literal in literals:
+        for term in _terms(literal):
+            for var in _vars_in(term):
+                if not _is_placeholder(var, placeholder_names):
+                    _record(resolved, var.name, var.type, rule)
+
+    # Fixpoint over conventions 1-3, then 4 for what is left.
+    for equality_pass in (False, True):
+        changed = True
+        while changed:
+            changed = False
+            for literal in literals:
+                if isinstance(literal, Choose):
+                    continue
+                if isinstance(literal, Membership):
+                    changed |= _from_membership(literal, schema, resolved, rule)
+                elif equality_pass and isinstance(literal, Equality):
+                    changed |= _from_equality(literal, schema, resolved, rule)
+
+    missing = sorted(
+        {
+            var.name
+            for literal in literals
+            for term in _terms(literal)
+            for var in _vars_in(term)
+            if _is_placeholder(var, placeholder_names) and var.name not in resolved
+        }
+    )
+    if missing:
+        raise ParseError(
+            f"cannot infer the types of {missing} in rule {rule!r}; "
+            f"add explicit 'var {', '.join(missing)}: <type>' declarations"
+        )
+
+    def retype(term: Term) -> Term:
+        if isinstance(term, Var):
+            if _is_placeholder(term, placeholder_names):
+                return Var(term.name, resolved[term.name])
+            return term
+        if isinstance(term, Deref):
+            inner = retype(term.var)
+            return Deref(inner)
+        if isinstance(term, SetTerm):
+            return SetTerm(*(retype(t) for t in term.terms))
+        if isinstance(term, TupleTerm):
+            return TupleTerm({attr: retype(t) for attr, t in term.fields})
+        return term
+
+    def retype_literal(literal: Literal) -> Literal:
+        if isinstance(literal, Choose):
+            return literal
+        if isinstance(literal, Membership):
+            return Membership(
+                retype(literal.container), retype(literal.element), literal.positive
+            )
+        return Equality(retype(literal.left), retype(literal.right), literal.positive)
+
+    return Rule(
+        retype_literal(rule.head),
+        [retype_literal(l) for l in rule.body],
+        delete=rule.delete,
+        label=rule.label,
+    )
+
+
+def _terms(literal: Literal):
+    if isinstance(literal, Membership):
+        yield literal.container
+        yield literal.element
+    elif isinstance(literal, Equality):
+        yield literal.left
+        yield literal.right
+
+
+def _vars_in(term: Term):
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, Deref):
+        yield term.var
+    elif isinstance(term, SetTerm):
+        for sub in term.terms:
+            yield from _vars_in(sub)
+    elif isinstance(term, TupleTerm):
+        for _, sub in term.fields:
+            yield from _vars_in(sub)
+
+
+def _record(resolved: Dict[str, TypeExpr], name: str, t: TypeExpr, rule: Rule) -> bool:
+    if isinstance(t, Empty):
+        return False
+    prior = resolved.get(name)
+    if prior is None:
+        resolved[name] = t
+        return True
+    if prior != t:
+        raise ParseError(
+            f"conflicting types inferred for {name!r} in rule {rule!r}: "
+            f"{prior!r} versus {t!r}"
+        )
+    return False
+
+
+def _unify(term: Term, t: TypeExpr, resolved: Dict[str, TypeExpr], rule: Rule) -> bool:
+    """Push an expected type down a term; record variable types found."""
+    changed = False
+    if isinstance(term, Var):
+        changed |= _record(resolved, term.name, t, rule)
+    elif isinstance(term, SetTerm) and isinstance(t, SetOf):
+        for sub in term.terms:
+            changed |= _unify(sub, t.element, resolved, rule)
+    elif isinstance(term, TupleTerm) and isinstance(t, TupleOf):
+        expected = dict(t.fields)
+        for attr, sub in term.fields:
+            if attr in expected:
+                changed |= _unify(sub, expected[attr], resolved, rule)
+    # Deref, Const, NameTerm: nothing to record (a deref constrains the
+    # class of its variable only through atoms, convention 2).
+    return changed
+
+
+def _known_type(term: Term, schema: Schema, resolved: Dict[str, TypeExpr]) -> Optional[TypeExpr]:
+    """The term's type if fully determined, else None."""
+    try:
+        if isinstance(term, Var):
+            t = resolved.get(term.name, term.type)
+            return None if isinstance(t, Empty) else t
+        if isinstance(term, Const):
+            return term.type_in(schema)
+        if isinstance(term, NameTerm):
+            return term.type_in(schema)
+        if isinstance(term, Deref):
+            class_type = resolved.get(term.var.name, term.var.type)
+            if isinstance(class_type, ClassRef):
+                return schema.classes.get(class_type.name)
+            return None
+        if isinstance(term, SetTerm):
+            inner = [_known_type(sub, schema, resolved) for sub in term.terms]
+            if not inner:
+                return None  # {} alone cannot pick a member type
+            if any(t is None for t in inner) or len(set(inner)) != 1:
+                return None
+            return SetOf(inner[0])
+        if isinstance(term, TupleTerm):
+            fields = {}
+            for attr, sub in term.fields:
+                t = _known_type(sub, schema, resolved)
+                if t is None:
+                    return None
+                fields[attr] = t
+            return TupleOf(fields)
+    except Exception:
+        return None
+    return None
+
+
+def _from_membership(
+    literal: Membership, schema: Schema, resolved: Dict[str, TypeExpr], rule: Rule
+) -> bool:
+    changed = False
+    container = literal.container
+    # Convention 1/2: container's member type flows to the element.
+    member_type: Optional[TypeExpr] = None
+    if isinstance(container, NameTerm):
+        if schema.is_relation(container.name):
+            member_type = schema.relations[container.name]
+        elif schema.is_class(container.name):
+            member_type = ClassRef(container.name)
+    else:
+        container_type = _known_type(container, schema, resolved)
+        if isinstance(container_type, SetOf):
+            member_type = container_type.element
+    if member_type is not None:
+        changed |= _unify(literal.element, member_type, resolved, rule)
+    # Convention 3: a typed element flows up to an untyped set variable.
+    if isinstance(container, Var) and container.name not in resolved:
+        element_type = _known_type(literal.element, schema, resolved)
+        if element_type is not None:
+            changed |= _record(resolved, container.name, SetOf(element_type), rule)
+    return changed
+
+
+def _from_equality(
+    literal: Equality, schema: Schema, resolved: Dict[str, TypeExpr], rule: Rule
+) -> bool:
+    changed = False
+    left_type = _known_type(literal.left, schema, resolved)
+    right_type = _known_type(literal.right, schema, resolved)
+    if left_type is not None and right_type is None:
+        changed |= _unify(literal.right, left_type, resolved, rule)
+    elif right_type is not None and left_type is None:
+        changed |= _unify(literal.left, right_type, resolved, rule)
+    return changed

@@ -1,0 +1,176 @@
+"""Tokenizer for the IQL surface syntax.
+
+The concrete syntax stays close to the paper's notation, ASCII-fied:
+
+* ``:-`` separates head from body (the paper's ←),
+* ``x^`` is the dereference x̂,
+* ``{ }``, ``[ ]`` build set/tuple types and terms,
+* ``|`` and ``&`` are the union/intersection type constructors (∨, ∧),
+* ``!=`` is ≠, ``not`` negates an atom, ``;`` separates stages,
+* ``"..."`` are string constants, bare numbers are numeric constants,
+* ``--`` starts a comment to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "schema",
+    "relation",
+    "class",
+    "isa",
+    "var",
+    "input",
+    "output",
+    "rules",
+    "delete",
+    "choose",
+    "not",
+    "none",
+}
+
+PUNCTUATION = [
+    ":-",
+    "!=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ":",
+    ";",
+    ",",
+    "=",
+    "^",
+    "|",
+    "&",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident", "keyword", "string", "number", or the punctuation itself
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise ParseError("unterminated string", line, column)
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, column)
+            tokens.append(Token("string", "".join(buf), line, column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("number", text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        matched = False
+        for punct in PUNCTUATION:
+            if text.startswith(punct, i):
+                tokens.append(Token(punct, punct, line, column))
+                column += len(punct)
+                i += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_'"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, column))
+            column += j - i
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over the token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, value):
+            expected = value or kind
+            raise ParseError(
+                f"expected {expected!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "eof"

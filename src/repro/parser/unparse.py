@@ -1,0 +1,219 @@
+"""Render programs back into the surface syntax (the parser's inverse).
+
+``program_to_source`` produces a text that ``program_from_source`` parses
+back into an equivalent program — the round trip is property-tested over
+every program builder in the library. All variable types are emitted as
+explicit ``var`` declarations (scoped per rule via name mangling when the
+same name is used at different types in different rules), so the round
+trip never depends on inference.
+
+Uses:
+
+* persisting programmatically-built programs (the CLI runs files),
+* debugging: `print(program_to_source(p))` is the readable form,
+* the round-trip tests double as coverage that the surface syntax can
+  express everything the programmatic API can (modulo the known gap:
+  relations whose *member* type is not a tuple/scalar positional form are
+  emitted via single-argument atoms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import ParseError
+from repro.iql.literals import Choose, Equality, Literal, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.schema.schema import Schema
+from repro.typesys.expressions import TupleOf, TypeExpr
+
+
+def type_to_source(t: TypeExpr) -> str:
+    """Types render via repr; translate the glyphs to ASCII."""
+    return repr(t).replace("∨", "|").replace("∧", "&").replace("⊥", "none")
+
+
+def schema_to_source(schema: Schema) -> str:
+    lines = ["schema {"]
+    for name, t in sorted(schema.relations.items()):
+        lines.append(f"  relation {name}: {type_to_source(t)};")
+    for name, t in sorted(schema.classes.items()):
+        lines.append(f"  class {name}: {type_to_source(t)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _term_to_source(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        if isinstance(term.value, str):
+            escaped = term.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return repr(term.value)
+    if isinstance(term, NameTerm):
+        return term.name
+    if isinstance(term, Deref):
+        return f"{term.var.name}^"
+    if isinstance(term, SetTerm):
+        return "{" + ", ".join(_term_to_source(t) for t in term.terms) + "}"
+    if isinstance(term, TupleTerm):
+        inner = ", ".join(f"{attr}: {_term_to_source(t)}" for attr, t in term.fields)
+        return f"[{inner}]"
+    raise ParseError(f"cannot render term {term!r}")
+
+
+def _literal_to_source(literal: Literal, schema: Schema) -> str:
+    if isinstance(literal, Choose):
+        return "choose"
+    if isinstance(literal, Membership):
+        container = literal.container
+        element = literal.element
+        if isinstance(container, NameTerm):
+            body = f"{container.name}({_atom_args(container.name, element, schema)})"
+        elif isinstance(container, Deref):
+            body = f"{container.var.name}^({_term_to_source(element)})"
+        elif isinstance(container, Var):
+            body = f"{container.name}({_term_to_source(element)})"
+        else:
+            raise ParseError(f"cannot render membership over {container!r}")
+        return body if literal.positive else f"not {body}"
+    if isinstance(literal, Equality):
+        op = "=" if literal.positive else "!="
+        return f"{_term_to_source(literal.left)} {op} {_term_to_source(literal.right)}"
+    raise ParseError(f"cannot render literal {literal!r}")
+
+
+def _atom_args(name: str, element: Term, schema: Schema) -> str:
+    """Positional form when the element is a tuple term matching the
+    relation's declared attributes; otherwise the single-argument form."""
+    member_type = None
+    if schema.is_relation(name):
+        member_type = schema.relations[name]
+    if (
+        isinstance(element, TupleTerm)
+        and isinstance(member_type, TupleOf)
+        and tuple(a for a, _ in element.fields) == member_type.attributes
+    ):
+        return ", ".join(_term_to_source(t) for _, t in element.fields)
+    return _term_to_source(element)
+
+
+def _rule_to_source(rule: Rule, schema: Schema) -> str:
+    head = _literal_to_source(rule.head, schema)
+    prefix = "delete " if rule.delete else ""
+    if not rule.body:
+        return f"{prefix}{head} :- ."
+    body = ", ".join(_literal_to_source(l, schema) for l in rule.body)
+    return f"{prefix}{head} :- {body}."
+
+
+def _collect_var_types(program: Program) -> Dict[str, TypeExpr]:
+    """name → type, erroring politely on cross-rule type conflicts (the
+    round trip then needs renaming, which `program_to_source` performs)."""
+    out: Dict[str, TypeExpr] = {}
+    for rule in program.rules:
+        for var in rule.variables():
+            prior = out.get(var.name)
+            if prior is not None and prior != var.type:
+                raise ParseError(
+                    f"variable {var.name!r} used at two types across rules; "
+                    f"rename before unparsing"
+                )
+            out[var.name] = var.type
+    return out
+
+
+def _rename_conflicts(program: Program) -> Program:
+    """Give each rule's variables globally consistent names by suffixing
+    rules whose names clash at different types."""
+    taken: Dict[str, TypeExpr] = {}
+    new_stages: List[List[Rule]] = []
+    counter = 0
+    for stage in program.stages:
+        new_stage: List[Rule] = []
+        for rule in stage:
+            mapping: Dict[str, str] = {}
+            for var in sorted(rule.variables(), key=lambda v: v.name):
+                prior = taken.get(var.name)
+                if prior is None:
+                    taken[var.name] = var.type
+                elif prior != var.type:
+                    counter += 1
+                    fresh = f"{var.name}_r{counter}"
+                    while fresh in taken:
+                        counter += 1
+                        fresh = f"{var.name}_r{counter}"
+                    mapping[var.name] = fresh
+                    taken[fresh] = var.type
+            new_stage.append(_rename_rule(rule, mapping) if mapping else rule)
+        new_stages.append(new_stage)
+    return Program(
+        program.schema,
+        stages=new_stages,
+        input_names=program.input_names,
+        output_names=program.output_names,
+    )
+
+
+def _rename_rule(rule: Rule, mapping: Dict[str, str]) -> Rule:
+    def rename_term(term: Term) -> Term:
+        if isinstance(term, Var):
+            return Var(mapping.get(term.name, term.name), term.type)
+        if isinstance(term, Deref):
+            return Deref(rename_term(term.var))
+        if isinstance(term, SetTerm):
+            return SetTerm(*(rename_term(t) for t in term.terms))
+        if isinstance(term, TupleTerm):
+            return TupleTerm({a: rename_term(t) for a, t in term.fields})
+        return term
+
+    def rename_literal(literal: Literal) -> Literal:
+        if isinstance(literal, Choose):
+            return literal
+        if isinstance(literal, Membership):
+            return Membership(
+                rename_term(literal.container), rename_term(literal.element), literal.positive
+            )
+        return Equality(
+            rename_term(literal.left), rename_term(literal.right), literal.positive
+        )
+
+    return Rule(
+        rename_literal(rule.head),
+        [rename_literal(l) for l in rule.body],
+        delete=rule.delete,
+        label=rule.label,
+    )
+
+
+def program_to_source(program: Program) -> str:
+    """The full program file: schema, var declarations, io, rules."""
+    try:
+        var_types = _collect_var_types(program)
+        normalized = program
+    except ParseError:
+        normalized = _rename_conflicts(program)
+        var_types = _collect_var_types(normalized)
+
+    parts = [schema_to_source(normalized.schema)]
+    # Group var declarations by type for compactness.
+    by_type: Dict[str, List[str]] = {}
+    for name, t in sorted(var_types.items()):
+        by_type.setdefault(type_to_source(t), []).append(name)
+    for type_src, names in sorted(by_type.items()):
+        parts.append(f"var {', '.join(names)}: {type_src}")
+    if normalized.input_names:
+        parts.append(f"input {', '.join(normalized.input_names)}")
+    if normalized.output_names:
+        parts.append(f"output {', '.join(normalized.output_names)}")
+    parts.append("rules {")
+    for index, stage in enumerate(normalized.stages):
+        if index:
+            parts.append("  ;")
+        for rule in stage:
+            parts.append(f"  {_rule_to_source(rule, normalized.schema)}")
+    parts.append("}")
+    return "\n".join(parts)

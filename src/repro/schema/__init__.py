@@ -1,0 +1,24 @@
+"""Schemas, instances and isomorphisms (Sections 2.3 and 4.1)."""
+
+from repro.schema.instance import GroundFact, Instance
+from repro.schema.isomorphism import (
+    apply_do_isomorphism,
+    apply_o_isomorphism,
+    are_o_isomorphic,
+    automorphisms,
+    find_o_isomorphism,
+    orbit_partition,
+)
+from repro.schema.schema import Schema
+
+__all__ = [
+    "GroundFact",
+    "Instance",
+    "Schema",
+    "apply_do_isomorphism",
+    "apply_o_isomorphism",
+    "are_o_isomorphic",
+    "automorphisms",
+    "find_o_isomorphism",
+    "orbit_partition",
+]

@@ -1,0 +1,334 @@
+"""Database instances (Definition 2.3.2) and their ground-fact view.
+
+An instance of a schema ``(R, P, T)`` is a triple ``(ρ, π, ν)``:
+
+* ρ assigns each relation name a finite set of o-values of type T(R),
+* π assigns each class name a finite set of oids, *pairwise disjoint*
+  across classes,
+* ν is a partial function from the instance's oids to o-values with
+  ν(o) ∈ ⟦T(P)⟧π for o ∈ π(P), total on set-valued classes.
+
+The paper's convention (Section 2.3): a set-valued oid with no recorded
+facts has value { }; a non-set-valued oid with no recorded value is
+*undefined* — the model's benign form of incomplete information, and the
+intermediate state IQL builds objects through.
+
+Instances are mutable (the evaluator grows them inflationarily) and expose
+the ``ground-facts(I)`` view the paper uses to define the semantics:
+``R(v)``, ``P(o)``, ``ô(v)`` for set-valued o, and ``ô = v`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.errors import InstanceError
+from repro.schema.schema import Schema
+from repro.typesys.interpretation import member
+from repro.values.ovalues import (
+    Oid,
+    OSet,
+    OValue,
+    constants_of,
+    ensure_ovalue,
+    is_ovalue,
+    oids_of,
+)
+
+#: Ground-fact tags. A ground fact is a tagged tuple:
+#:   ("rel",  R, v)  for  R(v)
+#:   ("cls",  P, o)  for  P(o)
+#:   ("elem", o, v)  for  ô(v)      (o set valued)
+#:   ("val",  o, v)  for  ô = v     (o non-set valued)
+GroundFact = Tuple[str, object, object]
+
+
+class Instance:
+    """A mutable instance ``(ρ, π, ν)`` of a :class:`Schema`."""
+
+    __slots__ = ("schema", "relations", "classes", "nu", "_class_of")
+
+    def __init__(
+        self,
+        schema: Schema,
+        relations: Optional[Mapping[str, Iterable[OValue]]] = None,
+        classes: Optional[Mapping[str, Iterable[Oid]]] = None,
+        nu: Optional[Mapping[Oid, OValue]] = None,
+    ):
+        self.schema = schema
+        self.relations: Dict[str, Set[OValue]] = {r: set() for r in schema.relations}
+        self.classes: Dict[str, Set[Oid]] = {p: set() for p in schema.classes}
+        self.nu: Dict[Oid, OValue] = {}
+        self._class_of: Dict[Oid, str] = {}
+        for name, values in (relations or {}).items():
+            for v in values:
+                self.add_relation_member(name, ensure_ovalue(v))
+        for name, oids in (classes or {}).items():
+            for o in oids:
+                self.add_class_member(name, o)
+        for o, v in (nu or {}).items():
+            self.assign(o, ensure_ovalue(v))
+
+    # -- mutation (used by constructors and by the evaluator) ------------------
+
+    def add_relation_member(self, name: str, value: OValue) -> bool:
+        """Add ``value`` to ρ(name); returns True if it was new."""
+        if name not in self.relations:
+            raise InstanceError(f"unknown relation {name!r}")
+        if not is_ovalue(value):
+            raise InstanceError(f"{value!r} is not an o-value")
+        members = self.relations[name]
+        if value in members:
+            return False
+        members.add(value)
+        return True
+
+    def add_class_member(self, name: str, oid: Oid) -> bool:
+        """Add ``oid`` to π(name); returns True if it was new.
+
+        Enforces the pairwise-disjointness of classes — the condition
+        Example 4.1.2 shows is essential for the soundness of IQL.
+        """
+        if name not in self.classes:
+            raise InstanceError(f"unknown class {name!r}")
+        if not isinstance(oid, Oid):
+            raise InstanceError(f"{oid!r} is not an oid")
+        current = self._class_of.get(oid)
+        if current is not None:
+            if current != name:
+                raise InstanceError(
+                    f"oid {oid!r} already belongs to class {current!r}; "
+                    f"classes must be pairwise disjoint"
+                )
+            return False
+        self.classes[name].add(oid)
+        self._class_of[oid] = name
+        return True
+
+    def assign(self, oid: Oid, value: OValue) -> bool:
+        """Set ν(oid) = value; returns True if ν changed.
+
+        For non-set-valued oids the evaluator performs this only under the
+        weak-assignment discipline (★); this method is the raw primitive and
+        rejects only type-level nonsense (unknown oid, wrong shape is caught
+        by :meth:`validate`).
+        """
+        name = self._class_of.get(oid)
+        if name is None:
+            raise InstanceError(f"oid {oid!r} does not belong to any class of this instance")
+        if not is_ovalue(value):
+            raise InstanceError(f"{value!r} is not an o-value")
+        if self.nu.get(oid) == value:
+            return False
+        self.nu[oid] = value
+        return True
+
+    def add_set_element(self, oid: Oid, element: OValue) -> bool:
+        """Add ``element`` to the (set) value of ``oid``; True if it was new.
+
+        This is the ground fact ``ô(v)`` — only meaningful for set-valued
+        oids, whose value defaults to the empty set.
+        """
+        name = self._class_of.get(oid)
+        if name is None:
+            raise InstanceError(f"oid {oid!r} does not belong to any class of this instance")
+        if not self.schema.is_set_valued_class(name):
+            raise InstanceError(
+                f"ô(v) facts apply to set-valued oids only; {oid!r} is in class {name!r}"
+            )
+        current = self.nu.get(oid, OSet())
+        if element in current:
+            return False
+        self.nu[oid] = current.add(element)
+        return True
+
+    # -- observation -----------------------------------------------------------
+
+    def class_of(self, oid: Oid) -> Optional[str]:
+        """The unique class ``oid`` belongs to, or None."""
+        return self._class_of.get(oid)
+
+    def is_set_valued(self, oid: Oid) -> bool:
+        name = self._class_of.get(oid)
+        return name is not None and self.schema.is_set_valued_class(name)
+
+    def value_of(self, oid: Oid) -> Optional[OValue]:
+        """ν(oid), applying the paper's conventions.
+
+        Set-valued oids always have a value (default { }); non-set-valued
+        oids may be undefined (returns None).
+        """
+        if oid in self.nu:
+            return self.nu[oid]
+        if self.is_set_valued(oid):
+            return OSet()
+        return None
+
+    def has_value(self, oid: Oid) -> bool:
+        return self.value_of(oid) is not None
+
+    def objects(self) -> FrozenSet[Oid]:
+        """objects(I): all oids occurring in the instance."""
+        out: Set[Oid] = set(self._class_of)
+        for members in self.relations.values():
+            for v in members:
+                out |= oids_of(v)
+        for v in self.nu.values():
+            out |= oids_of(v)
+        return frozenset(out)
+
+    def constants(self) -> FrozenSet[OValue]:
+        """constants(I): all constants occurring in the instance."""
+        out: Set[OValue] = set()
+        for members in self.relations.values():
+            for v in members:
+                out |= constants_of(v)
+        for v in self.nu.values():
+            out |= constants_of(v)
+        return frozenset(out)
+
+    def ground_facts(self) -> FrozenSet[GroundFact]:
+        """The ground-fact representation of the instance (Section 2.3).
+
+        Following the paper's convention, a set-valued oid with the empty
+        set as value contributes no ``ô(v)`` facts, and an undefined
+        non-set-valued oid contributes no ``ô = v`` fact — the class fact
+        ``P(o)`` alone records its existence.
+        """
+        facts: Set[GroundFact] = set()
+        for name, members in self.relations.items():
+            for v in members:
+                facts.add(("rel", name, v))
+        for name, oids in self.classes.items():
+            for o in oids:
+                facts.add(("cls", name, o))
+        for o, v in self.nu.items():
+            if self.is_set_valued(o):
+                for element in v:
+                    facts.add(("elem", o, element))
+            else:
+                facts.add(("val", o, v))
+        return frozenset(facts)
+
+    def fact_count(self) -> int:
+        """|ground-facts(I)| without materializing the set."""
+        count = sum(len(m) for m in self.relations.values())
+        count += sum(len(m) for m in self.classes.values())
+        for o, v in self.nu.items():
+            count += len(v) if self.is_set_valued(o) else 1
+        return count
+
+    # -- validation (Definition 2.3.2) ------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`InstanceError` unless this is a legal instance."""
+        pi = self.classes
+        for name, members in self.relations.items():
+            t = self.schema.relations[name]
+            for v in members:
+                if not member(v, t, pi):
+                    raise InstanceError(
+                        f"ρ({name}) member {v!r} is not of type {t!r}"
+                    )
+        for name, oids in self.classes.items():
+            t = self.schema.classes[name]
+            for o in oids:
+                v = self.value_of(o)
+                if v is None:
+                    continue  # undefined: legal for non-set-valued oids
+                if not member(v, t, pi):
+                    raise InstanceError(
+                        f"ν({o!r}) = {v!r} is not of type T({name}) = {t!r}"
+                    )
+        for o in self.nu:
+            if o not in self._class_of:
+                raise InstanceError(f"ν defined on {o!r}, which belongs to no class")
+        # Every oid occurring anywhere must belong to some class (Section 2.3).
+        stray = self.objects() - set(self._class_of)
+        if stray:
+            raise InstanceError(
+                f"oids occur in values but belong to no class: {sorted(stray)[:5]}"
+            )
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except InstanceError:
+            return False
+        return True
+
+    # -- structure -------------------------------------------------------------
+
+    def copy(self) -> "Instance":
+        """An independent shallow-structural copy (o-values are immutable)."""
+        new = Instance(self.schema)
+        for name, members in self.relations.items():
+            new.relations[name] = set(members)
+        for name, oids in self.classes.items():
+            new.classes[name] = set(oids)
+        new.nu = dict(self.nu)
+        new._class_of = dict(self._class_of)
+        return new
+
+    def project(self, schema: Schema) -> "Instance":
+        """I[S']: the projection of this instance on a projection schema."""
+        if not schema.is_projection_of(self.schema):
+            raise InstanceError("projection target is not a projection of the schema")
+        new = Instance(schema)
+        for name in schema.relations:
+            new.relations[name] = set(self.relations[name])
+        for name in schema.classes:
+            for o in self.classes[name]:
+                new.add_class_member(name, o)
+                if o in self.nu:
+                    new.nu[o] = self.nu[o]
+        return new
+
+    def with_schema(self, schema: Schema) -> "Instance":
+        """Re-root this instance's content under a larger schema.
+
+        Used to turn an input instance over Sin into the starting instance
+        over the program schema S ⊇ Sin.
+        """
+        new = Instance(schema)
+        for name, members in self.relations.items():
+            new.relations[name] = set(members)
+        for name, oids in self.classes.items():
+            for o in oids:
+                new.add_class_member(name, o)
+        new.nu.update(self.nu)
+        return new
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Literal equality: same schema and same ground facts."""
+        return (
+            isinstance(other, Instance)
+            and self.schema == other.schema
+            and self.relations == other.relations
+            and self.classes == other.classes
+            and self._normalized_nu() == other._normalized_nu()
+        )
+
+    def _normalized_nu(self) -> Dict[Oid, OValue]:
+        """ν with default empty sets dropped, for equality and hashing."""
+        return {
+            o: v
+            for o, v in self.nu.items()
+            if not (self.is_set_valued(o) and len(v) == 0)
+        }
+
+    def __hash__(self):  # pragma: no cover - instances are mutable
+        raise TypeError("instances are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self.relations):
+            parts.append(f"ρ({name}) = {sorted(map(repr, self.relations[name]))}")
+        for name in sorted(self.classes):
+            parts.append(f"π({name}) = {sorted(map(repr, self.classes[name]))}")
+        shown = {o: v for o, v in sorted(self.nu.items(), key=lambda kv: kv[0].serial)}
+        for o, v in shown.items():
+            parts.append(f"ν({o!r}) = {v!r}")
+        return "\n".join(parts) or "instance ∅"

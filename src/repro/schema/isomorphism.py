@@ -1,0 +1,289 @@
+"""O-isomorphisms and DO-isomorphisms between instances (Section 4.1).
+
+The paper's key relaxation of query functionality: two instances "contain
+the same information" when they are O-isomorphic — related by a bijection
+on oids (constants held fixed) that carries relations, classes and ν across.
+DO-isomorphisms additionally permute constants, and genericity (Definition
+4.1.1, condition 3) quantifies over them.
+
+This module provides:
+
+* :func:`apply_o_isomorphism` / :func:`apply_do_isomorphism` — apply a
+  given (partial) bijection to an instance,
+* :func:`find_o_isomorphism` — search for an O-isomorphism between two
+  instances (colour refinement to prune, backtracking to decide; exact),
+* :func:`are_o_isomorphic` — the Boolean convenience wrapper,
+* :func:`automorphisms` — enumerate O-automorphisms of one instance, used
+  by the genericity check of the ``choose`` primitive (Section 4.4).
+
+Deciding O-isomorphism is graph-isomorphism-hard in general; the instances
+in the paper's constructions (and in our experiments) are small, and colour
+refinement makes typical cases near-linear.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+
+from repro.schema.instance import Instance
+from repro.values.ovalues import Oid, OSet, OTuple, OValue, is_constant, substitute_oids
+
+
+def apply_o_isomorphism(instance: Instance, mapping: Mapping[Oid, Oid]) -> Instance:
+    """The image of ``instance`` under an oid bijection (constants fixed).
+
+    Oids outside the mapping are left unchanged, so a partial renaming of
+    just-invented oids is expressible too.
+    """
+    new = Instance(instance.schema)
+    for name, members in instance.relations.items():
+        new.relations[name] = {substitute_oids(v, mapping) for v in members}
+    for name, oids in instance.classes.items():
+        for o in oids:
+            new.add_class_member(name, mapping.get(o, o))
+    for o, v in instance.nu.items():
+        new.nu[mapping.get(o, o)] = substitute_oids(v, mapping)
+    return new
+
+
+def apply_do_isomorphism(
+    instance: Instance,
+    oid_map: Mapping[Oid, Oid],
+    const_map: Mapping[OValue, OValue],
+) -> Instance:
+    """The image of ``instance`` under a DO-isomorphism (oids and constants)."""
+
+    def rewrite(value: OValue) -> OValue:
+        if isinstance(value, Oid):
+            return oid_map.get(value, value)
+        if isinstance(value, OTuple):
+            return OTuple({attr: rewrite(v) for attr, v in value.items()})
+        if isinstance(value, OSet):
+            return OSet(rewrite(v) for v in value)
+        if is_constant(value):
+            return const_map.get(value, value)
+        return value
+
+    new = Instance(instance.schema)
+    for name, members in instance.relations.items():
+        new.relations[name] = {rewrite(v) for v in members}
+    for name, oids in instance.classes.items():
+        for o in oids:
+            new.add_class_member(name, oid_map.get(o, o))
+    for o, v in instance.nu.items():
+        new.nu[oid_map.get(o, o)] = rewrite(v)
+    return new
+
+
+# -- colour refinement ---------------------------------------------------------
+
+
+def _skeleton(value: OValue, colour: Mapping[Oid, int]):
+    """The shape of a value with oids replaced by their current colours."""
+    if isinstance(value, Oid):
+        return ("oid", colour.get(value, -1))
+    if isinstance(value, OTuple):
+        return ("tup", tuple((attr, _skeleton(v, colour)) for attr, v in value.items()))
+    if isinstance(value, OSet):
+        return ("set", tuple(sorted(repr(_skeleton(v, colour)) for v in value)))
+    return ("const", value)
+
+
+def _refine(instance: Instance) -> Dict[Oid, str]:
+    """Canonical colouring of the instance's class oids.
+
+    Initial colour: a digest of (class name, has-value?). Refinement: fold
+    in the skeleton of ν(o) and the multiset of relation members the oid
+    occurs in, until the induced partition stabilizes. Colours are
+    *canonical strings* (stable hashes of structural signatures), so two
+    O-isomorphic oids — even in different instances — receive the same
+    colour; the matching search below pairs colour classes by name.
+    """
+    import hashlib
+
+    def digest(payload: str) -> str:
+        return hashlib.md5(payload.encode()).hexdigest()
+
+    oids = sorted(instance._class_of, key=lambda o: o.serial)
+    colour: Dict[Oid, str] = {
+        o: digest(repr((instance.class_of(o), instance.value_of(o) is not None)))
+        for o in oids
+    }
+
+    # Precompute which relation members mention which oids.
+    from repro.values.ovalues import oids_of
+
+    occurrences: Dict[Oid, List[Tuple[str, OValue]]] = {o: [] for o in oids}
+    for name, members in instance.relations.items():
+        for v in members:
+            for o in oids_of(v):
+                if o in occurrences:
+                    occurrences[o].append((name, v))
+
+    def partition(c: Dict[Oid, str]):
+        groups: Dict[str, frozenset] = {}
+        for o, col in c.items():
+            groups.setdefault(col, set()).add(o)  # type: ignore[arg-type]
+        return frozenset(frozenset(g) for g in groups.values())
+
+    for _ in range(len(oids) + 1):
+        new_colour = {}
+        for o in oids:
+            v = instance.value_of(o)
+            occ = tuple(
+                sorted(
+                    repr((name, _skeleton(member, colour)))
+                    for name, member in occurrences[o]
+                )
+            )
+            new_colour[o] = digest(
+                repr(
+                    (
+                        colour[o],
+                        _skeleton(v, colour) if v is not None else None,
+                        occ,
+                    )
+                )
+            )
+        if partition(new_colour) == partition(colour):
+            colour = new_colour
+            break
+        colour = new_colour
+    return colour
+
+
+def _check_mapping(source: Instance, target: Instance, mapping: Mapping[Oid, Oid]) -> bool:
+    """Full verification that ``mapping`` is an O-isomorphism source→target."""
+    return apply_o_isomorphism(source, mapping) == target
+
+
+def find_o_isomorphism(source: Instance, target: Instance) -> Optional[Dict[Oid, Oid]]:
+    """An O-isomorphism from ``source`` onto ``target``, or None.
+
+    Exact: colour refinement partitions the oids; backtracking matches
+    colour classes; the final candidate is verified against the full
+    instance equality (so refinement is purely an optimization).
+    """
+    if source.schema != target.schema:
+        return None
+    if source.constants() != target.constants():
+        return None
+    for name in source.classes:
+        if len(source.classes[name]) != len(target.classes[name]):
+            return None
+    for name in source.relations:
+        if len(source.relations[name]) != len(target.relations[name]):
+            return None
+
+    src_colour = _refine(source)
+    tgt_colour = _refine(target)
+
+    # Colours are canonical strings, so grouping by colour aligns the two
+    # instances directly.
+    def groups(colour: Dict[Oid, str]) -> Dict[str, List[Oid]]:
+        keyed: Dict[str, List[Oid]] = {}
+        for o, c in colour.items():
+            keyed.setdefault(c, []).append(o)
+        return keyed
+
+    src_groups = groups(src_colour)
+    tgt_groups = groups(tgt_colour)
+    if set(src_groups) != set(tgt_groups):
+        return None
+    if any(len(src_groups[k]) != len(tgt_groups[k]) for k in src_groups):
+        return None
+
+    ordered_keys = sorted(src_groups, key=repr)
+    src_lists = [sorted(src_groups[k], key=lambda o: o.serial) for k in ordered_keys]
+    tgt_lists = [sorted(tgt_groups[k], key=lambda o: o.serial) for k in ordered_keys]
+
+    def search(index: int, mapping: Dict[Oid, Oid]) -> Optional[Dict[Oid, Oid]]:
+        if index == len(src_lists):
+            return dict(mapping) if _check_mapping(source, target, mapping) else None
+        src_list = src_lists[index]
+        for perm in permutations(tgt_lists[index]):
+            for s, t in zip(src_list, perm):
+                mapping[s] = t
+            result = search(index + 1, mapping)
+            if result is not None:
+                return result
+            for s in src_list:
+                del mapping[s]
+        return None
+
+    return search(0, {})
+
+
+def are_o_isomorphic(source: Instance, target: Instance) -> bool:
+    """True iff the two instances are identical up to renaming of oids."""
+    return find_o_isomorphism(source, target) is not None
+
+
+def automorphisms(instance: Instance, limit: int = 10_000) -> Iterator[Dict[Oid, Oid]]:
+    """All O-automorphisms of ``instance`` (up to ``limit`` candidates tried).
+
+    Section 4.4's ``choose`` must pick an object only when the choice cannot
+    be observed — i.e. when the candidates lie in a single orbit of the
+    automorphism group. The proof of Theorem 4.3.1 exhibits exactly such an
+    automorphism (h0 swapping a/b and rotating the quadrangle); here we
+    enumerate oid-only automorphisms, sufficient for the copy-elimination
+    uses where constants are fixed.
+    """
+    colour = _refine(instance)
+    by_colour: Dict[int, List[Oid]] = {}
+    for o, c in colour.items():
+        by_colour.setdefault(c, []).append(o)
+    lists = [sorted(v, key=lambda o: o.serial) for _, v in sorted(by_colour.items())]
+
+    tried = 0
+
+    def search(index: int, mapping: Dict[Oid, Oid]) -> Iterator[Dict[Oid, Oid]]:
+        nonlocal tried
+        if index == len(lists):
+            tried += 1
+            if tried > limit:
+                raise RuntimeError("automorphism enumeration limit exceeded")
+            if _check_mapping(instance, instance, mapping):
+                yield dict(mapping)
+            return
+        members = lists[index]
+        for perm in permutations(members):
+            for s, t in zip(members, perm):
+                mapping[s] = t
+            yield from search(index + 1, mapping)
+        for s in members:
+            mapping.pop(s, None)
+
+    yield from search(0, {})
+
+
+def orbit_partition(instance: Instance, oids: List[Oid]) -> List[FrozenSet[Oid]]:
+    """Partition ``oids`` into orbits of the O-automorphism group.
+
+    Two oids in the same orbit are observationally indistinguishable: a
+    generic query cannot treat them differently. ``choose`` is generic
+    exactly when its candidate set is contained in one orbit.
+    """
+    parent: Dict[Oid, Oid] = {o: o for o in oids}
+
+    def find(o: Oid) -> Oid:
+        while parent[o] is not o:
+            parent[o] = parent[parent[o]]
+            o = parent[o]
+        return o
+
+    def join(a: Oid, b: Oid) -> None:
+        ra, rb = find(a), find(b)
+        if ra is not rb:
+            parent[ra] = rb
+
+    for auto in automorphisms(instance):
+        for o in oids:
+            image = auto.get(o, o)
+            if image in parent:
+                join(o, image)
+    groups: Dict[Oid, set] = {}
+    for o in oids:
+        groups.setdefault(find(o), set()).add(o)
+    return [frozenset(g) for g in groups.values()]

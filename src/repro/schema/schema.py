@@ -1,0 +1,165 @@
+"""Database schemas (Definition 2.3.1).
+
+A schema is a triple ``(R, P, T)``: finite sets of relation names and class
+names, and a typing function T from ``R ∪ P`` to type expressions over P.
+Relations hold finite sets of o-values directly (duplicate-eliminated);
+classes hold finite sets of oids whose values are given by the instance's
+partial function ν — the relation/class dichotomy the paper argues for in
+Section 2.3 and revisits in the conclusions (point 6).
+
+Schemas support the alternative surface syntax of Definition 2.3.1 via
+:mod:`repro.parser.schema_parser`; here they are constructed
+programmatically::
+
+    schema = Schema(
+        relations={"R": tuple_of(A1=D, A2=D)},
+        classes={"P": tuple_of(A1=D, A2=set_of(classref("P")))},
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.typesys.expressions import SetOf, TypeExpr
+
+
+class Schema:
+    """An immutable schema ``(R, P, T)``.
+
+    ``relations`` maps each relation name R to T(R) (the *member* type: the
+    relation itself has type {T(R)}, as the paper notes). ``classes`` maps
+    each class name P to T(P) (the type of ν(o) for o ∈ π(P)).
+    """
+
+    __slots__ = ("relations", "classes", "_hash")
+
+    def __init__(
+        self,
+        relations: Optional[Mapping[str, TypeExpr]] = None,
+        classes: Optional[Mapping[str, TypeExpr]] = None,
+    ):
+        rels: Dict[str, TypeExpr] = dict(relations or {})
+        clss: Dict[str, TypeExpr] = dict(classes or {})
+        overlap = set(rels) & set(clss)
+        if overlap:
+            raise SchemaError(f"names used as both relation and class: {sorted(overlap)}")
+        for name, t in {**rels, **clss}.items():
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid name {name!r}")
+            if not isinstance(t, TypeExpr):
+                raise SchemaError(f"T({name}) is not a type expression: {t!r}")
+            unknown = t.class_names() - set(clss)
+            if unknown:
+                raise SchemaError(
+                    f"T({name}) references undeclared classes {sorted(unknown)}; "
+                    f"types may refer to base domains and class names only"
+                )
+        self.relations: Dict[str, TypeExpr] = rels
+        self.classes: Dict[str, TypeExpr] = clss
+        self._hash = hash(
+            (tuple(sorted(rels.items(), key=lambda kv: kv[0])),
+             tuple(sorted(clss.items(), key=lambda kv: kv[0])))
+        )
+
+    # -- accessors ------------------------------------------------------------
+
+    def type_of(self, name: str) -> TypeExpr:
+        """T(name), for a relation or class name."""
+        if name in self.relations:
+            return self.relations[name]
+        if name in self.classes:
+            return self.classes[name]
+        raise SchemaError(f"unknown name {name!r}")
+
+    def is_relation(self, name: str) -> bool:
+        return name in self.relations
+
+    def is_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def is_set_valued_class(self, name: str) -> bool:
+        """True iff T(P) = {t}: oids of P are *set valued* (Section 2.3)."""
+        return name in self.classes and isinstance(self.classes[name], SetOf)
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        return frozenset(self.relations) | frozenset(self.classes)
+
+    # -- construction helpers --------------------------------------------------
+
+    def with_names(
+        self,
+        relations: Optional[Mapping[str, TypeExpr]] = None,
+        classes: Optional[Mapping[str, TypeExpr]] = None,
+    ) -> "Schema":
+        """A new schema extending this one with additional names.
+
+        IQL programs run over a schema S of which the input and output
+        schemas are projections; this helper builds S from Sin plus the
+        program's auxiliary relations and classes.
+        """
+        rels = dict(self.relations)
+        clss = dict(self.classes)
+        for name, t in (relations or {}).items():
+            if name in rels and rels[name] != t:
+                raise SchemaError(f"conflicting redeclaration of relation {name!r}")
+            rels[name] = t
+        for name, t in (classes or {}).items():
+            if name in clss and clss[name] != t:
+                raise SchemaError(f"conflicting redeclaration of class {name!r}")
+            clss[name] = t
+        return Schema(rels, clss)
+
+    def merge(self, other: "Schema") -> "Schema":
+        """The union of two schemas (names typed identically where shared)."""
+        return self.with_names(other.relations, other.classes)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """The projection of this schema on ``names`` (Section 3, opening).
+
+        The result must itself be a well-formed schema: every class
+        referenced by a retained type must be retained too, which
+        :class:`Schema`'s constructor enforces.
+        """
+        keep = set(names)
+        unknown = keep - self.names
+        if unknown:
+            raise SchemaError(f"cannot project on unknown names {sorted(unknown)}")
+        return Schema(
+            {r: t for r, t in self.relations.items() if r in keep},
+            {p: t for p, t in self.classes.items() if p in keep},
+        )
+
+    def is_projection_of(self, other: "Schema") -> bool:
+        """True iff this schema is a projection of ``other``."""
+        for name, t in self.relations.items():
+            if other.relations.get(name) != t:
+                return False
+        for name, t in self.classes.items():
+            if other.classes.get(name) != t:
+                return False
+        return True
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Schema)
+            and self.relations == other.relations
+            and self.classes == other.classes
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        lines = []
+        if self.relations:
+            rels = ", ".join(f"{r}: {{{t!r}}}" for r, t in sorted(self.relations.items()))
+            lines.append(f"relation {rels}")
+        if self.classes:
+            clss = ", ".join(f"{p}: {t!r}" for p, t in sorted(self.classes.items()))
+            lines.append(f"class {clss}")
+        return "\n".join(lines) or "schema ∅"

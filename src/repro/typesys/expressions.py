@@ -1,0 +1,349 @@
+"""Type expressions (Section 2.2 of the paper).
+
+The abstract syntax, for ``P`` a class name and ``k ≥ 0``::
+
+    t ::= ⊥ | D | P | [A1: t, ..., Ak: t] | {t} | (t ∨ t) | (t ∧ t)
+
+Types are immutable, hashable AST nodes. ``∨`` and ``∧`` are binary in the
+paper; we store them n-ary, flattened and deduplicated, which matches the
+canonical-form convention used in Lemma 4.2.6 ("∨-nodes have arbitrary
+arity, but only non-∨ nodes as children") and costs nothing semantically
+(∪ and ∩ are associative, commutative and idempotent).
+
+A parse tree can be inspected via the ``children`` property; the structural
+predicates ``is_intersection_reduced`` / ``is_intersection_free`` implement
+the definitions before Proposition 2.2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.errors import TypeExpressionError
+
+
+class TypeExpr:
+    """Base class for type expressions. Instances are immutable."""
+
+    __slots__ = ()
+
+    @property
+    def children(self) -> Tuple["TypeExpr", ...]:
+        return ()
+
+    # -- structural predicates (Section 2.2) ---------------------------------
+
+    def is_intersection_free(self) -> bool:
+        """True iff the parse tree has no ∧-node."""
+        if isinstance(self, Intersection):
+            return False
+        return all(child.is_intersection_free() for child in self.children)
+
+    def is_intersection_reduced(self) -> bool:
+        """True iff no ∧-node is an ancestor of a ×, * or ∨-node."""
+        if isinstance(self, Intersection):
+            return all(_atomic_below(child) for child in self.children)
+        return all(child.is_intersection_reduced() for child in self.children)
+
+    def class_names(self) -> FrozenSet[str]:
+        """All class names referenced by this type expression."""
+        out = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ClassRef):
+                out.add(node.name)
+            stack.extend(node.children)
+        return frozenset(out)
+
+    def has_set_constructor(self) -> bool:
+        """True iff a {·} node occurs — used by ptime-restriction (Def 5.1)."""
+        if isinstance(self, SetOf):
+            return True
+        return any(child.has_set_constructor() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def substitute_classes(self, mapping: Mapping[str, "TypeExpr"]) -> "TypeExpr":
+        """Replace class references according to ``mapping``.
+
+        Used throughout Section 4 (e.g. the proof of Theorem 4.2.4 replaces
+        every class ``Pi`` by a single class ``P``) and Section 6 (replacing
+        a class by the disjunction of its sub-classes).
+        """
+        raise NotImplementedError
+
+    # Subclasses must implement __eq__/__hash__/__repr__.
+
+
+def _atomic_below(t: TypeExpr) -> bool:
+    """True iff no ×, * or ∨ node occurs in ``t`` (∧ over atoms is fine)."""
+    if isinstance(t, (TupleOf, SetOf, Union)):
+        return False
+    return all(_atomic_below(child) for child in t.children)
+
+
+class Empty(TypeExpr):
+    """The empty type ⊥, interpreted as the empty set of o-values."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def substitute_classes(self, mapping):
+        return self
+
+    def __repr__(self):
+        return "⊥"
+
+    def __hash__(self):
+        return hash(Empty)
+
+    def __eq__(self, other):
+        return isinstance(other, Empty)
+
+
+class Base(TypeExpr):
+    """The base domain D (all constants)."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def substitute_classes(self, mapping):
+        return self
+
+    def __repr__(self):
+        return "D"
+
+    def __hash__(self):
+        return hash(Base)
+
+    def __eq__(self, other):
+        return isinstance(other, Base)
+
+
+class ClassRef(TypeExpr):
+    """A class name ``P``, interpreted as π(P) — the set of oids of the class.
+
+    Class references are how the type language expresses recursion: a type
+    may mention the class it belongs to (Example 1.1's ``1st-generation``).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeExpressionError(f"class name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def substitute_classes(self, mapping):
+        return mapping.get(self.name, self)
+
+    def __repr__(self):
+        return self.name
+
+    def __hash__(self):
+        return hash((ClassRef, self.name))
+
+    def __eq__(self, other):
+        return isinstance(other, ClassRef) and self.name == other.name
+
+
+class TupleOf(TypeExpr):
+    """The tuple type ``[A1: t1, ..., Ak: tk]`` with distinct attributes."""
+
+    __slots__ = ("fields", "_hash")
+
+    def __init__(self, fields: Mapping[str, TypeExpr] = None, **kwargs: TypeExpr):
+        items: Dict[str, TypeExpr] = dict(fields or {})
+        for attr, t in kwargs.items():
+            if attr in items:
+                raise TypeExpressionError(f"duplicate attribute {attr!r}")
+            items[attr] = t
+        for attr, t in items.items():
+            if not isinstance(attr, str):
+                raise TypeExpressionError(f"attribute names must be strings, got {attr!r}")
+            if not isinstance(t, TypeExpr):
+                raise TypeExpressionError(f"component {attr} is not a type expression: {t!r}")
+        self.fields: Tuple[Tuple[str, TypeExpr], ...] = tuple(sorted(items.items()))
+        self._hash = hash((TupleOf, self.fields))
+
+    @property
+    def children(self):
+        return tuple(t for _, t in self.fields)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(attr for attr, _ in self.fields)
+
+    def component(self, attr: str) -> TypeExpr:
+        for name, t in self.fields:
+            if name == attr:
+                return t
+        raise KeyError(attr)
+
+    def substitute_classes(self, mapping):
+        return TupleOf({attr: t.substitute_classes(mapping) for attr, t in self.fields})
+
+    def __repr__(self):
+        inner = ", ".join(f"{attr}: {t!r}" for attr, t in self.fields)
+        return f"[{inner}]"
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        return isinstance(other, TupleOf) and self.fields == other.fields
+
+
+class SetOf(TypeExpr):
+    """The finite-set type ``{t}``."""
+
+    __slots__ = ("element", "_hash")
+
+    def __init__(self, element: TypeExpr):
+        if not isinstance(element, TypeExpr):
+            raise TypeExpressionError(f"set element is not a type expression: {element!r}")
+        self.element = element
+        self._hash = hash((SetOf, element))
+
+    @property
+    def children(self):
+        return (self.element,)
+
+    def substitute_classes(self, mapping):
+        return SetOf(self.element.substitute_classes(mapping))
+
+    def __repr__(self):
+        return f"{{{self.element!r}}}"
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        return isinstance(other, SetOf) and self.element == other.element
+
+
+class _NAry(TypeExpr):
+    """Shared machinery for ∨ and ∧: flattened, deduplicated, order-canonical."""
+
+    __slots__ = ("members", "_hash")
+    _symbol = "?"
+
+    def __init__(self, *members: TypeExpr):
+        flat = []
+        for m in self._flatten(members):
+            if not isinstance(m, TypeExpr):
+                raise TypeExpressionError(f"not a type expression: {m!r}")
+            if m not in flat:
+                flat.append(m)
+        if len(flat) < 2:
+            raise TypeExpressionError(
+                f"{type(self).__name__} needs at least two distinct members; "
+                f"use the make() smart constructor for degenerate cases"
+            )
+        self.members: Tuple[TypeExpr, ...] = tuple(sorted(flat, key=repr))
+        self._hash = hash((type(self), self.members))
+
+    @classmethod
+    def _flatten(cls, members: Iterable[TypeExpr]):
+        for m in members:
+            if isinstance(m, cls):
+                yield from m.members
+            else:
+                yield m
+
+    @property
+    def children(self):
+        return self.members
+
+    def __repr__(self):
+        return "(" + f" {self._symbol} ".join(repr(m) for m in self.members) + ")"
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        return type(other) is type(self) and self.members == other.members
+
+
+class Union(_NAry):
+    """The union type ``(t1 ∨ t2)`` — the paper's essential addition over ODMG."""
+
+    __slots__ = ()
+    _symbol = "∨"
+
+    @staticmethod
+    def make(*members: TypeExpr) -> TypeExpr:
+        """Smart constructor: drops ⊥ members, collapses singletons."""
+        flat = []
+        for m in Union._flatten(members):
+            if isinstance(m, Empty):
+                continue
+            if m not in flat:
+                flat.append(m)
+        if not flat:
+            return Empty()
+        if len(flat) == 1:
+            return flat[0]
+        return Union(*flat)
+
+
+class Intersection(_NAry):
+    """The intersection type ``(t1 ∧ t2)``."""
+
+    __slots__ = ()
+    _symbol = "∧"
+
+    @staticmethod
+    def make(*members: TypeExpr) -> TypeExpr:
+        """Smart constructor: ⊥ absorbs, singletons collapse."""
+        flat = []
+        for m in Intersection._flatten(members):
+            if isinstance(m, Empty):
+                return Empty()
+            if m not in flat:
+                flat.append(m)
+        if not flat:
+            raise TypeExpressionError("empty intersection has no meaning here")
+        if len(flat) == 1:
+            return flat[0]
+        return Intersection(*flat)
+
+
+# -- convenience constructors (the public names used across the library) -----
+
+EMPTY = Empty()
+D = Base()
+
+
+def classref(name: str) -> ClassRef:
+    return ClassRef(name)
+
+
+def tuple_of(fields: Mapping[str, TypeExpr] = None, **kwargs: TypeExpr) -> TupleOf:
+    return TupleOf(fields, **kwargs)
+
+
+def set_of(element: TypeExpr) -> SetOf:
+    return SetOf(element)
+
+
+def union(*members: TypeExpr) -> TypeExpr:
+    return Union.make(*members)
+
+
+def intersection(*members: TypeExpr) -> TypeExpr:
+    return Intersection.make(*members)

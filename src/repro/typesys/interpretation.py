@@ -1,0 +1,210 @@
+"""Type interpretations ⟦t⟧π (Section 2.2) and ⟦t⟧π* (Section 6.2).
+
+Given an oid assignment π (a mapping from class names to finite sets of
+oids), every type expression denotes a set of o-values:
+
+* ⟦⊥⟧π = ∅, ⟦D⟧π = D, ⟦P⟧π = π(P),
+* ⟦t1 ∨ t2⟧π = ⟦t1⟧π ∪ ⟦t2⟧π and ⟦t1 ∧ t2⟧π = ⟦t1⟧π ∩ ⟦t2⟧π,
+* ⟦{t}⟧π = all finite subsets of ⟦t⟧π,
+* ⟦[A1: t1, ..., Ak: tk]⟧π = tuples with exactly those attributes, each
+  component in the corresponding interpretation.
+
+Because D is infinite, interpretations are infinite sets; we expose them as
+a decidable *membership* predicate (:func:`member`). The starred
+interpretation of Section 6.2 differs only on tuples: a tuple type admits
+tuples with *additional* attributes of unconstrained type — this is what
+makes record subtyping (Cardelli-style inheritance) work.
+
+Type *equivalence* over (disjoint) oid assignments is undecidable to settle
+by enumeration alone; we provide :func:`equivalent_on_samples`, a bounded
+semantic check used by the tests of Propositions 2.2.1 and 6.1, which
+probes the two interpretations with systematically generated o-values over
+randomly generated disjoint assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Set
+
+from repro.typesys.expressions import (
+    Base,
+    ClassRef,
+    Empty,
+    Intersection,
+    SetOf,
+    TupleOf,
+    TypeExpr,
+    Union,
+)
+from repro.values.ovalues import Oid, OSet, OTuple, OValue, is_constant
+
+#: An oid assignment π: class name → finite set of oids.
+OidAssignment = Mapping[str, Set[Oid]]
+
+
+def is_disjoint(pi: OidAssignment) -> bool:
+    """True iff π assigns pairwise disjoint oid sets (Definition 2.1.2)."""
+    seen: Set[Oid] = set()
+    for oids in pi.values():
+        for oid in oids:
+            if oid in seen:
+                return False
+            seen.add(oid)
+    return True
+
+
+def member(value: OValue, t: TypeExpr, pi: OidAssignment, star: bool = False) -> bool:
+    """Decide ``value ∈ ⟦t⟧π`` (or ``⟦t⟧π*`` when ``star`` is set).
+
+    The only difference in the starred interpretation is the tuple case:
+    extra attributes beyond those listed are allowed, with components of
+    totally unconstrained type (Section 6.2).
+    """
+    if isinstance(t, Empty):
+        return False
+    if isinstance(t, Base):
+        return is_constant(value)
+    if isinstance(t, ClassRef):
+        return isinstance(value, Oid) and value in pi.get(t.name, ())
+    if isinstance(t, Union):
+        return any(member(value, m, pi, star) for m in t.members)
+    if isinstance(t, Intersection):
+        return all(member(value, m, pi, star) for m in t.members)
+    if isinstance(t, SetOf):
+        return isinstance(value, OSet) and all(
+            member(element, t.element, pi, star) for element in value
+        )
+    if isinstance(t, TupleOf):
+        if not isinstance(value, OTuple):
+            return False
+        required = dict(t.fields)
+        present = set(value.attributes)
+        if star:
+            if not set(required) <= present:
+                return False
+        else:
+            if set(required) != present:
+                return False
+        return all(member(value[attr], ct, pi, star) for attr, ct in required.items())
+    raise TypeError(f"not a type expression: {t!r}")
+
+
+def is_empty_type(t: TypeExpr, pi: OidAssignment) -> bool:
+    """Decide whether ⟦t⟧π = ∅ for the *given* π.
+
+    ⊥ is always empty; D never is; P is empty iff π(P) is; a set type is
+    never empty (the empty set inhabits it); a tuple type is empty iff some
+    component type is; ∨ is empty iff all members are. ∧ requires care and
+    is answered after intersection elimination by the caller for exactness —
+    here we use a sound approximation (some member empty ⇒ empty) together
+    with the atomic cases, which is exact for intersection-reduced types
+    over the given π.
+    """
+    if isinstance(t, Empty):
+        return True
+    if isinstance(t, Base):
+        return False
+    if isinstance(t, ClassRef):
+        return not pi.get(t.name)
+    if isinstance(t, SetOf):
+        return False  # the empty set is always a member
+    if isinstance(t, TupleOf):
+        return any(is_empty_type(ct, pi) for _, ct in t.fields)
+    if isinstance(t, Union):
+        return all(is_empty_type(m, pi) for m in t.members)
+    if isinstance(t, Intersection):
+        if any(is_empty_type(m, pi) for m in t.members):
+            return True
+        atoms = [m for m in t.members if isinstance(m, (Base, ClassRef))]
+        # Distinct classes under a disjoint π, or D ∧ P, can only share ∅.
+        names = {a.name for a in atoms if isinstance(a, ClassRef)}
+        if len(names) > 1 and is_disjoint(pi):
+            inhabited = [pi.get(n, set()) for n in names]
+            common = set.intersection(*(set(s) for s in inhabited)) if inhabited else set()
+            return not common
+        if names and any(isinstance(a, Base) for a in atoms):
+            return True
+        return False
+    raise TypeError(f"not a type expression: {t!r}")
+
+
+# -- bounded semantic equivalence --------------------------------------------
+
+
+def sample_values(
+    types: Sequence[TypeExpr],
+    pi: OidAssignment,
+    constants: Iterable[OValue] = ("a", "b"),
+    set_budget: int = 2,
+) -> Set[OValue]:
+    """Generate a probe set of o-values reaching into every corner of ``types``.
+
+    The probes include: the given constants, every oid in π, the empty set,
+    and recursively built tuples/sets following the structure of the type
+    expressions (bounded by ``set_budget`` elements per set). Probing with
+    this family distinguishes all the inequivalent types exercised in the
+    paper's examples and in our property tests.
+    """
+    probes: Set[OValue] = set(constants)
+    for oids in pi.values():
+        probes.update(oids)
+    probes.add(OSet())
+    probes.add(OTuple())
+
+    def build(t: TypeExpr, depth: int) -> Set[OValue]:
+        if depth < 0:
+            return set()
+        if isinstance(t, (Empty, Base)):
+            return set(constants)
+        if isinstance(t, ClassRef):
+            return set(pi.get(t.name, ()))
+        if isinstance(t, (Union, Intersection)):
+            out: Set[OValue] = set()
+            for m in t.members:
+                out |= build(m, depth)
+            return out
+        if isinstance(t, SetOf):
+            inner = sorted(build(t.element, depth - 1), key=repr)[: set_budget + 1]
+            out = {OSet()}
+            for i in range(len(inner)):
+                out.add(OSet(inner[: i + 1]))
+                out.add(OSet([inner[i]]))
+            return out
+        if isinstance(t, TupleOf):
+            out = set()
+            component_choices = []
+            for attr, ct in t.fields:
+                vals = sorted(build(ct, depth - 1), key=repr)[:set_budget]
+                if not vals:
+                    return out
+                component_choices.append((attr, vals))
+            # take the diagonal plus the first-cartesian row to keep it small
+            width = max(len(vals) for _, vals in component_choices)
+            for i in range(width):
+                out.add(
+                    OTuple(
+                        {attr: vals[min(i, len(vals) - 1)] for attr, vals in component_choices}
+                    )
+                )
+            # and a version with an extra attribute, to distinguish * types
+            base = {attr: vals[0] for attr, vals in component_choices}
+            base["__extra__"] = "extra"
+            out.add(OTuple(base))
+            return out
+        raise TypeError(f"not a type expression: {t!r}")
+
+    for t in types:
+        probes |= build(t, depth=t.depth() + 1)
+    return probes
+
+
+def equivalent_on_samples(
+    t1: TypeExpr,
+    t2: TypeExpr,
+    pi: OidAssignment,
+    star: bool = False,
+    extra_probes: Iterable[OValue] = (),
+) -> bool:
+    """Bounded check that ⟦t1⟧π = ⟦t2⟧π on a generated probe family."""
+    probes = sample_values([t1, t2], pi) | set(extra_probes)
+    return all(member(v, t1, pi, star) == member(v, t2, pi, star) for v in probes)

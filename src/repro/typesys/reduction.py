@@ -1,0 +1,150 @@
+"""Intersection reduction and elimination (Propositions 2.2.1 and 6.1).
+
+Proposition 2.2.1: for each type expression there is (1) an equivalent
+*intersection-reduced* expression (no ∧-node above a ×, * or ∨-node), and
+(2) an expression *equivalent over disjoint oid assignments* that is
+*intersection-free*. The paper proves this "by straightforward algebraic
+manipulation of parse trees"; this module is that manipulation, spelled
+out. Proposition 6.1 is the same statement for the starred interpretation
+(Section 6.2), which differs only in how tuple types intersect: open
+records merge their attribute sets instead of requiring equality.
+
+The algebra (plain interpretation):
+
+* ∧ distributes over ∨,
+* {t} ∧ {t'}  =  {t ∧ t'},
+* [..A..] ∧ [..B..]  =  componentwise ∧ if the attribute sets coincide,
+  and ⊥ otherwise (the paper's example: ``[A1:D,A2:{P1}] ∧ [A1:D,A2:{P2}]``
+  equals ``[A1:D, A2:{P1 ∧ P2}]``),
+* constructor clashes (tuple ∧ set, tuple ∧ D, set ∧ P, ...) collapse to ⊥,
+* D ∧ D = D, P ∧ P = P; D ∧ P = ⊥ always (constants are never oids);
+  P1 ∧ P2 with distinct names survives as an atomic intersection — unless
+  disjoint assignments are assumed, in which case it is ⊥.
+
+Starred interpretation: identical except
+
+* [..A..] ∧* [..B..]  =  the merged record, shared attributes intersected
+  (``[A1:D,A2:D] ∧* [A2:D,A3:D] = [A1:D,A2:D,A3:D]``),
+* D ∧* [..]: still ⊥ (constants are not tuples).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.typesys.expressions import (
+    Base,
+    ClassRef,
+    Empty,
+    Intersection,
+    SetOf,
+    TupleOf,
+    TypeExpr,
+    Union,
+)
+
+EMPTY = Empty()
+
+
+def intersection_reduced(t: TypeExpr, star: bool = False) -> TypeExpr:
+    """An equivalent intersection-reduced type (Proposition 2.2.1(1))."""
+    return _reduce(t, disjoint=False, star=star)
+
+
+def intersection_free(t: TypeExpr, star: bool = False) -> TypeExpr:
+    """A type equivalent over *disjoint* assignments with no ∧ at all
+    (Proposition 2.2.1(2) / Proposition 6.1(2))."""
+    return _reduce(t, disjoint=True, star=star)
+
+
+def _reduce(t: TypeExpr, disjoint: bool, star: bool) -> TypeExpr:
+    if isinstance(t, (Empty, Base, ClassRef)):
+        return t
+    if isinstance(t, SetOf):
+        return SetOf(_reduce(t.element, disjoint, star))
+    if isinstance(t, TupleOf):
+        fields = {attr: _reduce(ct, disjoint, star) for attr, ct in t.fields}
+        if any(isinstance(ct, Empty) for ct in fields.values()):
+            # [.., Ai: ⊥, ..] has no members; the paper notes [A1: ⊥] ≡ ⊥.
+            return EMPTY
+        return TupleOf(fields)
+    if isinstance(t, Union):
+        return Union.make(*(_reduce(m, disjoint, star) for m in t.members))
+    if isinstance(t, Intersection):
+        members = [_reduce(m, disjoint, star) for m in t.members]
+        result = members[0]
+        for m in members[1:]:
+            result = _intersect_pair(result, m, disjoint, star)
+            if isinstance(result, Empty):
+                return EMPTY
+        return result
+    raise TypeError(f"not a type expression: {t!r}")
+
+
+def _intersect_pair(a: TypeExpr, b: TypeExpr, disjoint: bool, star: bool) -> TypeExpr:
+    """Intersect two already-reduced types, pushing ∧ as deep as possible."""
+    if isinstance(a, Empty) or isinstance(b, Empty):
+        return EMPTY
+    if a == b:
+        return a
+    # Distribute over unions first, so below we only see non-∨ operands.
+    if isinstance(a, Union):
+        return Union.make(*(_intersect_pair(m, b, disjoint, star) for m in a.members))
+    if isinstance(b, Union):
+        return Union.make(*(_intersect_pair(a, m, disjoint, star) for m in b.members))
+
+    if isinstance(a, SetOf) and isinstance(b, SetOf):
+        return SetOf(_intersect_pair(a.element, b.element, disjoint, star))
+
+    if isinstance(a, TupleOf) and isinstance(b, TupleOf):
+        return _intersect_tuples(a, b, disjoint, star)
+
+    if isinstance(a, Base) and isinstance(b, Base):
+        return a
+    if isinstance(a, ClassRef) and isinstance(b, ClassRef):
+        if a.name == b.name:
+            return a
+        if disjoint:
+            return EMPTY  # distinct classes share no oids under disjoint π
+        return Intersection(a, b)  # atomic residue: still intersection-reduced
+
+    a_atomic = isinstance(a, (Base, ClassRef, Intersection))
+    b_atomic = isinstance(b, (Base, ClassRef, Intersection))
+    if a_atomic and b_atomic:
+        # One side is an atomic residue like (P1 ∧ P2); merge atom lists.
+        atoms: List[TypeExpr] = []
+        for side in (a, b):
+            atoms.extend(side.members if isinstance(side, Intersection) else [side])
+        if any(isinstance(x, Base) for x in atoms) and any(
+            isinstance(x, ClassRef) for x in atoms
+        ):
+            return EMPTY  # D ∧ P: constants are never oids
+        names = {x.name for x in atoms if isinstance(x, ClassRef)}
+        if len(names) > 1 and disjoint:
+            return EMPTY
+        return Intersection.make(*atoms)
+
+    # Constructor clash: tuple ∧ set, D ∧ tuple, P ∧ set, ... all empty.
+    return EMPTY
+
+
+def _intersect_tuples(a: TupleOf, b: TupleOf, disjoint: bool, star: bool) -> TypeExpr:
+    a_fields = dict(a.fields)
+    b_fields = dict(b.fields)
+    if not star:
+        if set(a_fields) != set(b_fields):
+            return EMPTY
+        merged = {
+            attr: _intersect_pair(a_fields[attr], b_fields[attr], disjoint, star)
+            for attr in a_fields
+        }
+    else:
+        merged = {}
+        for attr in set(a_fields) | set(b_fields):
+            if attr in a_fields and attr in b_fields:
+                merged[attr] = _intersect_pair(a_fields[attr], b_fields[attr], disjoint, star)
+            else:
+                merged[attr] = a_fields.get(attr) or b_fields.get(attr)
+    if any(isinstance(ct, Empty) for ct in merged.values()):
+        return EMPTY
+    return TupleOf(merged)

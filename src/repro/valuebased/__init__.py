@@ -1,0 +1,28 @@
+"""The value-based data model (Section 7): regular trees, φ and ψ."""
+
+from repro.valuebased.regular_trees import (
+    NodeId,
+    RegularTreeSystem,
+    from_finite_value,
+    trees_equal,
+)
+from repro.valuebased.equality import value_equal, value_partition
+from repro.valuebased.translate import object_schema, phi, psi, run_iqlv
+from repro.valuebased.vmodel import VInstance, VSchema, is_v_type, vmember
+
+__all__ = [
+    "NodeId",
+    "RegularTreeSystem",
+    "from_finite_value",
+    "trees_equal",
+    "value_equal",
+    "value_partition",
+    "object_schema",
+    "phi",
+    "psi",
+    "run_iqlv",
+    "VInstance",
+    "VSchema",
+    "is_v_type",
+    "vmember",
+]

@@ -1,0 +1,98 @@
+"""Equality-by-value for objects (Section 7's coercion mechanism).
+
+"Object-based systems often allow features such as equality-by-value,
+which is a precise way of addressing the underlying infinite objects."
+Two oids are *value-equal* when the (possibly infinite) pure values their
+ν-unfoldings denote are the same regular tree — i.e. when they are
+bisimilar through ν.
+
+:func:`value_equal` decides this for any two oids of an instance —
+including oids of different classes and instances whose schemas also have
+relations (only ν matters). Oids with *undefined* values are value-equal
+only to themselves: an unknown value carries its object's identity, the
+conservative reading of incomplete information.
+
+:func:`value_partition` groups a set of oids into value-equality classes
+in one partition-refinement pass — the workhorse behind ψ's duplicate
+elimination, exposed directly for OODB-style deduplication queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.schema.instance import Instance
+from repro.valuebased.regular_trees import NodeId, RegularTreeSystem
+from repro.values.ovalues import Oid, OSet, OTuple, OValue, is_constant
+
+
+def _build_system(instance: Instance, oids: Iterable[Oid]):
+    """Embed the ν-unfoldings of the given oids (and everything they reach)
+    into a regular-tree system; undefined oids become identity leaves."""
+    system = RegularTreeSystem()
+    node_of: Dict[Oid, NodeId] = {}
+
+    def node_for(oid: Oid) -> NodeId:
+        if oid in node_of:
+            return node_of[oid]
+        node_id = f"oid:{oid.serial}"
+        node_of[oid] = node_id
+        system.declare(node_id)
+        value = instance.value_of(oid)
+        if value is None:
+            # Undefined: a leaf unique to this object — value-equal only
+            # to itself.
+            system.define(node_id, ("const", f"⊥#{oid.serial}"))
+        else:
+            system.define(node_id, _shell(value))
+        return node_id
+
+    def embed(value: OValue) -> NodeId:
+        if isinstance(value, Oid):
+            return node_for(value)
+        if isinstance(value, OTuple):
+            return system.add_tuple({attr: embed(v) for attr, v in value.items()})
+        if isinstance(value, OSet):
+            return system.add_set(embed(v) for v in value)
+        return system.add_const(value)
+
+    def _shell(value: OValue):
+        if isinstance(value, Oid):
+            return ("alias", node_for(value))
+        if isinstance(value, OTuple):
+            return ("tuple", tuple(sorted((a, embed(v)) for a, v in value.items())))
+        if isinstance(value, OSet):
+            return ("set", tuple(sorted(embed(v) for v in value)))
+        if is_constant(value):
+            return ("const", value)
+        raise TypeError(f"not an o-value: {value!r}")
+
+    for oid in oids:
+        node_for(oid)
+
+    from repro.valuebased.translate import _resolve_aliases
+
+    _resolve_aliases(system)
+    return system, node_of
+
+
+def value_equal(instance: Instance, left: Oid, right: Oid) -> bool:
+    """Do the two objects denote the same pure value (bisimilar unfoldings)?"""
+    if left is right:
+        return True
+    system, node_of = _build_system(instance, [left, right])
+    classes = system.bisimulation_classes()
+    return classes[node_of[left]] == classes[node_of[right]]
+
+
+def value_partition(instance: Instance, oids: Iterable[Oid]) -> List[Set[Oid]]:
+    """Partition ``oids`` into value-equality classes (one refinement pass)."""
+    oids = list(oids)
+    if not oids:
+        return []
+    system, node_of = _build_system(instance, oids)
+    classes = system.bisimulation_classes()
+    groups: Dict[int, Set[Oid]] = {}
+    for oid in oids:
+        groups.setdefault(classes[node_of[oid]], set()).add(oid)
+    return list(groups.values())

@@ -1,0 +1,256 @@
+"""Regular infinite trees as finite equation systems (Section 7.1).
+
+Pure values are (possibly infinite) trees over constants, tuple nodes and
+set nodes; the values occurring in v-instances are *regular* — they have
+finitely many distinct subtrees (Proposition 7.1.3) — precisely because
+they arise as solutions of the finite equation systems {oᵢ = ν(oᵢ)}.
+
+We represent a regular tree as a *pointed node system*: a finite map from
+node ids to shells
+
+* ``("const", c)`` — a leaf,
+* ``("tuple", ((attr, id), ...))`` — a tuple node over child nodes,
+* ``("set", (id, ...))`` — a set node over child nodes,
+
+plus a root id. Cycles in the node graph encode infinite unfoldings.
+
+Equality of regular trees is *bisimilarity*, with one wrinkle inherited
+from set semantics: the children of a set node form a set *of trees*, so
+two bisimilar children collapse. Partition refinement with set-node
+signatures taken as the set (not multiset) of child blocks captures this
+exactly — the same convention by which duplicate elimination happens in ψ
+(Section 7.1's objects→values translation).
+
+Canonical keys (:func:`canonical_key`) give each bisimilarity class a
+μ-term-like string with de-Bruijn backreferences, usable across systems:
+two nodes in different systems are bisimilar iff their keys are equal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import RegularTreeError
+from repro.values.ovalues import OValue, is_constant
+
+NodeId = str
+Shell = Tuple  # ("const", c) | ("tuple", ((attr, id), ...)) | ("set", (id, ...))
+
+
+class RegularTreeSystem:
+    """A finite node system; several trees may share it (one per root)."""
+
+    def __init__(self):
+        self.nodes: Dict[NodeId, Shell] = {}
+        self._fresh = itertools.count(1)
+
+    # -- construction ---------------------------------------------------------
+
+    def fresh_id(self, hint: str = "n") -> NodeId:
+        return f"{hint}#{next(self._fresh)}"
+
+    def add_const(self, value: OValue, node_id: Optional[NodeId] = None) -> NodeId:
+        if not is_constant(value):
+            raise RegularTreeError(f"{value!r} is not a constant")
+        nid = node_id or self.fresh_id("c")
+        self.nodes[nid] = ("const", value)
+        return nid
+
+    def add_tuple(
+        self, fields: Dict[str, NodeId], node_id: Optional[NodeId] = None
+    ) -> NodeId:
+        nid = node_id or self.fresh_id("t")
+        self.nodes[nid] = ("tuple", tuple(sorted(fields.items())))
+        return nid
+
+    def add_set(self, children: Iterable[NodeId], node_id: Optional[NodeId] = None) -> NodeId:
+        nid = node_id or self.fresh_id("s")
+        self.nodes[nid] = ("set", tuple(sorted(set(children))))
+        return nid
+
+    def declare(self, node_id: NodeId) -> NodeId:
+        """Reserve an id to be defined later (for cyclic construction)."""
+        self.nodes.setdefault(node_id, None)
+        return node_id
+
+    def define(self, node_id: NodeId, shell: Shell) -> None:
+        self.nodes[node_id] = shell
+
+    def check_complete(self) -> None:
+        undefined = [nid for nid, shell in self.nodes.items() if shell is None]
+        if undefined:
+            raise RegularTreeError(f"undefined nodes: {undefined[:5]}")
+        for nid, shell in self.nodes.items():
+            kind = shell[0]
+            children: List[NodeId] = []
+            if kind == "tuple":
+                children = [cid for _, cid in shell[1]]
+            elif kind == "set":
+                children = list(shell[1])
+            elif kind != "const":
+                raise RegularTreeError(f"unknown shell kind {kind!r} at {nid}")
+            for cid in children:
+                if cid not in self.nodes:
+                    raise RegularTreeError(f"node {nid} references missing {cid}")
+
+    def copy(self) -> "RegularTreeSystem":
+        new = RegularTreeSystem()
+        new.nodes = dict(self.nodes)
+        return new
+
+    # -- bisimulation ------------------------------------------------------------
+
+    def bisimulation_classes(self) -> Dict[NodeId, int]:
+        """Partition refinement to the coarsest bisimulation.
+
+        Set-node signatures use the *set* of child blocks, implementing set
+        semantics (duplicate subtrees collapse). Returns block ids (dense
+        ints, stable within a call).
+        """
+        self.check_complete()
+        block: Dict[NodeId, int] = {}
+        palette: Dict[object, int] = {}
+        for nid, shell in self.nodes.items():
+            key = ("const", shell[1]) if shell[0] == "const" else (shell[0],)
+            block[nid] = palette.setdefault(key, len(palette))
+
+        for _ in range(len(self.nodes) + 1):
+            new_palette: Dict[object, int] = {}
+            new_block: Dict[NodeId, int] = {}
+            for nid, shell in self.nodes.items():
+                kind = shell[0]
+                if kind == "const":
+                    signature = (block[nid], "const", shell[1])
+                elif kind == "tuple":
+                    signature = (
+                        block[nid],
+                        "tuple",
+                        tuple((attr, block[cid]) for attr, cid in shell[1]),
+                    )
+                else:
+                    # Set semantics: the *set* of child blocks — duplicates
+                    # (bisimilar children) collapse, and including the own
+                    # block keeps refinement monotone on cyclic systems.
+                    signature = (block[nid], "set", frozenset(block[cid] for cid in shell[1]))
+                new_block[nid] = new_palette.setdefault(signature, len(new_palette))
+            if len(set(new_block.values())) == len(set(block.values())):
+                block = new_block
+                break
+            block = new_block
+        return block
+
+    def minimize(self) -> Tuple["RegularTreeSystem", Dict[NodeId, NodeId]]:
+        """Quotient by bisimilarity. Returns (minimized system, node→representative)."""
+        block = self.bisimulation_classes()
+        representative: Dict[int, NodeId] = {}
+        for nid in sorted(self.nodes):
+            representative.setdefault(block[nid], nid)
+        mapping = {nid: representative[block[nid]] for nid in self.nodes}
+        minimized = RegularTreeSystem()
+        for b, rep in representative.items():
+            shell = self.nodes[rep]
+            kind = shell[0]
+            if kind == "const":
+                minimized.nodes[rep] = shell
+            elif kind == "tuple":
+                minimized.nodes[rep] = (
+                    "tuple",
+                    tuple((attr, mapping[cid]) for attr, cid in shell[1]),
+                )
+            else:
+                minimized.nodes[rep] = (
+                    "set",
+                    tuple(sorted({mapping[cid] for cid in shell[1]})),
+                )
+        return minimized, mapping
+
+    def subtree_count(self, root: NodeId) -> int:
+        """The number of distinct subtrees of the tree rooted at ``root`` —
+        finite for every node of a finite system (Proposition 7.1.3)."""
+        minimized, mapping = self.minimize()
+        seen = set()
+        stack = [mapping[root]]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            shell = minimized.nodes[nid]
+            if shell[0] == "tuple":
+                stack.extend(cid for _, cid in shell[1])
+            elif shell[0] == "set":
+                stack.extend(shell[1])
+        return len(seen)
+
+    # -- canonical keys and unfolding ----------------------------------------------
+
+    def canonical_key(self, root: NodeId) -> str:
+        """A canonical string for the bisimilarity class of ``root``.
+
+        Built on the minimized system; cycles become de-Bruijn
+        backreferences ("↑k" = k levels up the expansion path), so the key
+        is independent of node ids and system identity: equal keys ⟺
+        bisimilar trees, across systems.
+        """
+        minimized, mapping = self.minimize()
+
+        def render(nid: NodeId, path: Tuple[NodeId, ...]) -> str:
+            if nid in path:
+                return f"↑{len(path) - path.index(nid) - 1}"
+            shell = minimized.nodes[nid]
+            kind = shell[0]
+            if kind == "const":
+                return f"c:{shell[1]!r}"
+            extended = path + (nid,)
+            if kind == "tuple":
+                inner = ",".join(
+                    f"{attr}:{render(cid, extended)}" for attr, cid in shell[1]
+                )
+                return f"[{inner}]"
+            rendered = sorted(render(cid, extended) for cid in shell[1])
+            return "{" + ",".join(rendered) + "}"
+
+        return render(mapping[root], ())
+
+    def unfold(self, root: NodeId, depth: int):
+        """The finite prefix of the (possibly infinite) tree, as nested
+        Python data; cycles beyond ``depth`` are cut with the marker '…'."""
+        shell = self.nodes[root]
+        kind = shell[0]
+        if kind == "const":
+            return shell[1]
+        if depth <= 0:
+            return "…"
+        if kind == "tuple":
+            return {attr: self.unfold(cid, depth - 1) for attr, cid in shell[1]}
+        return {self._freeze(self.unfold(cid, depth - 1)) for cid in shell[1]}
+
+    @staticmethod
+    def _freeze(value):
+        if isinstance(value, dict):
+            return tuple(sorted((k, RegularTreeSystem._freeze(v)) for k, v in value.items()))
+        if isinstance(value, set):
+            return frozenset(value)
+        return value
+
+
+def trees_equal(
+    sys_a: RegularTreeSystem, root_a: NodeId, sys_b: RegularTreeSystem, root_b: NodeId
+) -> bool:
+    """Bisimilarity across systems, via canonical keys."""
+    return sys_a.canonical_key(root_a) == sys_b.canonical_key(root_b)
+
+
+def from_finite_value(system: RegularTreeSystem, value) -> NodeId:
+    """Embed a finite o-value *without oids* as nodes of ``system``."""
+    from repro.values.ovalues import OSet, OTuple
+
+    if isinstance(value, OTuple):
+        fields = {attr: from_finite_value(system, v) for attr, v in value.items()}
+        return system.add_tuple(fields)
+    if isinstance(value, OSet):
+        return system.add_set(from_finite_value(system, v) for v in value)
+    if is_constant(value):
+        return system.add_const(value)
+    raise RegularTreeError(f"{value!r} contains oids; use the ψ translation instead")

@@ -1,0 +1,206 @@
+"""The translations φ (values → objects) and ψ (objects → values) of
+Section 7.1, and IQLv — using IQL as the query language of the value-based
+model (Figure 2 / Theorem 7.1.5).
+
+* φ assigns each distinct pure value of each class a fresh oid and builds
+  ν type-directedly: at class-typed positions the sub-value is replaced by
+  its class-mate's oid (the paper's unique ``w_v``, well-defined because
+  v-types have no unions).
+* ψ reads the equations {o = ν(o)} as a regular Greibach system; the
+  solution is unique (Courcelle), and bisimilar oids collapse to one pure
+  value — duplicate elimination "for free".
+* Proposition 7.1.4: ψ(φ(I)) = I — tested exactly via canonical keys.
+* :func:`run_iqlv`: an IQL program becomes a value-based query by
+  pre-composing φ and post-composing ψ; copy elimination happens inside ψ,
+  which is why IQLv is vdio-complete (Theorem 7.1.5) with no ``choose``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import RegularTreeError
+from repro.iql.evaluator import Evaluator, EvaluatorLimits
+from repro.iql.program import Program
+from repro.schema.instance import Instance
+from repro.schema.schema import Schema
+from repro.typesys.expressions import Base, ClassRef, SetOf, TupleOf, TypeExpr
+from repro.valuebased.regular_trees import NodeId, RegularTreeSystem
+from repro.valuebased.vmodel import VInstance, VSchema
+from repro.values.ovalues import Oid, OSet, OTuple, OValue, is_constant
+
+
+def object_schema(vschema: VSchema) -> Schema:
+    """The object-based schema (∅, P, T) matching a v-schema."""
+    return Schema(classes=vschema.classes)
+
+
+# -- φ: values → objects ---------------------------------------------------------
+
+
+def phi(vinstance: VInstance) -> Instance:
+    """Values → objects: one oid per *distinct* (bisimilarity class of a)
+    value per class; ν built type-directedly."""
+    schema = object_schema(vinstance.schema)
+    instance = Instance(schema)
+    system = vinstance.system
+
+    # One oid per canonical value per class; remember a witness root.
+    oid_for: Dict[Tuple[str, str], Oid] = {}
+    witness: Dict[Tuple[str, str], NodeId] = {}
+    for class_name, roots in vinstance.assignment.items():
+        for root in roots:
+            key = (class_name, system.canonical_key(root))
+            if key not in oid_for:
+                oid = Oid(f"φ_{class_name}")
+                oid_for[key] = oid
+                witness[key] = root
+                instance.add_class_member(class_name, oid)
+
+    def class_oid(class_name: str, node: NodeId) -> Oid:
+        key = (class_name, system.canonical_key(node))
+        if key not in oid_for:
+            raise RegularTreeError(
+                f"value at a {class_name}-typed position is not a member of "
+                f"I({class_name}) — the v-instance is not well typed"
+            )
+        return oid_for[key]
+
+    def convert(t: TypeExpr, node: NodeId) -> OValue:
+        shell = system.nodes[node]
+        kind = shell[0]
+        if isinstance(t, Base):
+            if kind != "const":
+                raise RegularTreeError(f"expected a constant at {node}")
+            return shell[1]
+        if isinstance(t, ClassRef):
+            return class_oid(t.name, node)
+        if isinstance(t, SetOf):
+            if kind != "set":
+                raise RegularTreeError(f"expected a set node at {node}")
+            return OSet(convert(t.element, cid) for cid in shell[1])
+        if isinstance(t, TupleOf):
+            if kind != "tuple":
+                raise RegularTreeError(f"expected a tuple node at {node}")
+            fields = dict(shell[1])
+            return OTuple({attr: convert(ct, fields[attr]) for attr, ct in t.fields})
+        raise RegularTreeError(f"not a v-type: {t!r}")
+
+    for (class_name, _key), oid in oid_for.items():
+        root = witness[(class_name, _key)]
+        instance.assign(oid, convert(vinstance.schema.classes[class_name], root))
+    return instance
+
+
+# -- ψ: objects → values -----------------------------------------------------------
+
+
+def psi(instance: Instance, vschema: Optional[VSchema] = None) -> VInstance:
+    """Objects → values: solve {o = ν(o)} as a regular equation system.
+
+    Every oid must have a defined value (the paper's premise for ψ);
+    bisimilar oids yield one pure value — "for oᵢ and oⱼ distinct, vᵢ and
+    vⱼ may be the same (i.e., duplicates are eliminated)".
+    """
+    if instance.schema.relations:
+        raise RegularTreeError("ψ applies to value-based (class-only) schemas")
+    vschema = vschema or VSchema(instance.schema.classes)
+    result = VInstance(vschema)
+    system = result.system
+
+    oid_node: Dict[Oid, NodeId] = {}
+    for class_name, oids in instance.classes.items():
+        for oid in oids:
+            node_id = f"oid:{oid.serial}"
+            system.declare(node_id)
+            oid_node[oid] = node_id
+
+    def embed(value: OValue) -> NodeId:
+        if isinstance(value, Oid):
+            if value not in oid_node:
+                raise RegularTreeError(f"dangling oid {value!r}")
+            return oid_node[value]
+        if isinstance(value, OTuple):
+            return system.add_tuple({attr: embed(v) for attr, v in value.items()})
+        if isinstance(value, OSet):
+            return system.add_set(embed(v) for v in value)
+        if is_constant(value):
+            return system.add_const(value)
+        raise RegularTreeError(f"not an o-value: {value!r}")
+
+    for oid, node_id in oid_node.items():
+        value = instance.value_of(oid)
+        if value is None:
+            raise RegularTreeError(
+                f"ν({oid!r}) undefined — ψ needs total ν (Section 7.1)"
+            )
+        if isinstance(value, Oid):
+            # o = o' : alias the node by copying the target's shell lazily;
+            # a chain o = o' = o'' … of length > |oids| would be cyclic
+            # aliasing, which has no tree solution — condition (1) of
+            # Definition 7.1.1 excludes the types that would allow it.
+            target = value
+            depth = 0
+            while isinstance(instance.value_of(target), Oid):
+                target = instance.value_of(target)
+                depth += 1
+                if depth > len(oid_node):
+                    raise RegularTreeError("cyclic oid aliasing has no tree solution")
+            final = instance.value_of(target)
+            system.define(node_id, ("alias", oid_node[target]))
+        else:
+            if isinstance(value, OTuple):
+                system.define(
+                    node_id,
+                    ("tuple", tuple(sorted((attr, embed(v)) for attr, v in value.items()))),
+                )
+            elif isinstance(value, OSet):
+                system.define(node_id, ("set", tuple(sorted(embed(v) for v in value))))
+            elif is_constant(value):
+                system.define(node_id, ("const", value))
+            else:
+                raise RegularTreeError(f"not an o-value: {value!r}")
+
+    _resolve_aliases(system)
+
+    for class_name, oids in instance.classes.items():
+        for oid in oids:
+            result.add_value(class_name, oid_node[oid])
+    return result
+
+
+def _resolve_aliases(system: RegularTreeSystem) -> None:
+    """Replace ("alias", target) shells by the target's shell."""
+    def resolve(node_id: NodeId, seen: Set[NodeId]) -> None:
+        shell = system.nodes[node_id]
+        if shell[0] != "alias":
+            return
+        if node_id in seen:
+            raise RegularTreeError("cyclic oid aliasing has no tree solution")
+        target = shell[1]
+        resolve(target, seen | {node_id})
+        system.nodes[node_id] = system.nodes[target]
+
+    for node_id in list(system.nodes):
+        resolve(node_id, set())
+
+
+# -- IQLv (Theorem 7.1.5) -------------------------------------------------------------
+
+
+def run_iqlv(
+    program: Program,
+    vinstance: VInstance,
+    limits: Optional[EvaluatorLimits] = None,
+) -> VInstance:
+    """Use an IQL program as a value-based query: ψ ∘ G ∘ φ (Figure 2).
+
+    The program's input schema must be the object schema of the
+    v-instance; its output schema must be class-only with total ν (which
+    holds for the dio programs of Section 7). Duplicate values in the
+    output collapse inside ψ — the automatic copy elimination that makes
+    IQLv vdio-complete without ``choose``.
+    """
+    loaded = phi(vinstance).project(program.input_schema)
+    output = Evaluator(program, limits=limits).run(loaded).output
+    return psi(output)

@@ -1,0 +1,165 @@
+"""v-schemas and v-instances (Definitions 7.1.1-7.1.2).
+
+The value-based model strips the framework down: only class names, only
+v-type expressions (base, set, tuple — no union, no intersection, no ⊥),
+and pure values instead of oids. A v-schema additionally requires that no
+T(P) is bare class name (the paper's condition (1), which rules out the
+pathological ``T(P1) = P2`` that "does not specify any structure").
+
+A v-instance assigns each class a finite set of pure values — regular
+trees — such that I(P) ⊆ ⟦T(P)⟧_I. Type membership over infinite trees is
+*coinductive*: a cyclic value inhabits a recursive type when the
+obligations close up; :func:`vmember` computes the greatest fixpoint by
+assuming pending obligations hold (standard guarded coinduction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import RegularTreeError, SchemaError
+from repro.typesys.expressions import Base, ClassRef, SetOf, TupleOf, TypeExpr
+from repro.valuebased.regular_trees import NodeId, RegularTreeSystem
+
+
+def is_v_type(t: TypeExpr) -> bool:
+    """v-type-exp(P): built from D, class names, {·} and [·] only."""
+    if isinstance(t, (Base, ClassRef)):
+        return True
+    if isinstance(t, SetOf):
+        return is_v_type(t.element)
+    if isinstance(t, TupleOf):
+        return all(is_v_type(ct) for _, ct in t.fields)
+    return False
+
+
+class VSchema:
+    """(P, T): class names typed by v-type expressions, none a bare class."""
+
+    def __init__(self, classes: Mapping[str, TypeExpr]):
+        for name, t in classes.items():
+            if not is_v_type(t):
+                raise SchemaError(
+                    f"T({name}) = {t!r} is not a v-type (no ∨, ∧, ⊥ in Section 7)"
+                )
+            if isinstance(t, ClassRef):
+                raise SchemaError(
+                    f"T({name}) must not be a bare class name (condition (1) of Def 7.1.1)"
+                )
+            unknown = t.class_names() - set(classes)
+            if unknown:
+                raise SchemaError(f"T({name}) references unknown classes {sorted(unknown)}")
+        self.classes: Dict[str, TypeExpr] = dict(classes)
+
+    def __repr__(self):
+        return "\n".join(f"class {p}: {t!r}" for p, t in sorted(self.classes.items()))
+
+
+class VInstance:
+    """A finite assignment I: class → set of pure-value roots in a shared
+    regular-tree system."""
+
+    def __init__(self, schema: VSchema, system: Optional[RegularTreeSystem] = None):
+        self.schema = schema
+        self.system = system or RegularTreeSystem()
+        self.assignment: Dict[str, Set[NodeId]] = {p: set() for p in schema.classes}
+
+    def add_value(self, class_name: str, root: NodeId) -> None:
+        if class_name not in self.assignment:
+            raise SchemaError(f"unknown class {class_name!r}")
+        if root not in self.system.nodes:
+            raise RegularTreeError(f"unknown node {root!r}")
+        self.assignment[class_name].add(root)
+
+    # -- value identity --------------------------------------------------------
+
+    def canonical_assignment(self) -> Dict[str, FrozenSet[str]]:
+        """Each class's value set as canonical keys — the extensional
+        contents, with bisimilar duplicates collapsed (pure values are
+        compared by bisimilarity, not node identity)."""
+        return {
+            p: frozenset(self.system.canonical_key(root) for root in roots)
+            for p, roots in self.assignment.items()
+        }
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VInstance)
+            and self.schema.classes == other.schema.classes
+            and self.canonical_assignment() == other.canonical_assignment()
+        )
+
+    def __hash__(self):  # pragma: no cover - mutable
+        raise TypeError("VInstance is mutable and unhashable")
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """I(P) ⊆ ⟦T(P)⟧_I for every class (Definition 7.1.2)."""
+        for name, roots in self.assignment.items():
+            t = self.schema.classes[name]
+            for root in roots:
+                if not vmember(self, root, t):
+                    raise SchemaError(
+                        f"value {self.system.canonical_key(root)!r} in I({name}) "
+                        f"is not of type {t!r}"
+                    )
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except SchemaError:
+            return False
+        return True
+
+    def __repr__(self):
+        lines = []
+        for p in sorted(self.assignment):
+            for root in sorted(self.assignment[p]):
+                lines.append(f"I({p}) ∋ {self.system.unfold(root, 4)!r}")
+        return "\n".join(lines) or "v-instance ∅"
+
+
+def vmember(
+    instance: VInstance,
+    node: NodeId,
+    t: TypeExpr,
+    assumed: Optional[Set[Tuple[NodeId, TypeExpr]]] = None,
+) -> bool:
+    """Coinductive type membership: node's tree ∈ ⟦t⟧_I.
+
+    A class reference is checked extensionally — the tree must be
+    bisimilar to some member of I(P). Structural obligations that recur
+    (cyclic values against recursive types) are assumed to hold, giving the
+    greatest fixpoint, which is the correct reading for infinite trees.
+    """
+    assumed = assumed if assumed is not None else set()
+    obligation = (node, t)
+    if obligation in assumed:
+        return True
+    assumed = assumed | {obligation}
+
+    shell = instance.system.nodes[node]
+    kind = shell[0]
+    if isinstance(t, Base):
+        return kind == "const"
+    if isinstance(t, ClassRef):
+        key = instance.system.canonical_key(node)
+        return any(
+            instance.system.canonical_key(root) == key
+            for root in instance.assignment.get(t.name, ())
+        )
+    if isinstance(t, SetOf):
+        if kind != "set":
+            return False
+        return all(vmember(instance, cid, t.element, assumed) for cid in shell[1])
+    if isinstance(t, TupleOf):
+        if kind != "tuple":
+            return False
+        fields = dict(shell[1])
+        if set(fields) != set(t.attributes):
+            return False
+        return all(
+            vmember(instance, fields[attr], ct, assumed) for attr, ct in t.fields
+        )
+    raise SchemaError(f"not a v-type: {t!r}")

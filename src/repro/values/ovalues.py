@@ -1,0 +1,379 @@
+"""O-values: the value universe of the object-based data model (Section 2.1).
+
+Definition 2.1.1 of the paper: the set of *o-values* is the smallest set
+containing ``D ∪ O`` (constants and object identities) that is closed under
+finite tupling ``[A1: v1, ..., Ak: vk]`` and finite setting ``{v1, ..., vk}``.
+
+Representation choices
+----------------------
+
+* Constants (the set ``D``) are plain Python ``str``, ``int``, ``float`` and
+  ``bool`` values. The paper treats ``D`` as a single countable base domain;
+  using several Python scalar types changes nothing structurally and keeps
+  examples readable (``"Adam"``, ``42``).
+* Oids (the set ``O``) are instances of :class:`Oid` — atomic identities
+  with a process-wide serial number. Crucially an oid carries **no value**:
+  the partial function ν lives in the instance (Definition 2.3.2), so the
+  same oid can denote different o-values in different instances, exactly as
+  in the paper where ``adam`` is distinct from the string ``Adam``.
+* Tuples are :class:`OTuple` — immutable mappings from attribute names to
+  o-values with canonical (sorted) attribute order, so two tuples with the
+  same fields are equal regardless of construction order.
+* Sets are :class:`OSet` — immutable wrappers around ``frozenset``.
+  Duplicate elimination is therefore automatic, matching the paper's tree
+  representation in which the children of a set node are *distinct* subtrees.
+
+All o-values are hashable, so they can themselves be set elements, relation
+members, or dictionary keys inside the evaluator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.errors import OValueError
+
+#: The Python types admitted as constants (the base domain D).
+CONSTANT_TYPES = (str, int, float, bool)
+
+#: Static alias for anything that is an o-value. ``object`` is used for the
+#: scalar leg because Python has no recursive union types; :func:`is_ovalue`
+#: is the runtime check.
+OValue = Union[str, int, float, bool, "Oid", "OTuple", "OSet"]
+
+
+class Oid:
+    """An object identity: an atomic, globally distinct element of ``O``.
+
+    Oids compare by identity (each constructed ``Oid`` is a fresh element of
+    ``O``). A display ``name`` may be supplied for readable examples
+    (``Oid("adam")``); the name carries no semantics and two oids named
+    ``"adam"`` are still distinct. The ``serial`` number gives a stable,
+    deterministic creation order, which the evaluator's invention machinery
+    and the isomorphism certificates rely on.
+    """
+
+    __slots__ = ("serial", "name")
+
+    _counter = itertools.count(1)
+    _lock = threading.Lock()
+
+    def __init__(self, name: str = ""):
+        with Oid._lock:
+            self.serial = next(Oid._counter)
+        self.name = name
+
+    def __repr__(self) -> str:
+        if self.name:
+            return f"&{self.name}"
+        return f"&o{self.serial}"
+
+    def __hash__(self) -> int:
+        return hash((Oid, self.serial))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __lt__(self, other: "Oid") -> bool:
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return self.serial < other.serial
+
+
+class OTuple:
+    """A finite tuple ``[A1: v1, ..., Ak: vk]`` of o-values.
+
+    Attribute names must be distinct strings; the empty tuple ``[]`` (k = 0)
+    is permitted and is the unit value of the model. Tuples are immutable
+    and hashable; attribute order is canonicalized by sorting, so equality
+    is structural.
+    """
+
+    __slots__ = ("_fields", "_hash")
+
+    def __init__(self, fields: Union[Mapping[str, OValue], Iterable[Tuple[str, OValue]], None] = None, **kwargs: OValue):
+        items: Dict[str, OValue] = {}
+        if fields is not None:
+            pairs = fields.items() if isinstance(fields, Mapping) else fields
+            for attr, value in pairs:
+                if attr in items:
+                    raise OValueError(f"duplicate attribute {attr!r} in tuple")
+                items[attr] = value
+        for attr, value in kwargs.items():
+            if attr in items:
+                raise OValueError(f"duplicate attribute {attr!r} in tuple")
+            items[attr] = value
+        for attr, value in items.items():
+            if not isinstance(attr, str):
+                raise OValueError(f"attribute names must be strings, got {attr!r}")
+            if not is_ovalue(value):
+                raise OValueError(f"tuple component {attr}={value!r} is not an o-value")
+        self._fields: Tuple[Tuple[str, OValue], ...] = tuple(sorted(items.items()))
+        self._hash = hash((OTuple, self._fields))
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names, in canonical (sorted) order."""
+        return tuple(attr for attr, _ in self._fields)
+
+    def __getitem__(self, attr: str) -> OValue:
+        for name, value in self._fields:
+            if name == attr:
+                return value
+        raise KeyError(attr)
+
+    def get(self, attr: str, default: OValue = None) -> OValue:
+        for name, value in self._fields:
+            if name == attr:
+                return value
+        return default
+
+    def items(self) -> Tuple[Tuple[str, OValue], ...]:
+        return self._fields
+
+    def __contains__(self, attr: str) -> bool:
+        return any(name == attr for name, _ in self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def replace(self, **updates: OValue) -> "OTuple":
+        """Return a copy with the given attributes replaced (or added)."""
+        merged = dict(self._fields)
+        merged.update(updates)
+        return OTuple(merged)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OTuple) and self._fields == other._fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{attr}: {value!r}" for attr, value in self._fields)
+        return f"[{inner}]"
+
+
+class OSet:
+    """A finite set ``{v1, ..., vk}`` of o-values.
+
+    The empty set ``{}`` (k = 0) is permitted — it is the default value of a
+    freshly invented set-valued oid (Section 3.2). Note the difference the
+    paper stresses between the type ``{⊥}`` (whose only member is the empty
+    set) and the type ``⊥`` (which has no members): ``OSet()`` is a value,
+    and a perfectly ordinary one.
+    """
+
+    __slots__ = ("_elements", "_hash")
+
+    def __init__(self, elements: Iterable[OValue] = ()):
+        elems = frozenset(elements)
+        for value in elems:
+            if not is_ovalue(value):
+                raise OValueError(f"set element {value!r} is not an o-value")
+        self._elements: FrozenSet[OValue] = elems
+        self._hash = hash((OSet, self._elements))
+
+    @property
+    def elements(self) -> FrozenSet[OValue]:
+        return self._elements
+
+    def __contains__(self, value: OValue) -> bool:
+        return value in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[OValue]:
+        return iter(self._elements)
+
+    def union(self, other: Iterable[OValue]) -> "OSet":
+        return OSet(self._elements | frozenset(other))
+
+    def add(self, value: OValue) -> "OSet":
+        """Return a new set with ``value`` added (OSet itself is immutable)."""
+        if value in self._elements:
+            return self
+        return OSet(self._elements | {value})
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OSet) and self._elements == other._elements
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(repr(v) for v in self._elements))
+        return "{" + inner + "}"
+
+
+def is_constant(value: object) -> bool:
+    """True iff ``value`` is an element of the base domain D."""
+    return isinstance(value, CONSTANT_TYPES) and not isinstance(value, Oid)
+
+
+def is_ovalue(value: object) -> bool:
+    """True iff ``value`` is an o-value (Definition 2.1.1).
+
+    Components of tuples and sets are validated on construction, so this
+    check does not need to recurse.
+    """
+    return isinstance(value, (Oid, OTuple, OSet)) or is_constant(value)
+
+
+def ensure_ovalue(value: object) -> OValue:
+    """Coerce Python containers into o-values.
+
+    ``dict`` becomes :class:`OTuple`, ``set``/``frozenset``/``list``/``tuple``
+    become :class:`OSet` (with elements coerced recursively). Scalars and
+    existing o-values pass through. This is a convenience for building test
+    fixtures and example instances; the core model only ever sees o-values.
+    """
+    if isinstance(value, (Oid, OTuple, OSet)):
+        return value
+    if is_constant(value):
+        return value
+    if isinstance(value, dict):
+        return OTuple({attr: ensure_ovalue(v) for attr, v in value.items()})
+    if isinstance(value, (set, frozenset, list, tuple)):
+        return OSet(ensure_ovalue(v) for v in value)
+    raise OValueError(f"cannot interpret {value!r} as an o-value")
+
+
+def constants_of(value: OValue) -> FrozenSet[OValue]:
+    """The set of constants occurring in ``value`` (used by ``constants(I)``)."""
+    out = set()
+    _walk(value, out, want_constants=True)
+    return frozenset(out)
+
+
+def oids_of(value: OValue) -> FrozenSet[Oid]:
+    """The set of oids occurring in ``value`` (used by ``objects(I)``)."""
+    out = set()
+    _walk(value, out, want_constants=False)
+    return frozenset(out)
+
+
+def _walk(value: OValue, out: set, want_constants: bool) -> None:
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if isinstance(v, Oid):
+            if not want_constants:
+                out.add(v)
+        elif isinstance(v, OTuple):
+            stack.extend(component for _, component in v.items())
+        elif isinstance(v, OSet):
+            stack.extend(v.elements)
+        elif is_constant(v):
+            if want_constants:
+                out.add(v)
+        else:  # pragma: no cover - construction validates components
+            raise OValueError(f"not an o-value: {v!r}")
+
+
+def substitute_oids(value: OValue, mapping: Mapping[Oid, OValue]) -> OValue:
+    """Simultaneously replace oids in ``value`` according to ``mapping``.
+
+    Oids not in the mapping are left in place. This is the workhorse behind
+    O-isomorphism application (Section 4.1) and the object→value translation
+    ψ (Section 7.1), where every oid is replaced by its (possibly infinite)
+    pure value.
+    """
+    if isinstance(value, Oid):
+        return mapping.get(value, value)
+    if isinstance(value, OTuple):
+        return OTuple({attr: substitute_oids(v, mapping) for attr, v in value.items()})
+    if isinstance(value, OSet):
+        return OSet(substitute_oids(v, mapping) for v in value)
+    return value
+
+
+def branching_factor(value: OValue) -> int:
+    """The maximum out-degree of a node in the tree representing ``value``.
+
+    Lemma 5.7 bounds the branching factor of instances produced by
+    invention-free programs; this function makes that bound measurable.
+    Scalars have branching factor 0.
+    """
+    best = 0
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if isinstance(v, OTuple):
+            best = max(best, len(v))
+            stack.extend(component for _, component in v.items())
+        elif isinstance(v, OSet):
+            best = max(best, len(v))
+            stack.extend(v.elements)
+    return best
+
+
+def value_depth(value: OValue) -> int:
+    """The depth of the finite tree representing ``value`` (leaves = 0)."""
+    if isinstance(value, OTuple):
+        if len(value) == 0:
+            return 1
+        return 1 + max(value_depth(v) for _, v in value.items())
+    if isinstance(value, OSet):
+        if len(value) == 0:
+            return 1
+        return 1 + max(value_depth(v) for v in value)
+    return 0
+
+
+def value_size(value: OValue) -> int:
+    """The number of nodes in the tree representing ``value``."""
+    count = 0
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        count += 1
+        if isinstance(v, OTuple):
+            stack.extend(component for _, component in v.items())
+        elif isinstance(v, OSet):
+            stack.extend(v.elements)
+    return count
+
+
+def sort_key(value: OValue):
+    """A deterministic total order on o-values.
+
+    Python cannot compare ``str`` with ``int``, let alone sets with tuples,
+    so we build an explicit lexicographic key: kind tag first, then content.
+    Oids order by serial — stable within a process run. Used for canonical
+    printing and for deterministic iteration in the evaluator (which keeps
+    runs reproducible without affecting semantics).
+    """
+    if isinstance(value, (int, float)):
+        # One numeric kind: Python (hence the model) has 0 == False == 0.0,
+        # so equal constants must share a sort key. Mixed int/float tuples
+        # compare fine element-wise.
+        return (0, "num", value)
+    if isinstance(value, str):
+        return (0, "str", value)
+    if isinstance(value, Oid):
+        return (1, value.serial)
+    if isinstance(value, OTuple):
+        return (2, tuple((attr, sort_key(v)) for attr, v in value.items()))
+    if isinstance(value, OSet):
+        return (3, tuple(sorted(sort_key(v) for v in value)))
+    raise OValueError(f"not an o-value: {value!r}")
+
+
+def render(value: OValue) -> str:
+    """Render an o-value deterministically (sets in sorted order)."""
+    if isinstance(value, OTuple):
+        inner = ", ".join(f"{attr}: {render(v)}" for attr, v in value.items())
+        return f"[{inner}]"
+    if isinstance(value, OSet):
+        inner = ", ".join(render(v) for v in sorted(value, key=sort_key))
+        return "{" + inner + "}"
+    if isinstance(value, Oid):
+        return repr(value)
+    return repr(value)

@@ -1,0 +1,137 @@
+"""The finite-tree representation of o-values (Section 2.1 of the paper).
+
+The paper observes that o-values can be represented by finite trees with
+three kinds of nodes:
+
+1. leaf nodes labelled by an element of ``D ∪ O``,
+2. tuple nodes labelled ``×`` whose outgoing arcs carry distinct attributes,
+3. set nodes labelled ``*`` whose children are roots of *distinct* subtrees
+   (guaranteeing duplicate elimination).
+
+:class:`ValueTree` makes that representation explicit and reversible. It is
+used by the value-based model (Section 7) as the finite prefix language of
+regular infinite trees, by pretty-printers, and by tests that check the
+structural claims (branching factor, depth) directly on trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import OValueError
+from repro.values.ovalues import Oid, OSet, OTuple, OValue, is_constant, sort_key
+
+#: Node kinds.
+LEAF = "leaf"
+TUPLE = "tuple"
+SET = "set"
+
+
+@dataclass(frozen=True)
+class ValueTree:
+    """An immutable tree node.
+
+    ``kind`` is one of :data:`LEAF`, :data:`TUPLE`, :data:`SET`.
+    For a leaf, ``label`` is the constant or oid. For a tuple node,
+    ``children`` is a tuple of ``(attribute, subtree)`` pairs in canonical
+    attribute order; for a set node the attribute slots are ``None`` and the
+    subtrees are pairwise distinct and canonically ordered.
+    """
+
+    kind: str
+    label: Optional[OValue] = None
+    children: Tuple[Tuple[Optional[str], "ValueTree"], ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.kind == LEAF:
+            if self.children:
+                raise OValueError("leaf nodes have no children")
+            if not (isinstance(self.label, Oid) or is_constant(self.label)):
+                raise OValueError(f"leaf label must be a constant or oid, got {self.label!r}")
+        elif self.kind == TUPLE:
+            attrs = [attr for attr, _ in self.children]
+            if None in attrs:
+                raise OValueError("tuple arcs must be labelled by attributes")
+            if len(set(attrs)) != len(attrs):
+                raise OValueError("tuple arcs must carry distinct attributes")
+        elif self.kind == SET:
+            if any(attr is not None for attr, _ in self.children):
+                raise OValueError("set arcs are unlabelled")
+            subtrees = [child for _, child in self.children]
+            if len(set(subtrees)) != len(subtrees):
+                raise OValueError("the children of a set node must be distinct subtrees")
+        else:
+            raise OValueError(f"unknown node kind {self.kind!r}")
+
+    # -- structural measures -------------------------------------------------
+
+    @property
+    def out_degree(self) -> int:
+        return len(self.children)
+
+    def depth(self) -> int:
+        """Leaf depth is 0; a constructor node adds one level."""
+        if not self.children and self.kind == LEAF:
+            return 0
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for _, child in self.children)
+
+    def size(self) -> int:
+        """Total number of nodes."""
+        return 1 + sum(child.size() for _, child in self.children)
+
+    def branching_factor(self) -> int:
+        """Maximum out-degree over all nodes (Lemma 5.7)."""
+        best = self.out_degree
+        for _, child in self.children:
+            best = max(best, child.branching_factor())
+        return best
+
+    def leaves(self) -> List[OValue]:
+        """All leaf labels, left to right."""
+        if self.kind == LEAF:
+            return [self.label]
+        out: List[OValue] = []
+        for _, child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, indent: int = 0) -> str:
+        """An ASCII rendering of the tree, one node per line."""
+        pad = "  " * indent
+        if self.kind == LEAF:
+            return f"{pad}{self.label!r}"
+        head = "×" if self.kind == TUPLE else "*"
+        lines = [f"{pad}{head}"]
+        for attr, child in self.children:
+            if attr is not None:
+                lines.append(f"{pad}  .{attr}:")
+                lines.append(child.render(indent + 2))
+            else:
+                lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def from_ovalue(value: OValue) -> ValueTree:
+    """Build the tree representation of an o-value (Section 2.1)."""
+    if isinstance(value, OTuple):
+        children = tuple((attr, from_ovalue(component)) for attr, component in value.items())
+        return ValueTree(TUPLE, children=children)
+    if isinstance(value, OSet):
+        ordered = sorted(value, key=sort_key)
+        children = tuple((None, from_ovalue(element)) for element in ordered)
+        return ValueTree(SET, children=children)
+    return ValueTree(LEAF, label=value)
+
+
+def to_ovalue(tree: ValueTree) -> OValue:
+    """Recover the o-value a tree represents (inverse of :func:`from_ovalue`)."""
+    if tree.kind == LEAF:
+        return tree.label
+    if tree.kind == TUPLE:
+        return OTuple({attr: to_ovalue(child) for attr, child in tree.children})
+    return OSet(to_ovalue(child) for _, child in tree.children)

@@ -1,0 +1,51 @@
+"""Workload generators and canonical fixtures for tests and benchmarks."""
+
+from repro.workloads.genesis import (
+    ANCESTOR,
+    FIRST,
+    FOUNDED,
+    SECOND,
+    genesis_instance,
+    genesis_schema,
+)
+from repro.workloads.graphs import (
+    binary_tree,
+    cycle_graph,
+    layered_dag,
+    node_name,
+    parent_forest,
+    path_graph,
+    random_graph,
+    transitive_closure,
+)
+from repro.workloads.university import (
+    INSTRUCTOR,
+    PERSON,
+    STUDENT,
+    TA,
+    university_instance,
+    university_schema,
+)
+
+__all__ = [
+    "ANCESTOR",
+    "FIRST",
+    "FOUNDED",
+    "SECOND",
+    "genesis_instance",
+    "genesis_schema",
+    "binary_tree",
+    "cycle_graph",
+    "layered_dag",
+    "node_name",
+    "parent_forest",
+    "path_graph",
+    "random_graph",
+    "transitive_closure",
+    "INSTRUCTOR",
+    "PERSON",
+    "STUDENT",
+    "TA",
+    "university_instance",
+    "university_schema",
+]

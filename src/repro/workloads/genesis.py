@@ -1,0 +1,70 @@
+"""Example 1.1 — the Genesis instance, verbatim from the paper.
+
+Schema S: classes ``1st-generation`` and ``2nd-generation``, relations
+``founded-lineage`` and ``ancestor-of-celebrity``; instance I with oids
+adam, eve, cain, abel, seth, other — cyclic through the spouse/children
+links, with ν(other) undefined ("Genesis is rather vague on this point").
+
+This fixture exercises every structural feature at once: cyclic class
+types, union types, set-valued attributes, relations over class oids, and
+incomplete information via an undefined ν.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.schema.instance import Instance
+from repro.schema.schema import Schema
+from repro.typesys.expressions import D, classref, set_of, tuple_of, union
+from repro.values.ovalues import Oid, OSet, OTuple
+
+FIRST = "first_generation"
+SECOND = "second_generation"
+FOUNDED = "founded_lineage"
+ANCESTOR = "ancestor_of_celebrity"
+
+
+def genesis_schema() -> Schema:
+    """The schema of Example 1.1 (names pythonized)."""
+    first = classref(FIRST)
+    second = classref(SECOND)
+    return Schema(
+        relations={
+            FOUNDED: second,
+            ANCESTOR: tuple_of(anc=second, desc=union(D, tuple_of(spouse=D))),
+        },
+        classes={
+            FIRST: tuple_of(name=D, spouse=first, children=set_of(second)),
+            SECOND: tuple_of(name=D, occupations=set_of(D)),
+        },
+    )
+
+
+def genesis_instance() -> Tuple[Instance, Dict[str, Oid]]:
+    """The instance of Example 1.1; returns (instance, oids by name)."""
+    schema = genesis_schema()
+    oids = {name: Oid(name) for name in ("adam", "eve", "cain", "abel", "seth", "other")}
+    adam, eve = oids["adam"], oids["eve"]
+    cain, abel, seth, other = oids["cain"], oids["abel"], oids["seth"], oids["other"]
+    children = OSet([cain, abel, seth, other])
+    instance = Instance(
+        schema,
+        classes={FIRST: [adam, eve], SECOND: [cain, abel, seth, other]},
+        relations={
+            FOUNDED: [cain, seth, other],
+            ANCESTOR: [
+                OTuple(anc=seth, desc="Noah"),
+                OTuple(anc=cain, desc=OTuple(spouse="Ada")),
+            ],
+        },
+        nu={
+            adam: OTuple(name="Adam", spouse=eve, children=children),
+            eve: OTuple(name="Eve", spouse=adam, children=children),
+            cain: OTuple(name="Cain", occupations=OSet(["Farmer", "Nomad", "Artisan"])),
+            abel: OTuple(name="Abel", occupations=OSet(["Shepherd"])),
+            seth: OTuple(name="Seth", occupations=OSet()),
+            # ν(other) is undefined — Genesis is rather vague on this point.
+        },
+    )
+    return instance, oids

@@ -1,0 +1,103 @@
+"""Graph workload generators for the benchmarks.
+
+Experiments E2, E10 and E11 sweep over directed graphs of growing size;
+these generators produce them deterministically (seeded) in both the flat
+Datalog form (sets of pairs) and the IQL instance form.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+Edge = Tuple[str, str]
+
+
+def node_name(i: int) -> str:
+    return f"n{i:04d}"
+
+
+def path_graph(n: int) -> Set[Edge]:
+    """A simple path n0 → n1 → ... — worst-case depth for transitive closure."""
+    return {(node_name(i), node_name(i + 1)) for i in range(n - 1)}
+
+
+def cycle_graph(n: int) -> Set[Edge]:
+    """A directed cycle — the canonical cyclic re-representation input."""
+    return {(node_name(i), node_name((i + 1) % n)) for i in range(n)}
+
+
+def random_graph(n: int, average_degree: float = 2.0, seed: int = 0) -> Set[Edge]:
+    """A seeded random digraph with ~``average_degree`` out-edges per node."""
+    rng = random.Random(seed)
+    edges: Set[Edge] = set()
+    # A digraph without self-loops has at most n(n-1) edges; clamp the
+    # target or small n would loop forever chasing unreachable density.
+    target = min(int(n * average_degree), n * (n - 1))
+    names = [node_name(i) for i in range(n)]
+    while len(edges) < target:
+        a, b = rng.choice(names), rng.choice(names)
+        if a != b:
+            edges.add((a, b))
+    return edges
+
+
+def layered_dag(layers: int, width: int, seed: int = 0) -> Set[Edge]:
+    """A layered DAG (each node points to 2 nodes of the next layer) —
+    polynomial-size closure with controllable depth."""
+    rng = random.Random(seed)
+    edges: Set[Edge] = set()
+    for layer in range(layers - 1):
+        for i in range(width):
+            src = f"l{layer}_{i}"
+            for _ in range(2):
+                dst = f"l{layer + 1}_{rng.randrange(width)}"
+                edges.add((src, dst))
+    return edges
+
+
+def binary_tree(depth: int) -> Set[Edge]:
+    """A complete binary tree of the given depth, edges parent → child."""
+    edges: Set[Edge] = set()
+    for i in range(1, 2 ** depth):
+        if 2 * i < 2 ** (depth + 1) - 1:
+            edges.add((node_name(i), node_name(2 * i)))
+            edges.add((node_name(i), node_name(2 * i + 1)))
+    return edges
+
+
+def transitive_closure(edges: Set[Edge]) -> Set[Edge]:
+    """Reference closure (Floyd–Warshall-ish worklist) for oracle checks."""
+    closure: Set[Edge] = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        by_src = {}
+        for a, b in closure:
+            by_src.setdefault(a, set()).add(b)
+        for a, b in list(closure):
+            for c in by_src.get(b, ()):
+                if (a, c) not in closure:
+                    closure.add((a, c))
+                    changed = True
+    return closure
+
+
+def parent_forest(families: int, generations: int, children: int = 2) -> Tuple[Set[Edge], List[str]]:
+    """A forest of family trees (child, parent) pairs for same-generation
+    queries; returns (parent edges, all persons)."""
+    edges: Set[Edge] = set()
+    persons: List[str] = []
+    for f in range(families):
+        previous = [f"f{f}_g0_p0"]
+        persons.extend(previous)
+        for g in range(1, generations):
+            current = []
+            for parent in previous:
+                for c in range(children):
+                    kid = f"{parent}/c{c}"
+                    edges.add((kid, parent))
+                    current.append(kid)
+            persons.extend(current)
+            previous = current
+    return edges, persons

@@ -1,0 +1,100 @@
+"""The university inheritance workload (Examples 6.1.2 / 6.2.1).
+
+person / student / instructor / ta with the isa diamond
+
+    ta ≤ student ≤ person,  ta ≤ instructor ≤ person
+
+and the succinct declarations of Example 6.2.1, whose effective types the
+*-interpretation expands into Example 6.1.2's explicit records:
+
+    t_person     = [name: D]
+    t_student    = [name: D, course_taken: D]
+    t_instructor = [name: D, course_taught: D]
+    t_ta         = [name: D, course_taken: D, course_taught: D]
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.inheritance.inhschema import InheritanceSchema
+from repro.schema.instance import Instance
+from repro.typesys.expressions import D, classref, tuple_of
+from repro.values.ovalues import Oid, OTuple
+
+PERSON, STUDENT, INSTRUCTOR, TA = "person", "student", "instructor", "ta"
+
+
+def university_schema() -> InheritanceSchema:
+    """The succinct declarations of Example 6.2.1."""
+    return InheritanceSchema(
+        relations={
+            # A relation typed over the hierarchy: enrollment pairs a
+            # student-ish object with an instructor-ish object.
+            "teaches": tuple_of(T=classref(INSTRUCTOR), S=classref(STUDENT)),
+        },
+        classes={
+            PERSON: tuple_of(name=D),
+            STUDENT: tuple_of(course_taken=D),
+            INSTRUCTOR: tuple_of(course_taught=D),
+            TA: tuple_of(),
+        },
+        isa=[(STUDENT, PERSON), (INSTRUCTOR, PERSON), (TA, STUDENT), (TA, INSTRUCTOR)],
+    )
+
+
+def university_instance(
+    people: int = 4, students: int = 4, instructors: int = 2, tas: int = 2, seed: int = 0
+) -> Tuple[Instance, Dict[str, List[Oid]]]:
+    """A populated instance over the *base* schema (disjoint π): values
+    follow the effective types t_P, teaching pairs are drawn randomly.
+
+    The instance is built over the plain base schema and is meant to be
+    validated through :meth:`InheritanceSchema.validate_instance` (or run
+    through IQL on the compiled union-type schema)."""
+    rng = random.Random(seed)
+    schema = university_schema()
+    base = schema.base
+    instance = Instance(base)
+    groups: Dict[str, List[Oid]] = {PERSON: [], STUDENT: [], INSTRUCTOR: [], TA: []}
+    courses = [f"course{i}" for i in range(max(2, instructors + tas))]
+
+    def add(class_name: str, count: int, value_builder) -> None:
+        for i in range(count):
+            oid = Oid(f"{class_name}{i}")
+            instance.add_class_member(class_name, oid)
+            instance.assign(oid, value_builder(f"{class_name}_{i}"))
+            groups[class_name].append(oid)
+
+    add(PERSON, people, lambda name: OTuple(name=name))
+    add(
+        STUDENT,
+        students,
+        lambda name: OTuple(name=name, course_taken=rng.choice(courses)),
+    )
+    add(
+        INSTRUCTOR,
+        instructors,
+        lambda name: OTuple(name=name, course_taught=rng.choice(courses)),
+    )
+    add(
+        TA,
+        tas,
+        lambda name: OTuple(
+            name=name,
+            course_taken=rng.choice(courses),
+            course_taught=rng.choice(courses),
+        ),
+    )
+
+    # teaches: instructors *or tas* teach students *or tas* — the inherited
+    # assignment is what makes these pairs well typed.
+    teachers = groups[INSTRUCTOR] + groups[TA]
+    learners = groups[STUDENT] + groups[TA]
+    for teacher in teachers:
+        candidates = [l for l in learners if l != teacher]
+        if candidates:
+            learner = rng.choice(candidates)
+            instance.add_relation_member("teaches", OTuple(T=teacher, S=learner))
+    return instance, groups

@@ -1,0 +1,48 @@
+"""Shared fixtures: canonical schemas and instances used across test modules."""
+
+import pytest
+
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.iql import Program, Rule, Var, atom, columns, typecheck_program
+from repro.values import Oid, OTuple
+
+
+@pytest.fixture
+def tc_schema() -> Schema:
+    """E (edges) and T (closure), both [A1: D, A2: D]."""
+    return Schema(relations={"E": columns(D, D), "T": columns(D, D)})
+
+
+@pytest.fixture
+def tc_program(tc_schema) -> Program:
+    """Transitive closure as a plain Datalog-in-IQL program."""
+    x, y, z = Var("x", D), Var("y", D), Var("z", D)
+    return typecheck_program(
+        Program(
+            tc_schema,
+            rules=[
+                Rule(atom(tc_schema, "T", x, y), [atom(tc_schema, "E", x, y)]),
+                Rule(
+                    atom(tc_schema, "T", x, z),
+                    [atom(tc_schema, "T", x, y), atom(tc_schema, "E", y, z)],
+                ),
+            ],
+            input_names=["E"],
+            output_names=["T"],
+        )
+    )
+
+
+def edge_instance(schema: Schema, edges) -> Instance:
+    return Instance(
+        schema.project(["E"]),
+        relations={"E": [OTuple(A01=a, A02=b) for a, b in edges]},
+    )
+
+
+@pytest.fixture
+def person_schema() -> Schema:
+    """A tiny cyclic class schema: Person = [name: D, friends: {Person}]."""
+    P = classref("Person")
+    return Schema(classes={"Person": tuple_of(name=D, friends=set_of(P))})

@@ -1,0 +1,126 @@
+"""Tests for the three choose disciplines: verify / trusted / N-IQL."""
+
+import pytest
+
+from repro.errors import GenericityError
+from repro.iql import (
+    Choose,
+    Evaluator,
+    Membership,
+    NameTerm,
+    Program,
+    Rule,
+    TupleTerm,
+    Var,
+    typecheck_program,
+)
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, tuple_of
+from repro.values import Oid, OTuple
+
+
+def picker_program():
+    """R_pick(m) ← choose — select one object of class P."""
+    P = classref("P")
+    schema = Schema(
+        relations={"R_pick": tuple_of(M=P)},
+        classes={"P": tuple_of(tag=D)},
+    )
+    m = Var("m", P)
+    return typecheck_program(
+        Program(
+            schema,
+            rules=[Rule(Membership(NameTerm("R_pick"), TupleTerm(M=m)), [Choose()])],
+            input_names=["P"],
+            output_names=["R_pick", "P"],
+        )
+    )
+
+
+def symmetric_instance(schema, n=3):
+    oids = [Oid(f"s{i}") for i in range(n)]
+    inst = Instance(schema.project(["P"]))
+    for o in oids:
+        inst.add_class_member("P", o)
+        inst.assign(o, OTuple(tag="same"))
+    return inst, oids
+
+
+def asymmetric_instance(schema):
+    oids = [Oid("a"), Oid("b")]
+    inst = Instance(schema.project(["P"]))
+    for i, o in enumerate(oids):
+        inst.add_class_member("P", o)
+        inst.assign(o, OTuple(tag=f"tag{i}"))
+    return inst, oids
+
+
+class TestVerify:
+    def test_symmetric_candidates_allowed(self):
+        program = picker_program()
+        inst, oids = symmetric_instance(program.schema)
+        out = Evaluator(program, choose_mode="verify").run(inst).output
+        assert len(out.relations["R_pick"]) == 1
+
+    def test_distinguishable_candidates_rejected(self):
+        program = picker_program()
+        inst, _ = asymmetric_instance(program.schema)
+        with pytest.raises(GenericityError):
+            Evaluator(program, choose_mode="verify").run(inst)
+
+    def test_empty_class_rejected(self):
+        program = picker_program()
+        inst = Instance(program.schema.project(["P"]))
+        with pytest.raises(GenericityError):
+            Evaluator(program, choose_mode="verify").run(inst)
+
+    def test_singleton_needs_no_orbit_check(self):
+        program = picker_program()
+        inst, oids = symmetric_instance(program.schema, n=1)
+        out = Evaluator(program, choose_mode="verify").run(inst).output
+        (row,) = out.relations["R_pick"]
+        assert row["M"] == oids[0]
+
+
+class TestTrusted:
+    def test_trusted_skips_the_check(self):
+        program = picker_program()
+        inst, oids = asymmetric_instance(program.schema)
+        out = Evaluator(program, choose_mode="trusted").run(inst).output
+        (row,) = out.relations["R_pick"]
+        assert row["M"] in oids
+
+
+class TestNondeterministic:
+    def test_niql_picks_arbitrarily(self):
+        # Remark N-IQL: choice without genericity — legal, but the result
+        # is a nondeterministic transformation.
+        program = picker_program()
+        picks = set()
+        for seed in range(8):
+            inst, oids = asymmetric_instance(program.schema)
+            out = Evaluator(
+                program, choose_mode="nondeterministic", seed=seed
+            ).run(inst).output
+            (row,) = out.relations["R_pick"]
+            picks.add(row["M"].name)
+        # different seeds genuinely reach different witnesses
+        assert picks == {"a", "b"}
+
+    def test_niql_is_reproducible_per_seed(self):
+        program = picker_program()
+        names = []
+        for _ in range(2):
+            inst, _ = asymmetric_instance(program.schema)
+            out = Evaluator(
+                program, choose_mode="nondeterministic", seed=123
+            ).run(inst).output
+            (row,) = out.relations["R_pick"]
+            names.append(row["M"].name)
+        assert names[0] == names[1]
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            Evaluator(picker_program(), choose_mode="chaotic")

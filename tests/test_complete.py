@@ -1,0 +1,132 @@
+"""Tests for the Theorem 4.2.4 completeness machinery at toy scale."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.schema import Instance, Schema, are_o_isomorphic
+from repro.transform.complete import (
+    dovetail_pairs,
+    dovetail_search,
+    enumerate_instances,
+)
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import Oid, OSet, OTuple
+
+
+class TestDovetailOrder:
+    def test_prefix(self):
+        pairs = list(dovetail_pairs(3, 3))
+        assert pairs[:4] == [(1, 1), (2, 1), (2, 2), (3, 1)]
+
+    def test_covers_grid(self):
+        pairs = set(dovetail_pairs(3, 4))
+        assert (3, 3) in pairs and (1, 4) in pairs
+
+
+class TestEnumerateInstances:
+    def test_single_class_of_constants(self):
+        schema = Schema(classes={"P": D})
+        o = Oid()
+        candidates = list(enumerate_instances(schema, [o], ["a", "b"]))
+        # ν(o) ∈ {a, b} or undefined → 3 candidates.
+        assert len(candidates) == 3
+        values = {c.value_of(o) for c in candidates}
+        assert values == {"a", "b", None}
+
+    def test_set_valued_class_has_no_undefined(self):
+        schema = Schema(classes={"Q": set_of(D)})
+        o = Oid()
+        candidates = list(enumerate_instances(schema, [o], ["a"]))
+        # {} or {a} — set-valued ν is total (Condition (3) of Def 2.3.2).
+        assert len(candidates) == 2
+
+    def test_partition_over_two_classes(self):
+        schema = Schema(classes={"P": D, "Q": D})
+        o = Oid()
+        candidates = list(enumerate_instances(schema, [o], ["a"]))
+        # oid in P or in Q; value a or undefined → 4.
+        assert len(candidates) == 4
+
+    def test_relations_enumerate_subsets(self):
+        schema = Schema(relations={"R": D}, classes={"P": tuple_of()})
+        o = Oid()
+        candidates = list(enumerate_instances(schema, [o], ["a"]))
+        # ν(o) ∈ {[], undefined} × R ⊆ {a} → 2 × 2 = 4.
+        assert len(candidates) == 4
+
+    def test_budget_guard(self):
+        schema = Schema(relations={"R": D})
+        with pytest.raises(EvaluationError):
+            list(
+                enumerate_instances(
+                    schema, [], [f"c{i}" for i in range(30)], budget=10
+                )
+            )
+
+    def test_cyclic_values_enumerable(self):
+        # T(P) = {P}: oids may contain each other — the cyclic candidates
+        # the proof needs for recursive output types.
+        schema = Schema(classes={"P": set_of(classref("P"))})
+        o1, o2 = Oid(), Oid()
+        candidates = list(enumerate_instances(schema, [o1, o2], []))
+        # ν(oi) ⊆ {o1, o2}: 4 × 4 = 16 candidates.
+        assert len(candidates) == 16
+        cyclic = [
+            c
+            for c in candidates
+            if o1 in c.value_of(o2) and o2 in c.value_of(o1)
+        ]
+        assert len(cyclic) == 4
+
+
+class TestDovetailSearch:
+    def test_finds_constant_tagging_transformation(self):
+        """γ: input a unary relation R; output one object per constant,
+        valued by it (a genuine dio-transformation)."""
+        sin = Schema(relations={"R": D})
+        sout = Schema(classes={"P": D})
+        input_instance = Instance(sin, relations={"R": ["a", "b"]})
+
+        def acceptor(inp, candidate, steps):
+            if steps < 2:
+                return False  # "not decided yet" at tiny budgets
+            want = set(inp.relations["R"])
+            got = [candidate.value_of(o) for o in candidate.classes["P"]]
+            return None not in got and set(got) == want and len(got) == len(want)
+
+        result = dovetail_search(acceptor, input_instance, sout, max_oids=3)
+        assert result is not None
+        assert len(result.image.classes["P"]) == 2
+        assert result.all_isomorphic  # genericity ⇒ candidates are copies
+        assert result.pair[0] == 2  # found at exactly |constants| oids
+
+    def test_finds_pure_object_output(self):
+        """γ ignores the input and outputs a 2-cycle of objects — the
+        oids-only case of Proposition 4.2.8."""
+        sin = Schema(relations={"R": D})
+        sout = Schema(classes={"P": set_of(classref("P"))})
+        input_instance = Instance(sin, relations={"R": ["a"]})
+
+        def acceptor(inp, candidate, steps):
+            oids = sorted(candidate.classes["P"])
+            if len(oids) != 2:
+                return False
+            o1, o2 = oids
+            return candidate.value_of(o1) == OSet([o2]) and candidate.value_of(
+                o2
+            ) == OSet([o1])
+
+        result = dovetail_search(acceptor, input_instance, sout, max_oids=3)
+        assert result is not None
+        assert result.pair[0] == 2
+        assert result.all_isomorphic
+
+    def test_exhausted_bounds_return_none(self):
+        sin = Schema(relations={"R": D})
+        sout = Schema(classes={"P": D})
+        input_instance = Instance(sin, relations={"R": ["a"]})
+
+        def never(inp, candidate, steps):
+            return False
+
+        assert dovetail_search(never, input_instance, sout, max_oids=2) is None

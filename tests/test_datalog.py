@@ -1,0 +1,136 @@
+"""Tests for the standalone Datalog substrate (Section 3.4's baseline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    DatalogProgram,
+    DAtom,
+    DRule,
+    DVar,
+    evaluate_inflationary,
+    evaluate_naive,
+    evaluate_seminaive,
+    evaluate_stratified,
+    is_stratifiable,
+    same_generation_program,
+    stratify,
+    transitive_closure_program,
+    unreachable_program,
+    win_move_program,
+)
+from repro.errors import TypeCheckError
+from repro.workloads import parent_forest, path_graph, random_graph, transitive_closure
+
+
+class TestAst:
+    def test_arity_inference_and_check(self):
+        x = DVar("x")
+        with pytest.raises(TypeCheckError):
+            DatalogProgram(
+                [
+                    DRule(DAtom("P", x), [DAtom("Q", x)]),
+                    DRule(DAtom("P", x, x), [DAtom("Q", x)]),
+                ]
+            )
+
+    def test_edb_idb_split(self):
+        prog = transitive_closure_program()
+        assert prog.edb == {"E"}
+        assert prog.idb == {"T"}
+
+    def test_explicit_edb_clash(self):
+        x = DVar("x")
+        with pytest.raises(TypeCheckError):
+            DatalogProgram([DRule(DAtom("P", x), [DAtom("Q", x)])], edb=["P"])
+
+    def test_safety(self):
+        x, y = DVar("x"), DVar("y")
+        unsafe = DatalogProgram([DRule(DAtom("P", x, y), [DAtom("Q", x)])])
+        with pytest.raises(TypeCheckError):
+            unsafe.check_safety()
+        safe = transitive_closure_program()
+        safe.check_safety()
+
+    def test_negated_head_rejected(self):
+        x = DVar("x")
+        with pytest.raises(TypeCheckError):
+            DRule(DAtom("P", x, positive=False), [DAtom("Q", x)])
+
+
+class TestStratification:
+    def test_tc_single_stratum(self):
+        assert len(stratify(transitive_closure_program())) == 1
+
+    def test_unreachable_two_strata(self):
+        layers = stratify(unreachable_program())
+        assert len(layers) == 2
+        assert {r.head.predicate for r in layers[0]} == {"Reach"}
+        assert {r.head.predicate for r in layers[1]} == {"Unreach"}
+
+    def test_win_move_not_stratifiable(self):
+        assert not is_stratifiable(win_move_program())
+        with pytest.raises(TypeCheckError):
+            stratify(win_move_program())
+
+
+class TestEngines:
+    def test_tc_on_path(self):
+        edges = path_graph(8)
+        prog = transitive_closure_program()
+        expected = transitive_closure(edges)
+        assert evaluate_naive(prog, {"E": set(edges)})["T"] == expected
+        assert evaluate_seminaive(prog, {"E": set(edges)})["T"] == expected
+
+    def test_same_generation(self):
+        parents, persons = parent_forest(1, 3)
+        prog = same_generation_program()
+        edb = {"Par": set(parents), "Person": {(p,) for p in persons}}
+        out = evaluate_seminaive(prog, edb)
+        # siblings are same-generation
+        sibs = [p for p in persons if p.endswith("/c0")]
+        for s in sibs:
+            partner = s[:-3] + "/c1"
+            assert (s, partner) in out["SG"]
+
+    def test_stratified_unreachable(self):
+        edges = path_graph(4)
+        edb = {
+            "E": set(edges),
+            "Source": {("n0000",)},
+            "Node": {(f"n{i:04d}",) for i in range(6)},
+        }
+        out = evaluate_stratified(unreachable_program(), edb)
+        assert out["Unreach"] == {("n0004",), ("n0005",)}
+
+    def test_inflationary_win_move(self):
+        out = evaluate_inflationary(win_move_program(), {"Move": {("a", "b"), ("b", "c")}})
+        # Inflationary: both a and b acquire Win in the first round.
+        assert out["Win"] == {("a",), ("b",)}
+
+    def test_stratified_rejects_unsafe(self):
+        x, y = DVar("x"), DVar("y")
+        unsafe = DatalogProgram(
+            [DRule(DAtom("P", x), [DAtom("Q", y, positive=False), DAtom("R", x)])]
+        )
+        with pytest.raises(TypeCheckError):
+            evaluate_stratified(unsafe, {"Q": set(), "R": {("a",)}})
+
+    def test_constants_in_rules(self):
+        x = DVar("x")
+        prog = DatalogProgram(
+            [DRule(DAtom("Special", x), [DAtom("E", "root", x)])]
+        )
+        out = evaluate_seminaive(prog, {"E": {("root", "a"), ("other", "b")}})
+        assert out["Special"] == {("a",)}
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 1000))
+def test_naive_seminaive_agree_on_random_graphs(n, seed):
+    edges = random_graph(n, average_degree=1.5, seed=seed)
+    prog = transitive_closure_program()
+    expected = transitive_closure(edges)
+    assert evaluate_naive(prog, {"E": set(edges)})["T"] == expected
+    assert evaluate_seminaive(prog, {"E": set(edges)})["T"] == expected

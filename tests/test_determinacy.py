@@ -1,0 +1,74 @@
+"""E6 — Theorem 4.1.3: IQL programs denote db-transformations.
+
+Determinacy (condition 4) and genericity (condition 3) are falsifiable on
+probes: different oid factories, random DO-isomorphisms of the input.
+"""
+
+import pytest
+
+from repro.transform import (
+    check_constants_preserved,
+    check_determinacy,
+    check_genericity,
+    graph_instance,
+    graph_to_class_program,
+    powerset_input,
+    powerset_restricted_program,
+    quadrangle_choose_program,
+    quadrangle_input,
+    union_encode_program,
+    union_instance,
+)
+from repro.workloads import cycle_graph, random_graph
+
+
+class TestDeterminacy:
+    def test_graph_encoding(self):
+        report = check_determinacy(
+            graph_to_class_program(), graph_instance(cycle_graph(3)), runs=3
+        )
+        assert report.all_isomorphic, report.witness
+
+    def test_powerset(self):
+        report = check_determinacy(
+            powerset_restricted_program(), powerset_input(["a", "b"]), runs=2
+        )
+        assert report.all_isomorphic, report.witness
+
+    def test_union_encoding(self):
+        report = check_determinacy(
+            union_encode_program(),
+            union_instance({"a": ("a", "b"), "b": "a"}),
+            runs=3,
+        )
+        assert report.all_isomorphic, report.witness
+
+    def test_quadrangle_with_choose(self):
+        report = check_determinacy(
+            quadrangle_choose_program(), quadrangle_input("a", "b"), runs=2
+        )
+        assert report.all_isomorphic, report.witness
+
+
+class TestGenericity:
+    def test_graph_encoding(self):
+        report = check_genericity(
+            graph_to_class_program(), graph_instance(random_graph(4, seed=7)), probes=2
+        )
+        assert report.all_generic, report.witness
+
+    def test_quadrangle_with_choose(self):
+        report = check_genericity(
+            quadrangle_choose_program(), quadrangle_input("a", "b"), probes=2
+        )
+        assert report.all_generic, report.witness
+
+
+class TestConstantPreservation:
+    def test_no_new_constants(self):
+        assert check_constants_preserved(
+            graph_to_class_program(), graph_instance(cycle_graph(4))
+        )
+        assert check_constants_preserved(
+            powerset_restricted_program(), powerset_input(["a", "b"])
+        )

@@ -1,0 +1,208 @@
+"""E1 — queries over the Genesis instance of Example 1.1.
+
+Beyond validating the fixture (test_instance.py), these tests run real IQL
+programs against it: navigation through ν, set membership, union-typed
+relations, and incomplete information.
+"""
+
+import pytest
+
+from repro.iql import (
+    Equality,
+    Membership,
+    NameTerm,
+    Program,
+    Rule,
+    SetTerm,
+    TupleTerm,
+    Var,
+    evaluate,
+    typecheck_program,
+)
+from repro.schema import Instance
+from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.workloads import (
+    ANCESTOR,
+    FIRST,
+    FOUNDED,
+    SECOND,
+    genesis_instance,
+    genesis_schema,
+)
+
+
+@pytest.fixture
+def genesis():
+    return genesis_instance()
+
+
+def run_query(instance, extra_relations, rules, output):
+    """Run rules over Genesis; the output projection must be a well-formed
+    schema, so it includes every class the output relation's type mentions."""
+    schema = instance.schema.with_names(relations=extra_relations)
+    outputs = [output]
+    pending = set()
+    for name in extra_relations:
+        pending |= extra_relations[name].class_names()
+    while pending:  # transitive closure of class references
+        cls = pending.pop()
+        if cls not in outputs:
+            outputs.append(cls)
+            pending |= schema.classes[cls].class_names()
+    program = typecheck_program(
+        Program(
+            schema,
+            rules=rules,
+            input_names=sorted(instance.schema.names),
+            output_names=sorted(set(outputs)),
+        )
+    )
+    return evaluate(program, instance)
+
+
+class TestNavigation:
+    def test_children_names(self, genesis):
+        """Names of all children of anyone in the first generation."""
+        instance, oids = genesis
+        schema = instance.schema.with_names(relations={"ChildName": D})
+        first = classref(FIRST)
+        second = classref(SECOND)
+        p = Var("p", first)
+        c = Var("c", second)
+        n, cn = Var("n", D), Var("cn", D)
+        kids = Var("kids", set_of(second))
+        spouse = Var("sp", first)
+        occs = Var("occs", set_of(D))
+        rules = [
+            Rule(
+                Membership(NameTerm("ChildName"), cn),
+                [
+                    Membership(NameTerm(FIRST), p),
+                    Equality(p.hat(), TupleTerm(name=n, spouse=spouse, children=kids)),
+                    Membership(kids, c),
+                    Equality(c.hat(), TupleTerm(name=cn, occupations=occs)),
+                ],
+            )
+        ]
+        out = run_query(instance, {"ChildName": D}, rules, "ChildName")
+        # 'other' has undefined ν, so only the named children appear.
+        assert out.relations["ChildName"] == {"Cain", "Abel", "Seth"}
+
+    def test_spouse_symmetry(self, genesis):
+        """Pairs (x, spouse-of-x): in Genesis the relation is symmetric."""
+        instance, oids = genesis
+        first = classref(FIRST)
+        p, q = Var("p", first), Var("q", first)
+        n = Var("n", D)
+        kids = Var("kids", set_of(classref(SECOND)))
+        rules = [
+            Rule(
+                Membership(NameTerm("Couple"), TupleTerm(a=p, b=q)),
+                [
+                    Membership(NameTerm(FIRST), p),
+                    Equality(p.hat(), TupleTerm(name=n, spouse=q, children=kids)),
+                ],
+            )
+        ]
+        out = run_query(
+            instance,
+            {"Couple": tuple_of(a=first, b=first)},
+            rules,
+            "Couple",
+        )
+        pairs = {(t["a"], t["b"]) for t in out.relations["Couple"]}
+        assert (oids["adam"], oids["eve"]) in pairs
+        assert (oids["eve"], oids["adam"]) in pairs
+
+    def test_shepherds(self, genesis):
+        """Who has Shepherd among their occupations?"""
+        instance, oids = genesis
+        second = classref(SECOND)
+        c = Var("c", second)
+        n = Var("n", D)
+        occs = Var("occs", set_of(D))
+        rules = [
+            Rule(
+                Membership(NameTerm("Shepherds"), n),
+                [
+                    Membership(NameTerm(SECOND), c),
+                    Equality(c.hat(), TupleTerm(name=n, occupations=occs)),
+                    Membership(occs, Var("o", D)),
+                    Equality(Var("o", D), "Shepherd"),
+                ],
+            )
+        ]
+        out = run_query(instance, {"Shepherds": D}, rules, "Shepherds")
+        assert out.relations["Shepherds"] == {"Abel"}
+
+
+class TestUnionTypedRelation:
+    def test_celebrity_descendants_by_branch(self, genesis):
+        """Split ancestor-of-celebrity by its union branches: plain names
+        versus [spouse: name] records (Example 3.4.3's coercion pattern)."""
+        instance, oids = genesis
+        second = classref(SECOND)
+        a = Var("a", second)
+        w = Var("w", union(D, tuple_of(spouse=D)))
+        n = Var("n", D)
+        rules = [
+            Rule(
+                Membership(NameTerm("PlainDesc"), n),
+                [
+                    Membership(NameTerm(ANCESTOR), TupleTerm(anc=a, desc=w)),
+                    Equality(n, w),
+                ],
+            ),
+            Rule(
+                Membership(NameTerm("SpouseDesc"), n),
+                [
+                    Membership(NameTerm(ANCESTOR), TupleTerm(anc=a, desc=w)),
+                    Equality(TupleTerm(spouse=n), w),
+                ],
+            ),
+        ]
+        schema = instance.schema.with_names(
+            relations={"PlainDesc": D, "SpouseDesc": D}
+        )
+        program = typecheck_program(
+            Program(
+                schema,
+                rules=rules,
+                input_names=sorted(instance.schema.names),
+                output_names=["PlainDesc", "SpouseDesc"],
+            )
+        )
+        out = evaluate(program, instance)
+        assert out.relations["PlainDesc"] == {"Noah"}
+        assert out.relations["SpouseDesc"] == {"Ada"}
+
+
+class TestIncompleteInformation:
+    def test_founders_with_unknown_values(self, genesis):
+        """founded-lineage contains 'other', whose ν is undefined — queries
+        dereferencing it silently skip, queries on the extent still see it."""
+        instance, oids = genesis
+        second = classref(SECOND)
+        f = Var("f", second)
+        n = Var("n", D)
+        occs = Var("occs", set_of(D))
+        extent_rules = [
+            Rule(
+                Membership(NameTerm("Founders"), f),
+                [Membership(NameTerm(FOUNDED), f)],
+            )
+        ]
+        out = run_query(instance, {"Founders": second}, extent_rules, "Founders")
+        assert oids["other"] in out.relations["Founders"]
+
+        name_rules = [
+            Rule(
+                Membership(NameTerm("FounderNames"), n),
+                [
+                    Membership(NameTerm(FOUNDED), f),
+                    Equality(f.hat(), TupleTerm(name=n, occupations=occs)),
+                ],
+            )
+        ]
+        out = run_query(instance, {"FounderNames": D}, name_rules, "FounderNames")
+        assert out.relations["FounderNames"] == {"Cain", "Seth"}

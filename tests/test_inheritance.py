@@ -1,0 +1,188 @@
+"""E12 — Section 6: type inheritance compiled to union types."""
+
+import pytest
+
+from repro.errors import InstanceError, SchemaError
+from repro.inheritance import InheritanceSchema, IsaHierarchy, inherited_assignment
+from repro.iql import (
+    Equality,
+    Membership,
+    NameTerm,
+    Program,
+    Rule,
+    TupleTerm,
+    Var,
+    atom,
+    evaluate,
+    typecheck_program,
+)
+from repro.schema import Instance
+from repro.typesys import D, classref, tuple_of, union
+from repro.values import Oid, OTuple
+from repro.workloads import university_instance, university_schema
+
+
+class TestHierarchy:
+    def test_reflexive_transitive_closure(self):
+        h = IsaHierarchy(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        assert h.leq("a", "c") and h.leq("a", "a")
+        assert not h.leq("c", "a")
+        assert h.ancestors("a") == {"a", "b", "c"}
+        assert h.descendants("c") == {"a", "b", "c"}
+
+    def test_diamond(self):
+        h = IsaHierarchy(
+            ["ta", "student", "instructor", "person"],
+            [("ta", "student"), ("ta", "instructor"), ("student", "person"), ("instructor", "person")],
+        )
+        assert h.ancestors("ta") == {"ta", "student", "instructor", "person"}
+        assert h.descendants("person") == {"ta", "student", "instructor", "person"}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SchemaError):
+            IsaHierarchy(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SchemaError):
+            IsaHierarchy(["a"], [("a", "zzz")])
+
+    def test_inherited_assignment(self):
+        h = IsaHierarchy(["sub", "sup"], [("sub", "sup")])
+        o1, o2 = Oid(), Oid()
+        pi = {"sub": {o1}, "sup": {o2}}
+        bar = inherited_assignment(pi, h)
+        assert bar["sub"] == {o1}
+        assert bar["sup"] == {o1, o2}
+
+
+class TestEffectiveTypes:
+    def test_university_expansion(self):
+        schema = university_schema()
+        assert schema.effective_type("person") == tuple_of(name=D)
+        assert schema.effective_type("ta") == tuple_of(
+            name=D, course_taken=D, course_taught=D
+        )
+
+    def test_incompatible_parents_collapse_to_empty(self):
+        from repro.typesys import EMPTY, set_of
+
+        schema = InheritanceSchema(
+            classes={"a": tuple_of(), "b": D, "sub": tuple_of()},
+            isa=[("sub", "a"), ("sub", "b")],
+        )
+        # A record cannot be a constant: t_sub = ⊥.
+        assert schema.effective_type("sub") == EMPTY
+
+
+class TestInstanceValidation:
+    def test_university_instance(self):
+        schema = university_schema()
+        instance, groups = university_instance()
+        schema.validate_instance(instance)
+
+    def test_missing_inherited_attribute_rejected(self):
+        schema = university_schema()
+        instance, groups = university_instance()
+        ta = groups["ta"][0]
+        instance.nu[ta] = OTuple(name="broken")  # lacks course_taken/taught
+        with pytest.raises(InstanceError):
+            schema.validate_instance(instance)
+
+    def test_extra_attribute_rejected(self):
+        # Definition 6.2.2 deliberately uses the *unstarred* interpretation:
+        # values carry exactly the attributes of the least class.
+        schema = university_schema()
+        instance, groups = university_instance()
+        person = groups["person"][0]
+        instance.nu[person] = OTuple(name="p", surprise="attr")
+        with pytest.raises(InstanceError):
+            schema.validate_instance(instance)
+
+    def test_teaches_accepts_tas_through_inheritance(self):
+        # The workload wires tas as teachers/learners; plain (non-inherited)
+        # validation of the same instance would reject those rows.
+        schema = university_schema()
+        instance, groups = university_instance(tas=3, seed=1)
+        schema.validate_instance(instance)
+        assert not instance.is_valid()  # base-schema validation must fail
+
+
+class TestCompilation:
+    def test_compiled_schema_validates_instance(self):
+        schema = university_schema()
+        instance, _ = university_instance()
+        plain = schema.compile_away_isa()
+        lifted = Instance(plain)
+        for name, members in instance.relations.items():
+            lifted.relations[name] = set(members)
+        for name, oids in instance.classes.items():
+            for o in oids:
+                lifted.add_class_member(name, o)
+        lifted.nu.update(instance.nu)
+        lifted.validate()  # plain validation succeeds on the compiled schema
+
+    def test_substitution_in_relation_types(self):
+        plain = university_schema().compile_away_isa()
+        teaches = plain.relations["teaches"]
+        assert teaches.component("T") == union(classref("instructor"), classref("ta"))
+        assert teaches.component("S") == union(classref("student"), classref("ta"))
+
+    def test_iql_runs_unchanged_on_compiled_schema(self):
+        """A query over the compiled schema: names of everyone who teaches —
+        instructors and tas alike, through the union type."""
+        schema = university_schema()
+        plain = schema.compile_away_isa()
+        instance, groups = university_instance(instructors=2, tas=2, seed=3)
+
+        full = plain.with_names(relations={"TeacherName": D})
+        t_type = plain.relations["teaches"].component("T")
+        s_type = plain.relations["teaches"].component("S")
+        t, s = Var("t", t_type), Var("s", s_type)
+        n = Var("n", D)
+        ti, tta = Var("ti", classref("instructor")), Var("tta", classref("ta"))
+        rules = [
+            # Two rules, one per branch of the union — the coercion pattern
+            # of Example 3.4.3 specialized to inheritance.
+            Rule(
+                Membership(NameTerm("TeacherName"), n),
+                [
+                    Membership(NameTerm("teaches"), TupleTerm(T=ti, S=s)),
+                    Equality(
+                        ti.hat(),
+                        TupleTerm(name=n, course_taught=Var("c", D)),
+                    ),
+                ],
+            ),
+            Rule(
+                Membership(NameTerm("TeacherName"), n),
+                [
+                    Membership(NameTerm("teaches"), TupleTerm(T=tta, S=s)),
+                    Equality(
+                        tta.hat(),
+                        TupleTerm(
+                            name=n, course_taught=Var("c", D), course_taken=Var("k", D)
+                        ),
+                    ),
+                ],
+            ),
+        ]
+        program = typecheck_program(
+            Program(
+                full,
+                rules=rules,
+                input_names=sorted(plain.names),
+                output_names=["TeacherName"],
+            )
+        )
+        lifted = Instance(plain)
+        for name, members in instance.relations.items():
+            lifted.relations[name] = set(members)
+        for name, oids in instance.classes.items():
+            for o in oids:
+                lifted.add_class_member(name, o)
+        lifted.nu.update(instance.nu)
+
+        out = evaluate(program, lifted)
+        teacher_oids = {row["T"] for row in instance.relations["teaches"]}
+        expected = {instance.value_of(o)["name"] for o in teacher_oids}
+        assert out.relations["TeacherName"] == expected

@@ -1,0 +1,144 @@
+"""Tests for O-/DO-isomorphisms (Section 4.1)."""
+
+import pytest
+
+from repro.schema import (
+    Instance,
+    Schema,
+    apply_do_isomorphism,
+    apply_o_isomorphism,
+    are_o_isomorphic,
+    automorphisms,
+    find_o_isomorphism,
+    orbit_partition,
+)
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import Oid, OSet, OTuple
+from repro.workloads import genesis_instance
+
+
+def ring_instance(schema, size, names=None):
+    """A ring of persons, each the friend of the next."""
+    oids = [Oid(names[i] if names else f"p{i}") for i in range(size)]
+    inst = Instance(schema, classes={"Person": oids})
+    for i, o in enumerate(oids):
+        inst.assign(
+            o, OTuple(name=f"x{i % 2}", friends=OSet([oids[(i + 1) % size]]))
+        )
+    return inst, oids
+
+
+class TestApply:
+    def test_apply_o_isomorphism(self, person_schema):
+        inst, oids = ring_instance(person_schema, 2)
+        fresh = [Oid(), Oid()]
+        image = apply_o_isomorphism(inst, dict(zip(oids, fresh)))
+        image.validate()
+        assert image.objects() == set(fresh)
+        assert image.constants() == inst.constants()
+
+    def test_apply_do_isomorphism_renames_constants(self, person_schema):
+        inst, oids = ring_instance(person_schema, 2)
+        image = apply_do_isomorphism(
+            inst, {o: Oid() for o in oids}, {"x0": "y0", "x1": "y1"}
+        )
+        assert image.constants() == {"y0", "y1"}
+
+    def test_partial_mapping_fixes_rest(self, person_schema):
+        inst, oids = ring_instance(person_schema, 2)
+        image = apply_o_isomorphism(inst, {})
+        assert image == inst
+
+
+class TestFind:
+    def test_isomorphic_rings(self, person_schema):
+        a, _ = ring_instance(person_schema, 4)
+        b, _ = ring_instance(person_schema, 4)
+        mapping = find_o_isomorphism(a, b)
+        assert mapping is not None
+        assert apply_o_isomorphism(a, mapping) == b
+
+    def test_different_sizes_fail_fast(self, person_schema):
+        a, _ = ring_instance(person_schema, 4)
+        b, _ = ring_instance(person_schema, 6)
+        assert find_o_isomorphism(a, b) is None
+
+    def test_same_size_different_structure(self, person_schema):
+        a, _ = ring_instance(person_schema, 4)
+        # b: two 2-rings instead of one 4-ring
+        o = [Oid() for _ in range(4)]
+        b = Instance(person_schema, classes={"Person": o})
+        for i, j, name in ((0, 1, "x0"), (1, 0, "x1"), (2, 3, "x0"), (3, 2, "x1")):
+            b.assign(o[i], OTuple(name=name, friends=OSet([o[j]])))
+        assert not are_o_isomorphic(a, b)
+
+    def test_constants_matter(self, person_schema):
+        a, _ = ring_instance(person_schema, 2)
+        o = [Oid(), Oid()]
+        b = Instance(person_schema, classes={"Person": o})
+        b.assign(o[0], OTuple(name="DIFFERENT", friends=OSet([o[1]])))
+        b.assign(o[1], OTuple(name="x1", friends=OSet([o[0]])))
+        assert not are_o_isomorphic(a, b)
+
+    def test_different_schema(self, person_schema):
+        a, _ = ring_instance(person_schema, 2)
+        other = Schema(classes={"Person": tuple_of(name=D, friends=set_of(classref("Person"))), "Extra": D})
+        b = Instance(other)
+        assert find_o_isomorphism(a, b) is None
+
+    def test_undefined_values_respected(self, person_schema):
+        o1, o2 = Oid(), Oid()
+        a = Instance(person_schema, classes={"Person": [o1]})
+        b = Instance(person_schema, classes={"Person": [o2]})
+        assert are_o_isomorphic(a, b)
+        b.assign(o2, OTuple(name="x", friends=OSet()))
+        assert not are_o_isomorphic(a, b)
+
+    def test_genesis_self_isomorphic_after_renaming(self):
+        inst, oids = genesis_instance()
+        mapping = {o: Oid() for o in oids.values()}
+        image = apply_o_isomorphism(inst, mapping)
+        found = find_o_isomorphism(inst, image)
+        assert found is not None
+        assert apply_o_isomorphism(inst, found) == image
+
+    def test_relations_over_oids(self):
+        schema = Schema(
+            relations={"R": tuple_of(a=classref("P"))}, classes={"P": tuple_of()}
+        )
+        o1, o2 = Oid(), Oid()
+        a = Instance(schema, classes={"P": [o1, o2]})
+        a.add_relation_member("R", OTuple(a=o1))
+        b = Instance(schema, classes={"P": [Oid(), Oid()]})
+        assert not are_o_isomorphic(a, b)
+        for o in b.classes["P"]:
+            b.add_relation_member("R", OTuple(a=o))
+            break
+        assert are_o_isomorphic(a, b)
+
+
+class TestAutomorphisms:
+    def test_symmetric_pair(self, person_schema):
+        # Two structurally identical, mutually-pointing persons: the swap
+        # is an automorphism (cf. h0 in the proof of Theorem 4.3.1).
+        o = [Oid(), Oid()]
+        inst = Instance(person_schema, classes={"Person": o})
+        inst.assign(o[0], OTuple(name="x", friends=OSet([o[1]])))
+        inst.assign(o[1], OTuple(name="x", friends=OSet([o[0]])))
+        autos = list(automorphisms(inst))
+        assert len(autos) == 2  # identity + swap
+
+    def test_asymmetric_instance_has_only_identity(self, person_schema):
+        inst, _ = ring_instance(person_schema, 2)  # names x0 vs x1 differ
+        autos = list(automorphisms(inst))
+        assert len(autos) == 1
+
+    def test_orbit_partition(self, person_schema):
+        o = [Oid() for _ in range(3)]
+        inst = Instance(person_schema, classes={"Person": o})
+        inst.assign(o[0], OTuple(name="same", friends=OSet()))
+        inst.assign(o[1], OTuple(name="same", friends=OSet()))
+        inst.assign(o[2], OTuple(name="other", friends=OSet()))
+        orbits = orbit_partition(inst, o)
+        sizes = sorted(len(orbit) for orbit in orbits)
+        assert sizes == [1, 2]

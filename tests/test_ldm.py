@@ -1,0 +1,161 @@
+"""Tests for the LDM simulation (Proposition 4.2.9)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.iql import classify, evaluate, typecheck_program
+from repro.schema import Instance, Schema
+from repro.transform.ldm import (
+    ldm_copy,
+    ldm_difference,
+    ldm_intersection,
+    ldm_product,
+    ldm_projection,
+    ldm_selection,
+    ldm_union,
+)
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import Oid, OSet, OTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        classes={
+            "A": D,
+            "B": D,
+            "Tags": set_of(D),
+        }
+    )
+
+
+def populate(schema, a_values, b_values):
+    instance = Instance(schema)
+    for v in a_values:
+        o = Oid()
+        instance.add_class_member("A", o)
+        instance.assign(o, v)
+    for v in b_values:
+        o = Oid()
+        instance.add_class_member("B", o)
+        instance.assign(o, v)
+    return instance
+
+
+def values_of(instance, class_name):
+    return sorted(instance.value_of(o) for o in instance.classes[class_name])
+
+
+def run(program, instance):
+    typecheck_program(program)
+    return evaluate(program, instance.project(program.input_schema))
+
+
+class TestCopy:
+    def test_copies_values_into_fresh_objects(self, schema):
+        instance = populate(schema, ["x", "y"], [])
+        program = ldm_copy(schema, "A", "Q")
+        out = run(program, instance)
+        assert values_of(out, "Q") == ["x", "y"]
+        # fresh oids, not the originals
+        assert not (out.classes["Q"] & instance.classes["A"])
+
+    def test_set_valued_copy(self, schema):
+        instance = Instance(schema)
+        o = Oid()
+        instance.add_class_member("Tags", o)
+        for tag in ("t1", "t2"):
+            instance.add_set_element(o, tag)
+        program = ldm_copy(schema, "Tags", "Q")
+        out = run(program, instance)
+        (q,) = out.classes["Q"]
+        assert out.value_of(q) == OSet(["t1", "t2"])
+
+    def test_unknown_class(self, schema):
+        with pytest.raises(SchemaError):
+            ldm_copy(schema, "Nope", "Q")
+
+
+class TestSetOperations:
+    def test_union(self, schema):
+        instance = populate(schema, ["x", "y"], ["y", "z"])
+        out = run(ldm_union(schema, "A", "B", "Q"), instance)
+        assert values_of(out, "Q") == ["x", "y", "y", "z"]  # node union
+
+    def test_intersection_by_value(self, schema):
+        instance = populate(schema, ["x", "y"], ["y", "z"])
+        out = run(ldm_intersection(schema, "A", "B", "Q"), instance)
+        assert values_of(out, "Q") == ["y"]
+
+    def test_difference_by_value(self, schema):
+        instance = populate(schema, ["x", "y"], ["y", "z"])
+        out = run(ldm_difference(schema, "A", "B", "Q"), instance)
+        assert values_of(out, "Q") == ["x"]
+
+    def test_type_mismatch_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            ldm_union(schema, "A", "Tags", "Q")
+
+
+class TestProductProjectionSelection:
+    def test_product(self, schema):
+        instance = populate(schema, ["x", "y"], ["1", "2"])
+        out = run(ldm_product(schema, "A", "B", "Pair"), instance)
+        assert len(out.classes["Pair"]) == 4
+        pairs = {
+            (out.value_of(out.value_of(p)["f1"]), out.value_of(out.value_of(p)["f2"]))
+            for p in out.classes["Pair"]
+        }
+        assert pairs == {("x", "1"), ("x", "2"), ("y", "1"), ("y", "2")}
+
+    def test_projection(self, schema):
+        # Operators compose with ";" — product then projection.
+        instance = populate(schema, ["x", "y"], ["1"])
+        product = ldm_product(schema, "A", "B", "Pair")
+        pipeline = product.then(ldm_projection(product.schema, "Pair", "f1", "Q"))
+        out = run(pipeline, instance)
+        assert values_of(out, "Q") == ["x", "y"]
+
+    def test_selection_by_value_equality(self, schema):
+        # Pairs (a, b) with equal underlying values: populate with overlap.
+        instance = populate(schema, ["x", "y"], ["y"])
+        product = ldm_product(schema, "A", "B", "Pair")
+        pipeline = product.then(
+            ldm_selection(product.schema, "Pair", "f1", "f2", "Q")
+        )
+        out = run(pipeline, instance)
+        assert len(out.classes["Q"]) == 1
+        (q,) = out.classes["Q"]
+        picked = out.value_of(q)
+        assert out.value_of(picked["f1"]) == "y"
+
+    def test_projection_validation(self, schema):
+        with pytest.raises(SchemaError):
+            ldm_projection(schema, "A", "f1", "Q")
+        product = ldm_product(schema, "A", "B", "Pair")
+        with pytest.raises(SchemaError):
+            ldm_projection(product.schema, "Pair", "missing", "Q")
+
+
+class TestMetaProperties:
+    def test_all_operators_are_ptime(self, schema):
+        programs = [
+            ldm_copy(schema, "A", "Q1"),
+            ldm_union(schema, "A", "B", "Q2"),
+            ldm_intersection(schema, "A", "B", "Q3"),
+            ldm_difference(schema, "A", "B", "Q4"),
+            ldm_product(schema, "A", "B", "Q5"),
+        ]
+        for program in programs:
+            report = classify(program)
+            assert report.is_iql_rr, program
+
+    def test_outputs_validate(self, schema):
+        instance = populate(schema, ["x"], ["x", "z"])
+        for builder in (
+            lambda: ldm_union(schema, "A", "B", "Q"),
+            lambda: ldm_intersection(schema, "A", "B", "Q"),
+            lambda: ldm_difference(schema, "A", "B", "Q"),
+        ):
+            out = run(builder(), instance)
+            out.validate()

@@ -1,0 +1,87 @@
+"""E3 — Example 3.4.1: nest and unnest as IQL programs."""
+
+import pytest
+
+from repro.iql import classify, compose, evaluate, evaluate_full, nest_program, typecheck_program, unnest_program
+from repro.schema import Instance
+from repro.typesys import D
+from repro.values import OSet, OTuple
+
+
+def nested_instance(schema, groups):
+    return Instance(
+        schema,
+        relations={
+            "R1": [OTuple(A01=k, A02=OSet(vs)) for k, vs in groups.items()]
+        },
+    )
+
+
+class TestUnnest:
+    def test_unnest(self):
+        program = typecheck_program(unnest_program("R1", "R2", D, D))
+        inp = Instance(
+            program.input_schema,
+            relations={"R1": [OTuple(A01="k1", A02=OSet(["a", "b"])), OTuple(A01="k2", A02=OSet(["c"]))]},
+        )
+        out = evaluate(program, inp)
+        rows = {(t["A01"], t["A02"]) for t in out.relations["R2"]}
+        assert rows == {("k1", "a"), ("k1", "b"), ("k2", "c")}
+
+    def test_unnest_drops_empty_groups(self):
+        # Unnesting [k, {}] yields no rows — the classical lossy case.
+        program = unnest_program("R1", "R2", D, D)
+        inp = Instance(
+            program.input_schema, relations={"R1": [OTuple(A01="k", A02=OSet())]}
+        )
+        out = evaluate(program, inp)
+        assert out.relations["R2"] == set()
+
+    def test_classified_rr(self):
+        assert classify(unnest_program("R1", "R2", D, D)).is_iql_rr
+
+
+class TestNest:
+    def test_nest(self):
+        program = typecheck_program(nest_program("R2", "R3", D, D))
+        inp = Instance(
+            program.input_schema,
+            relations={
+                "R2": [
+                    OTuple(A01="k1", A02="a"),
+                    OTuple(A01="k1", A02="b"),
+                    OTuple(A01="k2", A02="c"),
+                ]
+            },
+        )
+        out = evaluate(program, inp)
+        rows = {(t["A01"], frozenset(t["A02"])) for t in out.relations["R3"]}
+        assert rows == {("k1", frozenset({"a", "b"})), ("k2", frozenset({"c"}))}
+
+    def test_one_oid_per_key(self):
+        program = nest_program("R2", "R3", D, D)
+        inp = Instance(
+            program.input_schema,
+            relations={"R2": [OTuple(A01="k", A02=str(i)) for i in range(5)]},
+        )
+        result = evaluate_full(program, inp)
+        assert result.stats.oids_invented == 1
+
+    def test_classified_rr(self):
+        # The paper: "Example 3.4.1 is ptime-restricted" — and in fact
+        # range-restricted, with recursion-free invention.
+        report = classify(nest_program("R2", "R3", D, D))
+        assert report.is_iql_rr
+        assert all(s.recursion_free or s.invention_free for s in report.stages)
+
+
+class TestNestUnnestComposition:
+    def test_unnest_then_nest_is_identity_on_grouped_relations(self):
+        unnest = unnest_program("R1", "Mid", D, D)
+        nest = nest_program("Mid", "Back", D, D)
+        program = typecheck_program(compose(unnest, nest))
+        groups = {"k1": ["a", "b"], "k2": ["c"]}
+        inp = nested_instance(program.input_schema, groups)
+        out = evaluate(program, inp)
+        rows = {(t["A01"], frozenset(t["A02"])) for t in out.relations["Back"]}
+        assert rows == {(k, frozenset(vs)) for k, vs in groups.items()}

@@ -1,0 +1,266 @@
+"""Tests for the surface syntax: lexer, parsers, type inference."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.inheritance import InheritanceSchema
+from repro.iql import classify, evaluate, typecheck_program
+from repro.parser import (
+    program_from_source,
+    schema_from_source,
+    tokenize,
+    type_from_source,
+)
+from repro.schema import Instance, Schema
+from repro.typesys import D, EMPTY, classref, set_of, tuple_of, union, intersection
+from repro.values import OTuple
+
+
+class TestLexer:
+    def test_idents_and_keywords(self):
+        tokens = tokenize("schema R0 p' x^")
+        assert [t.kind for t in tokens] == ["keyword", "ident", "ident", "ident", "^", "eof"]
+        assert tokens[2].value == "p'"
+
+    def test_punctuation_and_strings(self):
+        tokens = tokenize('R(x) :- S("a b", 42, -1.5).')
+        values = [t.value for t in tokens if t.kind in ("string", "number")]
+        assert values == ["a b", "42", "-1.5"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("x -- a comment\ny")
+        assert [t.value for t in tokens[:-1]] == ["x", "y"]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("€")
+
+
+class TestTypeParsing:
+    def test_atoms(self):
+        assert type_from_source("D") == D
+        assert type_from_source("none") == EMPTY
+        assert type_from_source("P", ["P"]) == classref("P")
+
+    def test_constructors(self):
+        assert type_from_source("{D}") == set_of(D)
+        assert type_from_source("[a: D, b: {D}]") == tuple_of(a=D, b=set_of(D))
+        assert type_from_source("[]") == tuple_of()
+
+    def test_union_intersection(self):
+        assert type_from_source("D | P", ["P"]) == union(D, classref("P"))
+        assert type_from_source("(P & Q)", ["P", "Q"]) == intersection(
+            classref("P"), classref("Q")
+        )
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ParseError):
+            type_from_source("P", ["Q"])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            type_from_source("D D")
+
+
+class TestSchemaParsing:
+    def test_plain_schema(self):
+        schema = schema_from_source(
+            """
+            schema {
+              relation R: [A1: D, A2: D];
+              class P: [name: D, friends: {P}];
+            }
+            """
+        )
+        assert isinstance(schema, Schema)
+        assert schema.relations["R"] == tuple_of(A1=D, A2=D)
+        assert schema.classes["P"].class_names() == {"P"}
+
+    def test_forward_references(self):
+        schema = schema_from_source(
+            """
+            schema {
+              relation Uses: First;
+              class First: [next: Second];
+              class Second: [prev: First];
+            }
+            """
+        )
+        assert schema.relations["Uses"] == classref("First")
+
+    def test_isa_produces_inheritance_schema(self):
+        schema = schema_from_source(
+            """
+            schema {
+              class person: [name: D];
+              class student isa person: [course: D];
+            }
+            """
+        )
+        assert isinstance(schema, InheritanceSchema)
+        assert schema.hierarchy.leq("student", "person")
+        assert schema.effective_type("student") == tuple_of(name=D, course=D)
+
+    def test_bad_declaration(self):
+        with pytest.raises(ParseError):
+            schema_from_source("schema { table X: D; }")
+
+
+class TestProgramParsing:
+    TC = """
+    schema {
+      relation E: [A1: D, A2: D];
+      relation T: [A1: D, A2: D];
+    }
+    input E
+    output T
+    rules {
+      T(x, y) :- E(x, y).
+      T(x, z) :- T(x, y), E(y, z).
+    }
+    """
+
+    def test_transitive_closure(self):
+        program = typecheck_program(program_from_source(self.TC))
+        assert classify(program).is_iql_rr
+        inp = Instance(
+            program.input_schema,
+            relations={"E": [OTuple(A1="a", A2="b"), OTuple(A1="b", A2="c")]},
+        )
+        out = evaluate(program, inp)
+        assert len(out.relations["T"]) == 3
+
+    def test_explicit_var_declarations(self):
+        source = """
+        schema { relation S: D; relation Pow: {D}; }
+        var X: {D}
+        input S
+        output Pow
+        rules { Pow(X) :- X = X. }
+        """
+        program = program_from_source(source)
+        typecheck_program(program)
+        inp = Instance(program.input_schema, relations={"S": ["a", "b"]})
+        out = evaluate(program, inp)
+        assert len(out.relations["Pow"]) == 4
+
+    def test_stage_separator(self):
+        source = """
+        schema { relation A: D; relation B: D; relation C: D; }
+        input A
+        output C
+        rules {
+          B(x) :- A(x).
+          ;
+          C(x) :- B(x).
+        }
+        """
+        program = program_from_source(source)
+        assert len(program.stages) == 2
+
+    def test_negation_and_inequality(self):
+        source = """
+        schema { relation S: D; relation R: [A1: D, A2: D]; relation Out: D; }
+        input S, R
+        output Out
+        rules {
+          Out(x) :- S(x), not R(x, x), x != "banned".
+        }
+        """
+        program = typecheck_program(program_from_source(source))
+        inp = Instance(
+            program.input_schema,
+            relations={"S": ["a", "banned", "loop"], "R": [OTuple(A1="loop", A2="loop")]},
+        )
+        out = evaluate(program, inp)
+        assert out.relations["Out"] == {"a"}
+
+    def test_deref_heads_and_invention(self):
+        source = """
+        schema {
+          relation Src: [A1: D, A2: D];
+          relation Grp: [A1: D, A2: Bag];
+          relation Dst: [A1: D, A2: {D}];
+          class Bag: {D};
+        }
+        input Src
+        output Dst
+        rules {
+          Grp(x, z) :- Src(x, y).
+          z^(y) :- Src(x, y), Grp(x, z).
+          ;
+          Dst(x, z^) :- Grp(x, z).
+        }
+        """
+        program = typecheck_program(program_from_source(source))
+        inp = Instance(
+            program.input_schema,
+            relations={
+                "Src": [OTuple(A1="k", A2="v1"), OTuple(A1="k", A2="v2")],
+            },
+        )
+        out = evaluate(program, inp)
+        (row,) = out.relations["Dst"]
+        assert set(row["A2"]) == {"v1", "v2"}
+
+    def test_delete_and_choose_keywords(self):
+        source = """
+        schema { relation S: D; relation Keep: D; }
+        input S, Keep
+        output Keep
+        rules {
+          delete Keep(x) :- Keep(x), not S(x).
+        }
+        """
+        program = program_from_source(source)
+        assert program.uses_deletion()
+
+    def test_inference_types_the_powerset_program(self):
+        # Pow(X) ← X = X needs no declaration: the head atom types X as {D}.
+        source = """
+        schema { relation Pow: {D}; relation S: D; }
+        input S
+        output Pow
+        rules { Pow(X) :- X = X. }
+        """
+        program = typecheck_program(program_from_source(source))
+        inp = Instance(program.input_schema, relations={"S": ["a"]})
+        assert len(evaluate(program, inp).relations["Pow"]) == 2
+
+    def test_inference_failure_is_reported(self):
+        # y and z touch no atom and no typed side: uninferable.
+        source = """
+        schema { relation S: D; relation S2: D; }
+        input S
+        output S2
+        rules { S2(x) :- S(x), y = z. }
+        """
+        with pytest.raises(ParseError, match="var"):
+            program_from_source(source)
+
+    def test_constants_in_rules(self):
+        source = """
+        schema { relation E: [A1: D, A2: D]; relation FromRoot: D; }
+        input E
+        output FromRoot
+        rules { FromRoot(y) :- E("root", y). }
+        """
+        program = typecheck_program(program_from_source(source))
+        inp = Instance(
+            program.input_schema,
+            relations={"E": [OTuple(A1="root", A2="a"), OTuple(A1="b", A2="c")]},
+        )
+        out = evaluate(program, inp)
+        assert out.relations["FromRoot"] == {"a"}
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ParseError):
+            program_from_source("schema { relation S: D; } rules { }")

@@ -1,0 +1,87 @@
+"""E4 — Example 3.4.2: the two powerset programs."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iql import classify, evaluate, evaluate_full, typecheck_program
+from repro.transform import (
+    decode_powerset,
+    powerset_input,
+    powerset_restricted_program,
+    powerset_unrestricted_program,
+)
+
+
+def true_powerset(elements):
+    return frozenset(
+        frozenset(c) for k in range(len(elements) + 1) for c in combinations(elements, k)
+    )
+
+
+class TestUnrestricted:
+    def test_computes_powerset(self):
+        out = evaluate(
+            typecheck_program(powerset_unrestricted_program()),
+            powerset_input(["a", "b", "c"]),
+        )
+        assert decode_powerset(out) == true_powerset(["a", "b", "c"])
+
+    def test_not_even_ptime_restricted(self):
+        report = classify(powerset_unrestricted_program())
+        assert not report.is_iql_pr
+        assert not report.is_iql_rr
+        assert "X" in report.stages[0].offending_vars
+
+    def test_empty_input_yields_only_empty_set(self):
+        out = evaluate(powerset_unrestricted_program(), powerset_input([]))
+        assert decode_powerset(out) == frozenset({frozenset()})
+
+
+class TestRestricted:
+    def test_computes_powerset(self):
+        out = evaluate(
+            typecheck_program(powerset_restricted_program()),
+            powerset_input(["a", "b", "c"]),
+        )
+        assert decode_powerset(out) == true_powerset(["a", "b", "c"])
+
+    def test_range_restricted_but_not_recursion_free(self):
+        # Range-restricted, yes — but invention sits in a loop through the
+        # class P, so the program is NOT IQLrr (and indeed it can be made
+        # to run exponentially long; the paper uses it to motivate the
+        # recursion-freedom condition).
+        report = classify(powerset_restricted_program())
+        stage = report.stages[0]
+        assert stage.range_restricted
+        assert not stage.recursion_free
+        assert not stage.invention_free
+        assert not report.is_iql_rr
+
+    def test_invents_one_oid_per_subset_pair(self):
+        result = evaluate_full(
+            powerset_restricted_program(), powerset_input(["a", "b"])
+        )
+        # Subsets appear over several rounds; each (X, Y) pair of *derived*
+        # subsets triggers exactly one invention. With n=2 the fixpoint has
+        # 4 subsets, so at most 16 inventions; blocking keeps it exact.
+        assert len(decode_powerset(result.output)) == 4
+        assert result.stats.oids_invented == 16
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 3))
+    def test_agrees_with_itertools(self, n):
+        elements = [f"e{i}" for i in range(n)]
+        out = evaluate(powerset_restricted_program(), powerset_input(elements))
+        assert decode_powerset(out) == true_powerset(elements)
+
+
+class TestGrowthShape:
+    def test_exponential_output(self):
+        # |R1| = 2^|R| — the exponentiality claim of Section 3.4.
+        for n in range(5):
+            elements = [f"e{i}" for i in range(n)]
+            out = evaluate(powerset_unrestricted_program(), powerset_input(elements))
+            assert len(decode_powerset(out)) == 2 ** n

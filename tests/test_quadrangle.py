@@ -1,0 +1,103 @@
+"""E7 — Figure 1 / Theorems 4.3.1 and 4.4.1: the quadrangle query.
+
+Plain IQL produces O-isomorphic *copies* of the quadrangle; selecting one
+is inexpressible (Theorem 4.3.1); IQL+ ``choose`` completes the query
+(Theorem 4.4.1). These tests run all three facets.
+"""
+
+import pytest
+
+from repro.errors import GenericityError
+from repro.iql import Evaluator, evaluate, typecheck_program
+from repro.schema import Instance, are_o_isomorphic, automorphisms
+from repro.transform import (
+    copies_in_output,
+    quadrangle_choose_program,
+    quadrangle_copies_program,
+    quadrangle_expected_output,
+    quadrangle_input,
+)
+
+
+class TestCopies:
+    def setup_method(self):
+        self.program = typecheck_program(quadrangle_copies_program())
+        self.output = evaluate(self.program, quadrangle_input("a", "b"))
+
+    def test_two_copies(self):
+        assert copies_in_output(self.output) == 2
+        assert len(self.output.classes["P_cand"]) == 8
+        assert len(self.output.relations["R_copy"]) == 16
+
+    def test_copies_are_swappable(self):
+        # The instance must admit an automorphism exchanging the markers —
+        # the indistinguishability that makes choose generic. (This is the
+        # O-automorphism analogue of h0 from Claim 4.3.2.)
+        markers = sorted(self.output.classes["P_mark"])
+        swaps = [
+            auto
+            for auto in automorphisms(self.output)
+            if auto.get(markers[0]) == markers[1]
+        ]
+        assert swaps
+
+    def test_each_copy_is_the_quadrangle(self):
+        by_marker = {}
+        for row in self.output.relations["R_copy"]:
+            by_marker.setdefault(row["M"], set()).add((row["B"], row["C"]))
+        for marker, edges in by_marker.items():
+            assert len(edges) == 8
+            constants = {t for _, t in edges if isinstance(t, str)}
+            assert constants == {"a", "b"}
+
+
+class TestChoose:
+    def test_matches_figure_1(self):
+        program = typecheck_program(quadrangle_choose_program())
+        output = evaluate(program, quadrangle_input("a", "b"))
+        expected = quadrangle_expected_output("a", "b")
+        assert are_o_isomorphic(output, expected)
+
+    def test_choose_is_deterministic_up_to_isomorphism(self):
+        program = quadrangle_choose_program()
+        a = evaluate(program, quadrangle_input("a", "b"))
+        b = evaluate(program, quadrangle_input("a", "b"))
+        assert are_o_isomorphic(a, b)
+
+    def test_trusted_mode_agrees_with_verify(self):
+        program = quadrangle_choose_program()
+        verified = Evaluator(program, choose_mode="verify").run(
+            quadrangle_input("a", "b")
+        ).output
+        trusted = Evaluator(program, choose_mode="trusted").run(
+            quadrangle_input("a", "b")
+        ).output
+        assert are_o_isomorphic(verified, trusted)
+
+
+class TestGenericityGuard:
+    def test_choose_over_distinguishable_candidates_fails(self):
+        """Break the symmetry: drop the rotation-closure rule so the staging
+        rows distinguish the copies; the genericity check must reject the
+        choose."""
+        from repro.iql import Program
+
+        program = quadrangle_choose_program()
+        stages = [
+            [rule for rule in stage if rule.label != "rotate"]
+            for stage in program.stages
+        ]
+        asymmetric = Program(
+            program.schema,
+            stages=stages,
+            input_names=program.input_names,
+            output_names=program.output_names,
+        )
+        with pytest.raises(GenericityError):
+            evaluate(asymmetric, quadrangle_input("a", "b"))
+
+    def test_choose_over_empty_class_fails(self):
+        # With a singleton input the ≠ guard never fires: no copies exist.
+        program = quadrangle_choose_program()
+        with pytest.raises(GenericityError):
+            evaluate(program, quadrangle_input("a", "a"))

@@ -1,0 +1,132 @@
+"""Tests for intersection reduction/elimination (Propositions 2.2.1, 6.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.typesys import (
+    D,
+    EMPTY,
+    Empty,
+    Intersection,
+    classref,
+    equivalent_on_samples,
+    intersection,
+    intersection_free,
+    intersection_reduced,
+    member,
+    sample_values,
+    set_of,
+    tuple_of,
+    union,
+)
+from repro.values import Oid
+
+P1, P2 = classref("P1"), classref("P2")
+
+
+def make_pi():
+    return {"P1": {Oid(), Oid()}, "P2": {Oid()}}
+
+
+class TestPaperExamples:
+    """The three examples following Proposition 2.2.1, verbatim."""
+
+    def test_tuple_intersection_pushes_inward(self):
+        t = intersection(tuple_of(A1=D, A2=set_of(P1)), tuple_of(A1=D, A2=set_of(P2)))
+        reduced = intersection_reduced(t)
+        assert reduced == tuple_of(A1=D, A2=set_of(intersection(P1, P2)))
+        # Over disjoint assignments it collapses to [A1: D, A2: {⊥}].
+        assert intersection_free(t) == tuple_of(A1=D, A2=set_of(EMPTY))
+
+    def test_mixed_intersection(self):
+        t = intersection(union(set_of(D), P1), P2)
+        # Over all π: ({D} ∨ P1) ∧ P2 ≡ P1 ∧ P2 (a set is never an oid).
+        assert intersection_reduced(t) == intersection(P1, P2)
+        # Over disjoint π it is ⊥.
+        assert isinstance(intersection_free(t), Empty)
+
+    def test_tuple_with_bottom_component_is_bottom(self):
+        assert intersection_reduced(tuple_of(A1=EMPTY)) == EMPTY
+        # ... but {⊥} is not ⊥.
+        assert intersection_reduced(set_of(EMPTY)) == set_of(EMPTY)
+
+
+class TestAlgebra:
+    def test_same_class_intersection(self):
+        assert intersection_free(intersection(P1, P1)) == P1
+
+    def test_d_with_class_is_empty_always(self):
+        assert intersection_reduced(intersection(D, P1)) == EMPTY
+
+    def test_constructor_clash_is_empty(self):
+        assert intersection_reduced(intersection(set_of(D), tuple_of(a=D))) == EMPTY
+        assert intersection_reduced(intersection(set_of(D), D)) == EMPTY
+
+    def test_distribution_over_union(self):
+        t = intersection(union(P1, P2), P1)
+        assert intersection_free(t) == P1
+
+    def test_mismatched_tuple_attrs_plain_vs_star(self):
+        a, b = tuple_of(A1=D, A2=D), tuple_of(A2=D, A3=D)
+        assert intersection_reduced(intersection(a, b)) == EMPTY
+        # The Section 6 motivating example: merged under *.
+        assert intersection_reduced(intersection(a, b), star=True) == tuple_of(
+            A1=D, A2=D, A3=D
+        )
+
+    def test_set_intersection_pushes_inward(self):
+        t = intersection(set_of(P1), set_of(P2))
+        assert intersection_reduced(t) == set_of(intersection(P1, P2))
+
+    def test_results_are_intersection_reduced_and_free(self):
+        t = intersection(
+            union(tuple_of(a=P1), tuple_of(a=P2)), tuple_of(a=union(P1, P2))
+        )
+        assert intersection_reduced(t).is_intersection_reduced()
+        assert intersection_free(t).is_intersection_free()
+
+
+# -- property tests: reduction preserves the interpretation -----------------------
+
+atoms = st.sampled_from([D, EMPTY, P1, P2])
+
+
+def types(max_depth=3):
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            children.map(set_of),
+            st.dictionaries(st.sampled_from(["A", "B"]), children, min_size=1, max_size=2).map(
+                tuple_of
+            ),
+            st.tuples(children, children).map(lambda ab: union(*ab)),
+            st.tuples(children, children).map(lambda ab: intersection(*ab)),
+        ),
+        max_leaves=6,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(types())
+def test_intersection_reduced_preserves_interpretation(t):
+    pi = make_pi()
+    reduced = intersection_reduced(t)
+    assert reduced.is_intersection_reduced()
+    assert equivalent_on_samples(t, reduced, pi)
+
+
+@settings(max_examples=60, deadline=None)
+@given(types())
+def test_intersection_free_preserves_interpretation_over_disjoint(t):
+    pi = make_pi()  # disjoint by construction
+    freed = intersection_free(t)
+    assert freed.is_intersection_free()
+    assert equivalent_on_samples(t, freed, pi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(types())
+def test_star_reduction_preserves_star_interpretation(t):
+    pi = make_pi()
+    reduced = intersection_reduced(t, star=True)
+    assert equivalent_on_samples(t, reduced, pi, star=True)

@@ -1,0 +1,86 @@
+"""Tests for schemas (Definition 2.3.1) and projections."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import Schema
+from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.iql import columns
+
+
+class TestWellFormedness:
+    def test_basic_schema(self):
+        s = Schema(
+            relations={"R": columns(D, D)},
+            classes={"P": tuple_of(a=D, b=set_of(classref("P")))},
+        )
+        assert s.is_relation("R") and s.is_class("P")
+        assert s.type_of("R") == columns(D, D)
+
+    def test_types_may_reference_classes_not_relations(self):
+        with pytest.raises(SchemaError):
+            Schema(relations={"R": classref("Missing")})
+
+    def test_cyclic_class_types_allowed(self):
+        # Example 1.1's 1st-generation references itself.
+        s = Schema(classes={"P": tuple_of(spouse=classref("P"))})
+        assert s.is_set_valued_class("P") is False
+
+    def test_set_valued_class_detection(self):
+        s = Schema(classes={"P": set_of(D), "Q": tuple_of()})
+        assert s.is_set_valued_class("P")
+        assert not s.is_set_valued_class("Q")
+
+    def test_relation_class_name_clash_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(relations={"X": D}, classes={"X": D})
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SchemaError):
+            Schema().type_of("nope")
+
+
+class TestProjectionAndMerge:
+    def setup_method(self):
+        self.s = Schema(
+            relations={"R": columns(D, D), "S": classref("P")},
+            classes={"P": tuple_of(a=D)},
+        )
+
+    def test_project(self):
+        p = self.s.project(["R"])
+        assert set(p.relations) == {"R"} and not p.classes
+        assert p.is_projection_of(self.s)
+
+    def test_project_must_keep_referenced_classes(self):
+        with pytest.raises(SchemaError):
+            self.s.project(["S"])  # S's type references P
+        ok = self.s.project(["S", "P"])
+        assert ok.is_projection_of(self.s)
+
+    def test_project_unknown_name(self):
+        with pytest.raises(SchemaError):
+            self.s.project(["Z"])
+
+    def test_with_names_conflict(self):
+        with pytest.raises(SchemaError):
+            self.s.with_names(relations={"R": D})
+        extended = self.s.with_names(relations={"R2": D})
+        assert extended.is_relation("R2")
+        assert self.s.is_projection_of(extended)
+
+    def test_merge(self):
+        other = Schema(relations={"Q": D})
+        merged = self.s.merge(other)
+        assert merged.is_relation("Q") and merged.is_class("P")
+
+    def test_equality_and_hash(self):
+        again = Schema(
+            relations={"S": classref("P"), "R": columns(D, D)},
+            classes={"P": tuple_of(a=D)},
+        )
+        assert again == self.s
+        assert hash(again) == hash(self.s)
+
+    def test_repr_smoke(self):
+        assert "relation" in repr(self.s) and "class" in repr(self.s)

@@ -1,0 +1,152 @@
+"""Tests for the shorthand layer (Section 3.4's conventions)."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.iql import (
+    Membership,
+    Program,
+    Rule,
+    TupleTerm,
+    Var,
+    atom,
+    columns,
+    compose,
+    make_vars,
+    neg,
+    positional_attrs,
+)
+from repro.schema import Schema
+from repro.typesys import D, classref, set_of, tuple_of
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        relations={"R": columns(D, D), "S": D, "Wide": columns(*([D] * 12))},
+        classes={"P": tuple_of(a=D)},
+    )
+
+
+class TestPositionalAttrs:
+    def test_sorted_order_is_positional_order(self):
+        attrs = positional_attrs(12)
+        assert list(attrs) == sorted(attrs)
+        assert attrs[0] == "A01" and attrs[11] == "A12"
+
+    def test_columns(self):
+        t = columns(D, classref("P"))
+        assert t.attributes == ("A01", "A02")
+
+    def test_wide_relations_stay_ordered(self, schema):
+        args = make_vars(D, *[f"x{i}" for i in range(12)])
+        literal = atom(schema, "Wide", *args)
+        element = literal.element
+        assert [v.name for _, v in element.fields] == [f"x{i}" for i in range(12)]
+
+
+class TestAtom:
+    def test_positional_tuple(self, schema):
+        x, y = make_vars(D, "x", "y")
+        literal = atom(schema, "R", x, y)
+        assert isinstance(literal.element, TupleTerm)
+        assert literal.element.fields[0] == ("A01", x)
+
+    def test_scalar_relation(self, schema):
+        (x,) = make_vars(D, "x")
+        literal = atom(schema, "S", x)
+        assert literal.element is x
+
+    def test_class_atom(self, schema):
+        p = Var("p", classref("P"))
+        literal = atom(schema, "P", p)
+        assert literal.container.name == "P"
+
+    def test_class_atom_arity(self, schema):
+        with pytest.raises(TypeCheckError):
+            atom(schema, "P", Var("p", classref("P")), Var("q", classref("P")))
+
+    def test_constants_coerce(self, schema):
+        literal = atom(schema, "R", "a", "b")
+        assert repr(literal.element) == "[A01: 'a', A02: 'b']"
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(TypeCheckError):
+            atom(schema, "R", *make_vars(D, "x", "y", "z"))  # 3 args, 2 cols
+        with pytest.raises(TypeCheckError):
+            atom(schema, "unknown", Var("x", D))
+
+    def test_single_arg_is_whole_member(self, schema):
+        # One argument against a tuple-typed relation denotes the member
+        # itself (e.g. a tuple-typed variable); the type checker rules on it.
+        whole = Var("t", columns(D, D))
+        literal = atom(schema, "R", whole)
+        assert literal.element is whole
+
+    def test_neg(self, schema):
+        literal = neg(schema, "S", Var("x", D))
+        assert literal.negated
+
+
+class TestCompose:
+    def test_compose_merges_schemas_and_stages(self, schema):
+        x = Var("x", D)
+        g1 = Program(
+            schema,
+            rules=[Rule(atom(schema, "S", x), [atom(schema, "S", x)])],
+            input_names=["S"],
+            output_names=["S"],
+        )
+        combined = compose(g1, g1, g1)
+        assert len(combined.stages) == 3
+
+    def test_compose_requires_a_program(self):
+        with pytest.raises(TypeCheckError):
+            compose()
+
+    def test_conflicting_schemas_rejected(self, schema):
+        other = Schema(relations={"S": set_of(D)})
+        x = Var("x", D)
+        g1 = Program(
+            schema,
+            rules=[Rule(atom(schema, "S", x), [atom(schema, "S", x)])],
+            input_names=["S"],
+            output_names=["S"],
+        )
+        X = Var("X", set_of(D))
+        g2 = Program(
+            other,
+            rules=[Rule(atom(other, "S", X), [atom(other, "S", X)])],
+            input_names=["S"],
+            output_names=["S"],
+        )
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            compose(g1, g2)
+
+
+class TestProgramConstruction:
+    def test_needs_rules_or_stages(self, schema):
+        with pytest.raises(TypeCheckError):
+            Program(schema)
+        x = Var("x", D)
+        rule = Rule(atom(schema, "S", x), [atom(schema, "S", x)])
+        with pytest.raises(TypeCheckError):
+            Program(schema, rules=[rule], stages=[[rule]])
+
+    def test_empty_stage_rejected(self, schema):
+        x = Var("x", D)
+        rule = Rule(atom(schema, "S", x), [atom(schema, "S", x)])
+        with pytest.raises(TypeCheckError):
+            Program(schema, stages=[[rule], []])
+
+    def test_disjoint_io_detection(self, schema):
+        x, y = make_vars(D, "x", "y")
+        rule = Rule(atom(schema, "S", x), [atom(schema, "R", x, y)])
+        dio = Program(schema, rules=[rule], input_names=["R"], output_names=["S"])
+        assert dio.has_disjoint_io()
+        overlapping = Program(
+            schema, rules=[rule], input_names=["R", "S"], output_names=["S"]
+        )
+        assert not overlapping.has_disjoint_io()

@@ -1,0 +1,141 @@
+"""Stateful property testing: random mutation sequences on an instance.
+
+A hypothesis rule-based machine performs arbitrary interleavings of the
+instance's mutation primitives (the same ones the evaluator uses) and
+checks the standing invariants after every step:
+
+* classes remain pairwise disjoint,
+* the instance remains legal for its schema,
+* set values only grow; assigned scalar values never change through
+  `add_set_element`,
+* `ground_facts` and `fact_count` stay consistent,
+* `copy()` produces an equal but independent instance.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.errors import InstanceError
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.values import Oid, OSet, OTuple
+
+SCHEMA = Schema(
+    relations={
+        "Flat": tuple_of(a=D, b=D),
+        "Refs": tuple_of(who=classref("Person")),
+    },
+    classes={
+        "Person": tuple_of(name=D, friends=set_of(classref("Person"))),
+        "Tags": set_of(D),
+    },
+)
+
+CONSTANTS = ["a", "b", "c", "d"]
+
+
+class InstanceMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.instance = Instance(SCHEMA)
+        self.persons = []
+        self.tag_sets = []
+
+    # -- mutations ----------------------------------------------------------
+
+    @rule(a=st.sampled_from(CONSTANTS), b=st.sampled_from(CONSTANTS))
+    def add_flat_row(self, a, b):
+        before = len(self.instance.relations["Flat"])
+        added = self.instance.add_relation_member("Flat", OTuple(a=a, b=b))
+        after = len(self.instance.relations["Flat"])
+        assert after == before + (1 if added else 0)
+
+    @rule()
+    def add_person(self):
+        oid = Oid("sm_p")
+        assert self.instance.add_class_member("Person", oid)
+        self.persons.append(oid)
+
+    @rule()
+    def add_tag_set(self):
+        oid = Oid("sm_t")
+        assert self.instance.add_class_member("Tags", oid)
+        self.tag_sets.append(oid)
+        # Set-valued oids are born with the empty set (Condition (3)).
+        assert self.instance.value_of(oid) == OSet()
+
+    @rule(data=st.data())
+    def assign_person_value(self, data):
+        if not self.persons:
+            return
+        oid = data.draw(st.sampled_from(self.persons))
+        friends = data.draw(st.sets(st.sampled_from(self.persons), max_size=3))
+        name = data.draw(st.sampled_from(CONSTANTS))
+        self.instance.assign(oid, OTuple(name=name, friends=OSet(friends)))
+
+    @rule(data=st.data(), tag=st.sampled_from(CONSTANTS))
+    def grow_tag_set(self, data, tag):
+        if not self.tag_sets:
+            return
+        oid = data.draw(st.sampled_from(self.tag_sets))
+        before = self.instance.value_of(oid)
+        self.instance.add_set_element(oid, tag)
+        after = self.instance.value_of(oid)
+        assert set(before) <= set(after) and tag in after
+
+    @rule(data=st.data())
+    def add_ref_row(self, data):
+        if not self.persons:
+            return
+        oid = data.draw(st.sampled_from(self.persons))
+        self.instance.add_relation_member("Refs", OTuple(who=oid))
+
+    @rule()
+    def cross_class_insert_is_rejected(self):
+        if not self.persons:
+            return
+        with_tag = self.persons[0]
+        try:
+            self.instance.add_class_member("Tags", with_tag)
+            raise AssertionError("disjointness violation was accepted")
+        except InstanceError:
+            pass
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def classes_disjoint(self):
+        if not hasattr(self, "instance"):
+            return
+        seen = set()
+        for oids in self.instance.classes.values():
+            assert not (seen & oids)
+            seen |= oids
+
+    @invariant()
+    def instance_is_legal(self):
+        if not hasattr(self, "instance"):
+            return
+        self.instance.validate()
+
+    @invariant()
+    def fact_count_consistent(self):
+        if not hasattr(self, "instance"):
+            return
+        assert self.instance.fact_count() == len(self.instance.ground_facts())
+
+    @invariant()
+    def copy_is_equal_and_independent(self):
+        if not hasattr(self, "instance"):
+            return
+        clone = self.instance.copy()
+        assert clone == self.instance
+        clone.add_relation_member("Flat", OTuple(a="zz", b="zz"))
+        assert OTuple(a="zz", b="zz") not in self.instance.relations["Flat"]
+
+
+TestInstanceMachine = InstanceMachine.TestCase
+TestInstanceMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

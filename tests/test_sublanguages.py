@@ -1,0 +1,187 @@
+"""E10/E15 — Section 5: sublanguage classification and its guarantees."""
+
+import pytest
+
+from repro.errors import SublanguageError
+from repro.iql import (
+    Equality,
+    Membership,
+    NameTerm,
+    Program,
+    Rule,
+    SetTerm,
+    TupleTerm,
+    Var,
+    atom,
+    classify,
+    columns,
+    dependency_graph,
+    evaluate_full,
+    is_invention_free,
+    is_ptime_restricted,
+    is_range_restricted,
+    is_recursion_free,
+    max_constructor_width,
+    nest_program,
+    ptime_restricted_vars,
+    range_restricted_vars,
+    require_iql_pr,
+    require_iql_rr,
+    unnest_program,
+)
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.transform import (
+    graph_to_class_program,
+    powerset_restricted_program,
+    powerset_unrestricted_program,
+)
+from repro.values import OTuple, branching_factor
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        relations={"R": columns(D, D), "S": D, "RS": set_of(D)},
+        classes={"P": tuple_of(a=D)},
+    )
+
+
+class TestVariableRestriction:
+    def test_set_free_vars_are_ptime_restricted(self, schema):
+        x = Var("x", D)
+        rule = Rule(atom(schema, "S", x), [Equality(x, x)])
+        assert is_ptime_restricted(rule)
+        assert not is_range_restricted(rule)  # D vars are not free for rr
+
+    def test_class_vars_are_range_restricted(self, schema):
+        p = Var("p", classref("P"))
+        rule = Rule(atom(schema, "P", p), [Equality(p, p)])
+        assert is_range_restricted(rule)
+
+    def test_propagation_through_membership(self, schema):
+        # X is bound by RS(X): its variables become restricted, and then
+        # X(y) restricts y.
+        X, y = Var("X", set_of(D)), Var("y", D)
+        rule = Rule(atom(schema, "S", y), [atom(schema, "RS", X), Membership(X, y)])
+        assert is_range_restricted(rule)
+        assert X in range_restricted_vars(rule)
+
+    def test_unrestricted_set_var(self, schema):
+        X = Var("X", set_of(D))
+        rule = Rule(atom(schema, "RS", X), [Equality(X, X)])
+        assert not is_ptime_restricted(rule)
+        assert X not in ptime_restricted_vars(rule)
+
+    def test_negative_literals_do_not_restrict(self, schema):
+        X, y = Var("X", set_of(D)), Var("y", D)
+        rule = Rule(
+            atom(schema, "S", y),
+            [atom(schema, "RS", X, positive=False), Membership(X, y)],
+        )
+        assert not is_range_restricted(rule)
+
+
+class TestDependencyGraph:
+    def test_nonrecursive_program(self, schema):
+        x, y = Var("x", D), Var("y", D)
+        rules = [Rule(atom(schema, "S", x), [atom(schema, "R", x, y)])]
+        graph = dependency_graph(rules)
+        assert "S" in graph["R"]
+        assert is_recursion_free(rules)
+
+    def test_recursive_relation(self, schema):
+        x, y, z = Var("x", D), Var("y", D), Var("z", D)
+        rules = [
+            Rule(atom(schema, "R", x, z), [atom(schema, "R", x, y), atom(schema, "R", y, z)])
+        ]
+        assert not is_recursion_free(rules)
+
+    def test_invention_target_edges(self, schema):
+        # A rule inventing into P from a body that reads P is a cycle.
+        rp_schema = schema.with_names(relations={"RP": columns(D, classref("P"))})
+        x = Var("x", D)
+        p, q = Var("p", classref("P")), Var("q", classref("P"))
+        rules = [
+            Rule(
+                atom(rp_schema, "RP", x, q),
+                [atom(rp_schema, "RP", x, p)],
+            )
+        ]
+        assert not is_recursion_free(rules)
+        assert not is_invention_free(rules)
+
+    def test_deref_head_symbol(self, schema):
+        q_schema = Schema(
+            relations={"S": D}, classes={"Q": set_of(D)}
+        )
+        q = Var("q", classref("Q"))
+        x = Var("x", D)
+        rules = [
+            Rule(Membership(q.hat(), x), [atom(q_schema, "Q", q), atom(q_schema, "S", x)])
+        ]
+        graph = dependency_graph(rules)
+        # S feeds the *value plane* of Q, not its extent: value writes do
+        # not create oids, so they must not count as invention recursion.
+        assert "^Q" in graph["S"]
+        assert "Q" not in graph["S"]
+        assert is_recursion_free(rules)
+
+
+class TestPaperPrograms:
+    def test_graph_encoding_is_iqlrr(self):
+        assert classify(graph_to_class_program()).is_iql_rr
+
+    def test_nest_unnest_are_iqlrr(self):
+        assert classify(nest_program("Src", "Dst", D, D)).is_iql_rr
+        assert classify(unnest_program("Src", "Dst", D, D)).is_iql_rr
+
+    def test_unrestricted_powerset_is_full_iql(self):
+        report = classify(powerset_unrestricted_program())
+        assert not report.is_iql_pr
+        assert "no PTIME guarantee" in report.summary()
+
+    def test_restricted_powerset_is_not_iqlrr_either(self):
+        # Range-restricted but with invention in a loop (Section 5's point).
+        report = classify(powerset_restricted_program())
+        assert report.stages[0].range_restricted
+        assert not report.is_iql_rr
+
+    def test_require_helpers(self):
+        require_iql_rr(graph_to_class_program())
+        require_iql_pr(graph_to_class_program())
+        with pytest.raises(SublanguageError):
+            require_iql_rr(powerset_unrestricted_program())
+        with pytest.raises(SublanguageError):
+            require_iql_pr(powerset_unrestricted_program())
+
+
+class TestBranchingFactorLemma:
+    """Lemma 5.7: invention-free steps keep the branching factor bounded by
+    max(m, n) — m the largest constructor in the program, n the input's."""
+
+    def test_bound_holds_on_evaluation(self, tc_program, tc_schema):
+        from tests.conftest import edge_instance
+        from repro.workloads import path_graph
+
+        inst = edge_instance(tc_schema, path_graph(6))
+        n = max(
+            (branching_factor(v) for vs in inst.relations.values() for v in vs),
+            default=0,
+        )
+        m = max_constructor_width(tc_program)
+        result = evaluate_full(tc_program, inst)
+        out_branching = max(
+            (branching_factor(v) for vs in result.full.relations.values() for v in vs),
+            default=0,
+        )
+        assert out_branching <= max(m, n)
+
+    def test_constructor_width(self, schema):
+        x = Var("x", D)
+        rule = Rule(
+            atom(schema, "RS", SetTerm(x, Var("y", D), Var("z", D))),
+            [atom(schema, "S", x), atom(schema, "S", Var("y", D)), atom(schema, "S", Var("z", D))],
+        )
+        program = Program(schema, rules=[rule], input_names=["S"], output_names=["RS"])
+        assert max_constructor_width(program) == 3

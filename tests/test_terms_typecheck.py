@@ -1,0 +1,247 @@
+"""Tests for IQL terms, literals and static type checking (Sections 3.1, 3.3)."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.iql import (
+    Choose,
+    Const,
+    Deref,
+    Equality,
+    Membership,
+    NameTerm,
+    Program,
+    Rule,
+    SetTerm,
+    TupleTerm,
+    Var,
+    atom,
+    check_program,
+    check_rule,
+    coercible,
+    columns,
+    typecheck_program,
+)
+from repro.iql.typecheck import assignable
+from repro.schema import Schema
+from repro.typesys import D, EMPTY, classref, set_of, tuple_of, union
+
+
+@pytest.fixture
+def schema():
+    P = classref("P")
+    return Schema(
+        relations={"R": columns(D, D), "S": D, "RP": columns(D, P)},
+        classes={"P": tuple_of(a=D, b=set_of(P)), "Q": set_of(D)},
+    )
+
+
+class TestTermTyping:
+    def test_var(self, schema):
+        assert Var("x", D).type_in(schema) == D
+        with pytest.raises(TypeCheckError):
+            Var("", D)
+        with pytest.raises(TypeCheckError):
+            Var("x", "not a type")
+
+    def test_const(self, schema):
+        assert Const("c").type_in(schema) == D
+        with pytest.raises(TypeCheckError):
+            Const(frozenset())
+
+    def test_name_term(self, schema):
+        assert NameTerm("R").type_in(schema) == set_of(columns(D, D))
+        assert NameTerm("P").type_in(schema) == set_of(classref("P"))
+        with pytest.raises(TypeCheckError):
+            NameTerm("nope").type_in(schema)
+
+    def test_deref(self, schema):
+        p = Var("p", classref("P"))
+        assert Deref(p).type_in(schema) == tuple_of(a=D, b=set_of(classref("P")))
+        assert p.hat() == Deref(p)
+        with pytest.raises(TypeCheckError):
+            Deref(Var("x", D)).type_in(schema)
+
+    def test_set_term(self, schema):
+        t = SetTerm(Var("x", D), Const("c"))
+        assert t.type_in(schema) == set_of(D)
+        assert SetTerm().type_in(schema) == set_of(EMPTY)
+        mixed = SetTerm(Var("x", D), Var("p", classref("P")))
+        with pytest.raises(TypeCheckError):
+            mixed.type_in(schema)
+
+    def test_tuple_term(self, schema):
+        t = TupleTerm(a=Var("x", D), b=Var("q", set_of(D)))
+        assert t.type_in(schema) == tuple_of(a=D, b=set_of(D))
+        assert t.variables() == {Var("x", D), Var("q", set_of(D))}
+
+
+class TestAssignableAndCoercible:
+    def test_assignable_reflexive(self):
+        assert assignable(D, D)
+
+    def test_empty_set_into_any_set(self):
+        assert assignable(set_of(EMPTY), set_of(D))
+        assert assignable(set_of(EMPTY), set_of(set_of(D)))
+
+    def test_branch_into_union(self):
+        assert assignable(D, union(D, classref("P")))
+        assert not assignable(union(D, classref("P")), D)
+
+    def test_congruence(self):
+        assert assignable(
+            tuple_of(a=D, b=set_of(EMPTY)), tuple_of(a=union(D, classref("P")), b=set_of(D))
+        )
+        assert not assignable(tuple_of(a=D), tuple_of(b=D))
+
+    def test_coercible_union_members(self):
+        u = union(classref("P"), tuple_of(a=classref("P")))
+        assert coercible(classref("P"), u)
+        assert coercible(u, classref("P"))
+
+    def test_coercible_rejects_disjoint(self):
+        assert not coercible(D, classref("P"))
+        assert not coercible(set_of(D), tuple_of(a=D))
+
+
+class TestRuleChecks:
+    def test_good_datalog_rule(self, schema):
+        x, y = Var("x", D), Var("y", D)
+        rule = Rule(atom(schema, "S", x), [atom(schema, "R", x, y)])
+        assert check_rule(rule, schema) == []
+
+    def test_head_type_mismatch(self, schema):
+        p = Var("p", classref("P"))
+        rule = Rule(atom(schema, "S", p), [atom(schema, "P", p)])
+        errors = check_rule(rule, schema)
+        assert errors and "requires t of type" in str(errors[0])
+
+    def test_inconsistent_variable_types(self, schema):
+        rule = Rule(
+            atom(schema, "S", Var("x", D)),
+            [atom(schema, "P", Var("x", classref("P")))],
+        )
+        errors = check_rule(rule, schema)
+        assert errors and "typed both" in str(errors[0])
+
+    def test_unknown_name(self, schema):
+        rule = Rule(
+            Membership(NameTerm("Missing"), Var("x", D)), [atom(schema, "S", Var("x", D))]
+        )
+        assert check_rule(rule, schema)
+
+    def test_invention_var_must_have_class_type(self, schema):
+        x, y = Var("x", D), Var("y", D)
+        rule = Rule(atom(schema, "R", x, y), [atom(schema, "S", x)])
+        errors = check_rule(rule, schema)
+        assert errors and "non-class type" in str(errors[0])
+
+    def test_invention_var_of_class_type_ok(self, schema):
+        x, p = Var("x", D), Var("p", classref("P"))
+        rule = Rule(atom(schema, "RP", x, p), [atom(schema, "S", x)])
+        assert check_rule(rule, schema) == []
+
+    def test_set_head_requires_set_valued_deref(self, schema):
+        p = Var("p", classref("P"))
+        rule = Rule(Membership(p.hat(), Var("x", D)), [atom(schema, "P", p)])
+        errors = check_rule(rule, schema)
+        assert errors and "set valued" in str(errors[0])
+
+    def test_equality_head_requires_non_set_deref(self, schema):
+        q = Var("q", classref("Q"))
+        rule = Rule(Equality(q.hat(), SetTerm()), [atom(schema, "Q", q)])
+        errors = check_rule(rule, schema)
+        assert errors and "non-set valued" in str(errors[0])
+
+    def test_set_element_head_on_set_valued_class(self, schema):
+        q = Var("q", classref("Q"))
+        x = Var("x", D)
+        rule = Rule(Membership(q.hat(), x), [atom(schema, "Q", q), atom(schema, "S", x)])
+        assert check_rule(rule, schema) == []
+
+    def test_body_membership_container_must_be_set(self, schema):
+        x, y = Var("x", D), Var("y", D)
+        rule = Rule(atom(schema, "S", x), [Membership(x, y)])
+        errors = check_rule(rule, schema)
+        assert errors and "non-set type" in str(errors[0])
+
+    def test_body_equality_coercion_allowed(self, schema):
+        # y = p̂ where p̂: [a: D, b: {P}] and the right side matches: fine;
+        # but D against {D} is not.
+        x = Var("x", D)
+        q = Var("q", classref("Q"))
+        bad = Rule(atom(schema, "S", x), [Equality(x, q.hat())])
+        errors = check_rule(bad, schema)
+        assert errors and "cannot coerce" in str(errors[0])
+
+    def test_deletion_rule_cannot_invent(self, schema):
+        x, p = Var("x", D), Var("p", classref("P"))
+        rule = Rule(atom(schema, "RP", x, p), [atom(schema, "S", x)], delete=True)
+        errors = check_rule(rule, schema)
+        assert any("deletion" in str(e) for e in errors)
+
+    def test_negative_head_literal_rejected_at_construction(self, schema):
+        with pytest.raises(TypeCheckError):
+            Rule(atom(schema, "S", Var("x", D), positive=False), [])
+
+    def test_choose_plus_delete_rejected(self, schema):
+        x = Var("x", D)
+        rule = Rule(atom(schema, "S", x), [Choose(), atom(schema, "S", x)], delete=True)
+        errors = check_rule(rule, schema)
+        assert any("choose and deletion" in str(e) for e in errors)
+
+
+class TestProgramChecks:
+    def test_typecheck_program_raises_first_error(self, schema):
+        p = Var("p", classref("P"))
+        bad = Program(
+            schema,
+            rules=[Rule(atom(schema, "S", p), [atom(schema, "P", p)])],
+            input_names=["S"],
+            output_names=["S"],
+        )
+        with pytest.raises(TypeCheckError):
+            typecheck_program(bad)
+
+    def test_check_program_collects(self, schema):
+        p = Var("p", classref("P"))
+        x = Var("x", D)
+        bad = Program(
+            schema,
+            rules=[
+                Rule(atom(schema, "S", p), [atom(schema, "P", p)]),
+                Rule(atom(schema, "S", x), [Membership(x, x)]),
+            ],
+            input_names=["S"],
+        )
+        assert len(check_program(bad)) == 2
+
+    def test_io_names_must_exist(self, schema):
+        x = Var("x", D)
+        with pytest.raises(TypeCheckError):
+            Program(
+                schema,
+                rules=[Rule(atom(schema, "S", x), [atom(schema, "S", x)])],
+                input_names=["NOPE"],
+            )
+
+    def test_stage_composition_then(self, schema):
+        x = Var("x", D)
+        r = Rule(atom(schema, "S", x), [atom(schema, "S", x)])
+        g1 = Program(schema, rules=[r], input_names=["S"], output_names=["S"])
+        g2 = Program(schema, rules=[r], input_names=["S"], output_names=["S"])
+        combined = g1.then(g2)
+        assert len(combined.stages) == 2
+
+    def test_program_feature_flags(self, schema):
+        x = Var("x", D)
+        plain = Program(schema, rules=[Rule(atom(schema, "S", x), [atom(schema, "S", x)])])
+        assert plain.is_plain_iql()
+        chooser = Program(
+            schema, rules=[Rule(atom(schema, "S", x), [Choose(), atom(schema, "S", x)])]
+        )
+        assert chooser.uses_choose() and not chooser.is_plain_iql()
+        deleter = Program(
+            schema, rules=[Rule(atom(schema, "S", x), [atom(schema, "S", x)], delete=True)]
+        )
+        assert deleter.uses_deletion()

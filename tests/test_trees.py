@@ -1,0 +1,90 @@
+"""Tests for the finite-tree representation of o-values (Section 2.1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import OValueError
+from repro.values import (
+    LEAF,
+    SET,
+    TUPLE,
+    Oid,
+    OSet,
+    OTuple,
+    ValueTree,
+    branching_factor,
+    from_ovalue,
+    to_ovalue,
+    value_depth,
+    value_size,
+)
+from tests.test_ovalues import ovalues
+
+
+class TestNodeInvariants:
+    def test_leaf_labels(self):
+        assert ValueTree(LEAF, label="d").label == "d"
+        assert ValueTree(LEAF, label=Oid()).out_degree == 0
+
+    def test_leaf_rejects_composite_labels(self):
+        with pytest.raises(OValueError):
+            ValueTree(LEAF, label=OSet())
+
+    def test_tuple_arcs_must_be_labelled_distinctly(self):
+        child = ValueTree(LEAF, label=1)
+        with pytest.raises(OValueError):
+            ValueTree(TUPLE, children=((None, child),))
+        with pytest.raises(OValueError):
+            ValueTree(TUPLE, children=(("a", child), ("a", child)))
+
+    def test_set_children_must_be_distinct_subtrees(self):
+        # This is the paper's representation-level duplicate elimination.
+        child = ValueTree(LEAF, label=1)
+        with pytest.raises(OValueError):
+            ValueTree(SET, children=((None, child), (None, child)))
+
+    def test_set_arcs_are_unlabelled(self):
+        child = ValueTree(LEAF, label=1)
+        with pytest.raises(OValueError):
+            ValueTree(SET, children=(("a", child),))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(OValueError):
+            ValueTree("weird")
+
+
+class TestConversion:
+    def test_tuple_conversion(self):
+        v = OTuple(name="Adam", tags=OSet(["x"]))
+        tree = from_ovalue(v)
+        assert tree.kind == TUPLE
+        assert to_ovalue(tree) == v
+
+    def test_measures_match_value_measures(self):
+        v = OTuple(a=OSet([1, 2, 3]), b=OTuple())
+        tree = from_ovalue(v)
+        assert tree.branching_factor() == branching_factor(v)
+        assert tree.depth() == value_depth(v)
+        assert tree.size() == value_size(v)
+
+    def test_leaves(self):
+        o = Oid()
+        v = OSet([OTuple(a="x", b=o)])
+        assert set(from_ovalue(v).leaves()) == {"x", o}
+
+    def test_render_smoke(self):
+        text = from_ovalue(OTuple(a=OSet([1]))).render()
+        assert "×" in text and "*" in text
+
+
+@given(ovalues())
+def test_tree_round_trip(v):
+    assert to_ovalue(from_ovalue(v)) == v
+
+
+@given(ovalues())
+def test_tree_measures_agree(v):
+    tree = from_ovalue(v)
+    assert tree.size() == value_size(v)
+    assert tree.depth() == value_depth(v)
+    assert tree.branching_factor() == branching_factor(v)

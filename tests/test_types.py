@@ -1,0 +1,219 @@
+"""Tests for type expressions and their interpretations (Section 2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeExpressionError
+from repro.typesys import (
+    D,
+    EMPTY,
+    Base,
+    ClassRef,
+    Empty,
+    Intersection,
+    SetOf,
+    TupleOf,
+    Union,
+    classref,
+    count_type,
+    enumerate_type,
+    intersection,
+    is_disjoint,
+    is_empty_type,
+    member,
+    sample_values,
+    set_of,
+    tuple_of,
+    union,
+)
+from repro.values import Oid, OSet, OTuple
+
+
+class TestConstruction:
+    def test_singletons(self):
+        assert Base() is D
+        assert Empty() is EMPTY
+
+    def test_union_flattens_and_dedupes(self):
+        t = union(D, union(D, classref("P")))
+        assert isinstance(t, Union)
+        assert len(t.members) == 2
+
+    def test_union_smart_constructor_degenerates(self):
+        assert union(D) is D
+        assert union(EMPTY, D) is D
+        assert union() is EMPTY
+        assert isinstance(union(EMPTY, EMPTY), Empty)
+
+    def test_intersection_absorbs_empty(self):
+        assert isinstance(intersection(D, EMPTY), Empty)
+        assert intersection(D) is D
+
+    def test_binary_constructors_require_two_members(self):
+        with pytest.raises(TypeExpressionError):
+            Union(D)
+        with pytest.raises(TypeExpressionError):
+            Intersection(D)
+
+    def test_tuple_duplicate_attr_rejected(self):
+        with pytest.raises(TypeExpressionError):
+            TupleOf({"A": D}, A=D)
+
+    def test_classref_requires_name(self):
+        with pytest.raises(TypeExpressionError):
+            ClassRef("")
+
+    def test_equality_is_canonical(self):
+        assert union(D, classref("P")) == union(classref("P"), D)
+        assert tuple_of(A=D, B=D) == tuple_of(B=D, A=D)
+        assert hash(set_of(D)) == hash(set_of(D))
+
+
+class TestStructure:
+    def test_class_names(self):
+        t = tuple_of(a=classref("P"), b=set_of(union(classref("Q"), D)))
+        assert t.class_names() == {"P", "Q"}
+
+    def test_has_set_constructor(self):
+        assert set_of(D).has_set_constructor()
+        assert tuple_of(a=set_of(D)).has_set_constructor()
+        assert not tuple_of(a=D, b=classref("P")).has_set_constructor()
+
+    def test_depth(self):
+        assert D.depth() == 0
+        assert set_of(tuple_of(a=D)).depth() == 2
+
+    def test_substitute_classes(self):
+        t = tuple_of(a=classref("P"), b=set_of(classref("P")))
+        out = t.substitute_classes({"P": union(classref("Q"), classref("R"))})
+        assert out.class_names() == {"Q", "R"}
+
+    def test_intersection_predicates(self):
+        reduced = intersection(classref("P"), classref("Q"))
+        assert reduced.is_intersection_reduced()
+        assert not reduced.is_intersection_free()
+        bad = Intersection(tuple_of(a=D), tuple_of(a=D, b=D))
+        assert not bad.is_intersection_reduced()
+        assert set_of(D).is_intersection_free()
+
+
+class TestMembership:
+    def setup_method(self):
+        self.o1, self.o2 = Oid(), Oid()
+        self.pi = {"P": {self.o1}, "Q": {self.o2}}
+
+    def test_base(self):
+        assert member("d", D, self.pi)
+        assert member(3, D, self.pi)
+        assert not member(self.o1, D, self.pi)
+
+    def test_empty_has_no_members(self):
+        assert not member("d", EMPTY, self.pi)
+        assert not member(OSet(), EMPTY, self.pi)
+
+    def test_class(self):
+        assert member(self.o1, classref("P"), self.pi)
+        assert not member(self.o2, classref("P"), self.pi)
+        assert not member("d", classref("P"), self.pi)
+
+    def test_set(self):
+        t = set_of(D)
+        assert member(OSet(), t, self.pi)  # the empty set inhabits every set type
+        assert member(OSet(["a", "b"]), t, self.pi)
+        assert not member(OSet([self.o1]), t, self.pi)
+        assert not member("a", t, self.pi)
+
+    def test_set_of_empty_vs_empty(self):
+        # The paper: {⊥} and ⊥ are NOT equivalent — {} inhabits {⊥}.
+        assert member(OSet(), set_of(EMPTY), self.pi)
+        assert not member(OSet(["x"]), set_of(EMPTY), self.pi)
+
+    def test_tuple_exact_attributes(self):
+        t = tuple_of(a=D, b=classref("P"))
+        assert member(OTuple(a="x", b=self.o1), t, self.pi)
+        assert not member(OTuple(a="x"), t, self.pi)
+        assert not member(OTuple(a="x", b=self.o1, c="extra"), t, self.pi)
+
+    def test_tuple_star_allows_extra_attributes(self):
+        t = tuple_of(a=D)
+        value = OTuple(a="x", extra=OSet())
+        assert not member(value, t, self.pi)
+        assert member(value, t, self.pi, star=True)
+
+    def test_empty_tuple_type_under_star_is_all_tuples(self):
+        assert member(OTuple(a=1, b=2), tuple_of(), self.pi, star=True)
+        assert not member(OTuple(a=1), tuple_of(), self.pi)
+
+    def test_union_and_intersection(self):
+        t = union(D, classref("P"))
+        assert member("d", t, self.pi)
+        assert member(self.o1, t, self.pi)
+        assert not member(self.o2, t, self.pi)
+        both = intersection(tuple_of(a=D), tuple_of(a=D))
+        assert member(OTuple(a="x"), both, self.pi)
+
+    def test_tuple_with_empty_component_is_empty(self):
+        assert not member(OTuple(a="x"), tuple_of(a=EMPTY), self.pi)
+        # The paper: [A1: ⊥] ≡ ⊥.
+        assert is_empty_type(tuple_of(A1=EMPTY), self.pi)
+        assert not is_empty_type(set_of(EMPTY), self.pi)
+
+
+class TestEmptiness:
+    def test_class_emptiness_depends_on_pi(self):
+        assert is_empty_type(classref("P"), {"P": set()})
+        assert not is_empty_type(classref("P"), {"P": {Oid()}})
+
+    def test_disjointness(self):
+        o = Oid()
+        assert is_disjoint({"P": {o}, "Q": {Oid()}})
+        assert not is_disjoint({"P": {o}, "Q": {o}})
+
+    def test_intersection_of_distinct_classes_empty_when_disjoint(self):
+        o1, o2 = Oid(), Oid()
+        pi = {"P": {o1}, "Q": {o2}}
+        assert is_empty_type(intersection(classref("P"), classref("Q")), pi)
+        assert is_empty_type(intersection(D, classref("P")), pi)
+
+
+class TestEnumeration:
+    def test_enumerate_base(self):
+        assert enumerate_type(D, ["a", "b"], {}) == ["a", "b"]
+
+    def test_enumerate_powerset(self):
+        out = enumerate_type(set_of(D), ["a", "b"], {})
+        assert len(out) == 4  # {}, {a}, {b}, {a,b}
+
+    def test_enumerate_tuple_product(self):
+        out = enumerate_type(tuple_of(x=D, y=D), ["a", "b"], {})
+        assert len(out) == 4
+
+    def test_enumerate_budget(self):
+        from repro.typesys import EnumerationBudgetExceeded
+
+        with pytest.raises(EnumerationBudgetExceeded):
+            enumerate_type(set_of(D), [str(i) for i in range(40)], {}, budget=100)
+
+    def test_enumerated_values_are_members(self):
+        o = Oid()
+        pi = {"P": {o}}
+        t = tuple_of(a=union(D, classref("P")), b=set_of(D))
+        for v in enumerate_type(t, ["c"], pi, budget=1000):
+            assert member(v, t, pi)
+
+    def test_count_matches_enumeration(self):
+        t = set_of(D)
+        assert count_type(t, frozenset(["a", "b", "c"]), {}) == 8
+
+    def test_star_enumeration_rejected(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            enumerate_type(tuple_of(), [], {}, star=True)
+
+
+@given(st.integers(0, 4))
+def test_powerset_enumeration_is_exponential(n):
+    consts = [f"c{i}" for i in range(n)]
+    assert len(enumerate_type(set_of(D), consts, {})) == 2 ** n

@@ -1,0 +1,227 @@
+"""Tests for valuations, matching and body solving (Section 3.2)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.iql import (
+    Const,
+    Deref,
+    Equality,
+    Membership,
+    NameTerm,
+    SetTerm,
+    TupleTerm,
+    Var,
+    columns,
+    eval_term,
+    match,
+    satisfies,
+    solve_body,
+)
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import Oid, OSet, OTuple
+
+
+@pytest.fixture
+def world():
+    schema = Schema(
+        relations={"R": columns(D, D), "S": D},
+        classes={"P": tuple_of(a=D), "Q": set_of(D)},
+    )
+    p1, p2, q1 = Oid("p1"), Oid("p2"), Oid("q1")
+    inst = Instance(
+        schema,
+        relations={
+            "R": [OTuple(A01="a", A02="b"), OTuple(A01="b", A02="c")],
+            "S": ["a", "b"],
+        },
+        classes={"P": [p1, p2], "Q": [q1]},
+        nu={p1: OTuple(a="va"), q1: OSet(["a", "b"])},
+    )
+    return schema, inst, (p1, p2, q1)
+
+
+class TestEvalTerm:
+    def test_const_and_var(self, world):
+        _, inst, _ = world
+        x = Var("x", D)
+        assert eval_term(Const("c"), {}, inst) == "c"
+        assert eval_term(x, {}, inst) is None
+        assert eval_term(x, {x: "v"}, inst) == "v"
+
+    def test_name_terms(self, world):
+        _, inst, (p1, p2, _) = world
+        assert eval_term(NameTerm("S"), {}, inst) == OSet(["a", "b"])
+        assert eval_term(NameTerm("P"), {}, inst) == OSet([p1, p2])
+
+    def test_deref(self, world):
+        _, inst, (p1, p2, q1) = world
+        p = Var("p", classref("P"))
+        assert eval_term(Deref(p), {p: p1}, inst) == OTuple(a="va")
+        assert eval_term(Deref(p), {p: p2}, inst) is None  # undefined ν
+        assert eval_term(Deref(p), {}, inst) is None  # unbound
+        q = Var("q", classref("Q"))
+        assert eval_term(Deref(q), {q: q1}, inst) == OSet(["a", "b"])
+
+    def test_deref_of_non_oid_binding_raises(self, world):
+        _, inst, _ = world
+        p = Var("p", classref("P"))
+        with pytest.raises(EvaluationError):
+            eval_term(Deref(p), {p: "not an oid"}, inst)
+
+    def test_composite_terms(self, world):
+        _, inst, _ = world
+        x = Var("x", D)
+        t = TupleTerm(a=x, b=SetTerm(Const("k"), x))
+        assert eval_term(t, {x: "v"}, inst) == OTuple(a="v", b=OSet(["k", "v"]))
+        assert eval_term(t, {}, inst) is None
+
+
+class TestMatch:
+    def test_var_binding_respects_type(self, world):
+        _, inst, (p1, _, _) = world
+        x = Var("x", D)
+        p = Var("p", classref("P"))
+        assert list(match(x, "v", {}, inst))[0][x] == "v"
+        assert list(match(x, p1, {}, inst)) == []  # oid not in ⟦D⟧
+        assert list(match(p, p1, {}, inst))[0][p] == p1
+        q_oid = list(inst.classes["Q"])[0]
+        assert list(match(p, q_oid, {}, inst)) == []  # wrong class
+
+    def test_bound_var_checks_equality(self, world):
+        _, inst, _ = world
+        x = Var("x", D)
+        assert len(list(match(x, "v", {x: "v"}, inst))) == 1
+        assert list(match(x, "w", {x: "v"}, inst)) == []
+
+    def test_tuple_pattern(self, world):
+        _, inst, _ = world
+        x, y = Var("x", D), Var("y", D)
+        pattern = TupleTerm(A01=x, A02=y)
+        out = list(match(pattern, OTuple(A01="a", A02="b"), {}, inst))
+        assert len(out) == 1 and out[0][x] == "a" and out[0][y] == "b"
+        assert list(match(pattern, OTuple(Z="a"), {}, inst)) == []
+        assert list(match(pattern, "scalar", {}, inst)) == []
+
+    def test_set_pattern_singleton(self, world):
+        _, inst, _ = world
+        x = Var("x", D)
+        out = list(match(SetTerm(x), OSet(["only"]), {}, inst))
+        assert len(out) == 1 and out[0][x] == "only"
+        assert list(match(SetTerm(x), OSet(["a", "b"]), {}, inst)) == []
+
+    def test_set_pattern_collapse(self, world):
+        # {x, y} can match a singleton with x = y.
+        _, inst, _ = world
+        x, y = Var("x", D), Var("y", D)
+        out = list(match(SetTerm(x, y), OSet(["v"]), {}, inst))
+        assert len(out) == 1 and out[0][x] == "v" and out[0][y] == "v"
+
+    def test_set_pattern_two_elements(self, world):
+        _, inst, _ = world
+        x, y = Var("x", D), Var("y", D)
+        out = list(match(SetTerm(x, y), OSet(["a", "b"]), {}, inst))
+        assignments = {(b[x], b[y]) for b in out}
+        assert assignments == {("a", "b"), ("b", "a")}
+
+    def test_empty_set_pattern(self, world):
+        _, inst, _ = world
+        assert len(list(match(SetTerm(), OSet(), {}, inst))) == 1
+        assert list(match(SetTerm(), OSet(["a"]), {}, inst)) == []
+
+    def test_unbound_deref_reverse_lookup(self, world):
+        _, inst, (p1, _, _) = world
+        p = Var("p", classref("P"))
+        out = list(match(Deref(p), OTuple(a="va"), {}, inst))
+        assert len(out) == 1 and out[0][p] == p1
+        assert list(match(Deref(p), OTuple(a="nope"), {}, inst)) == []
+
+
+class TestSatisfies:
+    def test_membership(self, world):
+        _, inst, _ = world
+        x = Var("x", D)
+        lit = Membership(NameTerm("S"), x)
+        assert satisfies(lit, {x: "a"}, inst)
+        assert not satisfies(lit, {x: "z"}, inst)
+        assert satisfies(lit.negate(), {x: "z"}, inst)
+
+    def test_equality(self, world):
+        _, inst, _ = world
+        x = Var("x", D)
+        assert satisfies(Equality(x, Const("a")), {x: "a"}, inst)
+        assert satisfies(Equality(x, Const("b"), positive=False), {x: "a"}, inst)
+
+    def test_undefined_deref_not_satisfied(self, world):
+        _, inst, (_, p2, _) = world
+        p = Var("p", classref("P"))
+        lit = Equality(Deref(p), TupleTerm(a=Const("va")))
+        assert not satisfies(lit, {p: p2}, inst)
+
+
+class TestSolveBody:
+    def test_join(self, world):
+        schema, inst, _ = world
+        x, y, z = Var("x", D), Var("y", D), Var("z", D)
+        body = [
+            Membership(NameTerm("R"), TupleTerm(A01=x, A02=y)),
+            Membership(NameTerm("R"), TupleTerm(A01=y, A02=z)),
+        ]
+        out = list(solve_body(body, inst))
+        assert len(out) == 1
+        binding = out[0]
+        assert (binding[x], binding[y], binding[z]) == ("a", "b", "c")
+
+    def test_negation_as_filter(self, world):
+        _, inst, _ = world
+        x = Var("x", D)
+        body = [
+            Membership(NameTerm("S"), x),
+            Membership(NameTerm("R"), TupleTerm(A01=x, A02=Const("c")), positive=False),
+        ]
+        out = {b[x] for b in solve_body(body, inst)}
+        assert out == {"a"}  # (b, c) ∈ R, so b is filtered out
+
+    def test_inequality_filter(self, world):
+        _, inst, _ = world
+        x, y = Var("x", D), Var("y", D)
+        body = [
+            Membership(NameTerm("S"), x),
+            Membership(NameTerm("S"), y),
+            Equality(x, y, positive=False),
+        ]
+        out = {(b[x], b[y]) for b in solve_body(body, inst)}
+        assert out == {("a", "b"), ("b", "a")}
+
+    def test_membership_through_set_variable(self, world):
+        _, inst, (_, _, q1) = world
+        q = Var("q", classref("Q"))
+        e = Var("e", D)
+        body = [Membership(NameTerm("Q"), q), Membership(Deref(q), e)]
+        out = {b[e] for b in solve_body(body, inst)}
+        assert out == {"a", "b"}
+
+    def test_equality_binds_by_matching(self, world):
+        _, inst, (p1, _, _) = world
+        p = Var("p", classref("P"))
+        v = Var("v", D)
+        body = [
+            Membership(NameTerm("P"), p),
+            Equality(Deref(p), TupleTerm(a=v)),
+        ]
+        out = list(solve_body(body, inst))
+        # p2 has undefined ν, so only p1 matches.
+        assert len(out) == 1 and out[0][v] == "va"
+
+    def test_enumeration_fallback(self, world):
+        # X = X with X: {D} — the powerset search of Example 3.4.2.
+        _, inst, _ = world
+        X = Var("X", set_of(D))
+        out = list(solve_body([Equality(X, X)], inst))
+        constants = inst.constants()
+        assert len(out) == 2 ** len(constants)
+
+    def test_empty_body_yields_unit(self, world):
+        _, inst, _ = world
+        assert list(solve_body([], inst)) == [{}]

@@ -1,0 +1,128 @@
+"""Tests for equality-by-value (Section 7's coercion mechanism) and the
+Example 4.1.2 soundness scenario."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.valuebased.equality import value_equal, value_partition
+from repro.values import Oid, OSet, OTuple
+
+
+@pytest.fixture
+def world():
+    P = classref("P")
+    schema = Schema(
+        classes={"P": tuple_of(n=D, peer=P), "Q": tuple_of(n=D, peer=P)}
+    )
+    return schema
+
+
+class TestValueEqual:
+    def test_identical_finite_values(self):
+        schema = Schema(classes={"P": D})
+        a, b, c = Oid(), Oid(), Oid()
+        inst = Instance(schema, classes={"P": [a, b, c]}, nu={a: "x", b: "x", c: "y"})
+        assert value_equal(inst, a, b)
+        assert not value_equal(inst, a, c)
+
+    def test_cyclic_unfoldings(self, world):
+        # Two 2-cycles with matching labels are value-equal; changing one
+        # label anywhere in the cycle breaks it.
+        a1, a2, b1, b2 = (Oid() for _ in range(4))
+        inst = Instance(
+            world,
+            classes={"P": [a1, a2, b1, b2]},
+            nu={
+                a1: OTuple(n="u", peer=a2),
+                a2: OTuple(n="v", peer=a1),
+                b1: OTuple(n="u", peer=b2),
+                b2: OTuple(n="v", peer=b1),
+            },
+        )
+        assert value_equal(inst, a1, b1)
+        assert value_equal(inst, a2, b2)
+        assert not value_equal(inst, a1, b2)
+
+    def test_cross_class_comparison(self, world):
+        # Equality-by-value does not care which class an object lives in —
+        # it addresses the underlying infinite value (Section 7).
+        p, p2, q = Oid(), Oid(), Oid()
+        inst = Instance(
+            world,
+            classes={"P": [p, p2], "Q": [q]},
+            nu={
+                p: OTuple(n="x", peer=p2),
+                p2: OTuple(n="y", peer=p),
+                q: OTuple(n="x", peer=p2),
+            },
+        )
+        assert value_equal(inst, p, q)
+
+    def test_undefined_values_are_self_equal_only(self):
+        schema = Schema(classes={"P": D})
+        a, b = Oid(), Oid()
+        inst = Instance(schema, classes={"P": [a, b]})
+        assert value_equal(inst, a, a)
+        assert not value_equal(inst, a, b)
+
+    def test_unfolding_depth_does_not_matter(self):
+        # A self-loop and a 3-cycle with equal labels unfold to the same
+        # infinite tree.
+        P = classref("P")
+        schema = Schema(classes={"P": tuple_of(peer=P)})
+        a, b1, b2, b3 = (Oid() for _ in range(4))
+        inst = Instance(
+            schema,
+            classes={"P": [a, b1, b2, b3]},
+            nu={
+                a: OTuple(peer=a),
+                b1: OTuple(peer=b2),
+                b2: OTuple(peer=b3),
+                b3: OTuple(peer=b1),
+            },
+        )
+        assert value_equal(inst, a, b1)
+
+    def test_sets_compare_as_sets(self):
+        schema = Schema(classes={"Q": set_of(D)})
+        a, b, c = Oid(), Oid(), Oid()
+        inst = Instance(
+            schema,
+            classes={"Q": [a, b, c]},
+            nu={a: OSet(["x", "y"]), b: OSet(["y", "x"]), c: OSet(["x"])},
+        )
+        assert value_equal(inst, a, b)
+        assert not value_equal(inst, a, c)
+
+
+class TestValuePartition:
+    def test_partition_groups_duplicates(self):
+        schema = Schema(classes={"P": D})
+        oids = [Oid() for _ in range(5)]
+        values = ["x", "y", "x", "z", "y"]
+        inst = Instance(schema, classes={"P": oids}, nu=dict(zip(oids, values)))
+        groups = value_partition(inst, oids)
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 2, 2]
+
+    def test_empty(self):
+        schema = Schema(classes={"P": D})
+        assert value_partition(Instance(schema), []) == []
+
+
+class TestExample412:
+    """Example 4.1.2: why classes must be pairwise disjoint.
+
+    The paper's scenario — one oid in both P1: {D} and P2: {{D}} with
+    ν(o) = {} — would let well-typed rules derive an illegal instance.
+    The model forbids the premise outright."""
+
+    def test_nondisjoint_assignment_rejected(self):
+        schema = Schema(classes={"P1": set_of(D), "P2": set_of(set_of(D))})
+        o = Oid()
+        inst = Instance(schema)
+        inst.add_class_member("P1", o)
+        with pytest.raises(InstanceError, match="disjoint"):
+            inst.add_class_member("P2", o)

@@ -1,0 +1,253 @@
+"""E13 — Section 7: regular trees, the value-based model, φ and ψ."""
+
+import pytest
+
+from repro.errors import RegularTreeError, SchemaError
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.valuebased import (
+    RegularTreeSystem,
+    VInstance,
+    VSchema,
+    from_finite_value,
+    is_v_type,
+    object_schema,
+    phi,
+    psi,
+    run_iqlv,
+    trees_equal,
+    vmember,
+)
+from repro.values import Oid, OSet, OTuple
+
+
+def spouse_schema():
+    return VSchema({"Person": tuple_of(name=D, spouse=classref("Person"))})
+
+
+def cyclic_pair(vi, name_a="Adam", name_b="Eve"):
+    sys = vi.system
+    a = sys.declare(sys.fresh_id("a"))
+    b = sys.declare(sys.fresh_id("b"))
+    na, nb = sys.add_const(name_a), sys.add_const(name_b)
+    sys.define(a, ("tuple", (("name", na), ("spouse", b))))
+    sys.define(b, ("tuple", (("name", nb), ("spouse", a))))
+    vi.add_value("Person", a)
+    vi.add_value("Person", b)
+    return a, b
+
+
+class TestRegularTrees:
+    def test_finite_value_embedding(self):
+        sys = RegularTreeSystem()
+        root = from_finite_value(sys, OTuple(a="x", b=OSet([1, 2])))
+        assert sys.subtree_count(root) >= 4
+
+    def test_embedding_rejects_oids(self):
+        sys = RegularTreeSystem()
+        with pytest.raises(RegularTreeError):
+            from_finite_value(sys, OSet([Oid()]))
+
+    def test_bisimulation_collapses_duplicates_in_sets(self):
+        sys = RegularTreeSystem()
+        c1, c2 = sys.add_const("x"), sys.add_const("x")
+        s = sys.add_set([c1, c2])
+        single = sys.add_set([sys.add_const("x")])
+        assert trees_equal(sys, s, sys, single)
+
+    def test_cyclic_trees_equal_up_to_unfolding(self):
+        # An infinite chain a→a equals b→c→b→c… when labels agree.
+        sys = RegularTreeSystem()
+        a = sys.declare("a")
+        sys.define(a, ("tuple", (("next", "a"),)))
+        b, c = sys.declare("b"), sys.declare("c")
+        sys.define(b, ("tuple", (("next", "c"),)))
+        sys.define(c, ("tuple", (("next", "b"),)))
+        assert trees_equal(sys, a, sys, b)
+
+    def test_distinct_labels_distinguish(self):
+        sys = RegularTreeSystem()
+        a = sys.declare("a")
+        sys.define(a, ("tuple", (("v", sys.add_const(1)), ("next", "a"))))
+        b = sys.declare("b")
+        sys.define(b, ("tuple", (("v", sys.add_const(2)), ("next", "b"))))
+        assert not trees_equal(sys, a, sys, b)
+
+    def test_minimize(self):
+        sys = RegularTreeSystem()
+        b, c = sys.declare("b"), sys.declare("c")
+        sys.define(b, ("tuple", (("next", "c"),)))
+        sys.define(c, ("tuple", (("next", "b"),)))
+        minimized, mapping = sys.minimize()
+        assert mapping["b"] == mapping["c"]
+        assert len(minimized.nodes) == 1
+
+    def test_subtree_count_is_finite_for_cycles(self):
+        # Proposition 7.1.3: values in v-instances are regular.
+        sys = RegularTreeSystem()
+        a = sys.declare("a")
+        sys.define(a, ("tuple", (("next", "a"),)))
+        assert sys.subtree_count(a) == 1
+
+    def test_unfold_cuts_cycles(self):
+        sys = RegularTreeSystem()
+        a = sys.declare("a")
+        sys.define(a, ("tuple", (("next", "a"),)))
+        assert sys.unfold(a, 2) == {"next": {"next": "…"}}
+
+    def test_incomplete_system_rejected(self):
+        sys = RegularTreeSystem()
+        sys.declare("pending")
+        with pytest.raises(RegularTreeError):
+            sys.bisimulation_classes()
+
+
+class TestVSchema:
+    def test_v_type_check(self):
+        assert is_v_type(tuple_of(a=D, b=set_of(classref("P"))))
+        assert is_v_type(union(D, D))  # degenerate: collapses to D
+        assert not is_v_type(union(D, classref("P")))
+
+    def test_union_rejected(self):
+        with pytest.raises(SchemaError):
+            VSchema({"P": union(D, classref("P"))})
+
+    def test_bare_class_type_rejected(self):
+        # Condition (1) of Definition 7.1.1.
+        with pytest.raises(SchemaError):
+            VSchema({"P1": classref("P2"), "P2": tuple_of()})
+
+
+class TestVInstance:
+    def test_cyclic_instance_validates(self):
+        vi = VInstance(spouse_schema())
+        cyclic_pair(vi)
+        vi.validate()
+
+    def test_type_violation_detected(self):
+        vi = VInstance(spouse_schema())
+        bad = vi.system.add_const("just a string")
+        vi.add_value("Person", bad)
+        assert not vi.is_valid()
+
+    def test_vmember_class_reference_is_extensional(self):
+        vs = VSchema(
+            {"Person": tuple_of(name=D, spouse=classref("Person"))}
+        )
+        vi = VInstance(vs)
+        a, b = cyclic_pair(vi)
+        # a's spouse is b, which IS in I(Person): ok.
+        assert vmember(vi, a, vs.classes["Person"])
+        # Remove b from the class: a's spouse no longer a member.
+        vi.assignment["Person"].discard(b)
+        assert not vmember(vi, a, vs.classes["Person"])
+
+    def test_equality_is_by_bisimilarity(self):
+        vi1 = VInstance(spouse_schema())
+        cyclic_pair(vi1)
+        vi2 = VInstance(spouse_schema())
+        cyclic_pair(vi2)
+        assert vi1 == vi2
+        vi3 = VInstance(spouse_schema())
+        cyclic_pair(vi3, name_b="Lilith")
+        assert vi1 != vi3
+
+
+class TestTranslations:
+    def test_phi_gives_valid_object_instance(self):
+        vi = VInstance(spouse_schema())
+        cyclic_pair(vi)
+        obj = phi(vi)
+        obj.validate()
+        assert len(obj.classes["Person"]) == 2
+
+    def test_phi_deduplicates_bisimilar_values(self):
+        vi = VInstance(spouse_schema())
+        cyclic_pair(vi)
+        cyclic_pair(vi)  # a second, bisimilar pair
+        obj = phi(vi)
+        assert len(obj.classes["Person"]) == 2  # not 4
+
+    def test_psi_requires_total_nu(self):
+        schema = Schema(classes={"P": tuple_of(a=D)})
+        inst = Instance(schema, classes={"P": [Oid()]})
+        with pytest.raises(RegularTreeError):
+            psi(inst)
+
+    def test_psi_rejects_relational_schemas(self):
+        schema = Schema(relations={"R": D})
+        with pytest.raises(RegularTreeError):
+            psi(Instance(schema))
+
+    def test_round_trip(self):
+        # Proposition 7.1.4: ψ(φ(I)) = I.
+        vi = VInstance(spouse_schema())
+        cyclic_pair(vi)
+        assert psi(phi(vi)) == vi
+
+    def test_psi_eliminates_duplicates(self):
+        schema = Schema(classes={"P": tuple_of(n=D, peer=classref("P"))})
+        a, b = Oid(), Oid()
+        inst = Instance(
+            schema,
+            classes={"P": [a, b]},
+            nu={a: OTuple(n="x", peer=b), b: OTuple(n="x", peer=a)},
+        )
+        vi = psi(inst)
+        assert len(vi.canonical_assignment()["P"]) == 1
+
+    def test_oid_aliasing_resolved(self):
+        schema = Schema(classes={"P": union(classref("P"), tuple_of(n=D))})
+        a, b = Oid(), Oid()
+        inst = Instance(schema, classes={"P": [a, b]}, nu={a: b, b: OTuple(n="x")})
+        vi = psi(inst, VSchema({"P": tuple_of(n=D)}))
+        keys = vi.canonical_assignment()["P"]
+        assert len(keys) == 1  # a aliases b; duplicates collapse
+
+
+class TestIQLv:
+    def test_value_based_query(self):
+        """A value-based identity query: copy Person into Clone via IQL,
+        with φ/ψ around it (Figure 2)."""
+        from repro.iql import Membership, NameTerm, Program, Rule, Var, Equality, TupleTerm
+
+        vs = VSchema(
+            {
+                "Person": tuple_of(name=D, spouse=classref("Person")),
+                "Clone": tuple_of(name=D, spouse=classref("Person")),
+            }
+        )
+        vi = VInstance(vs)
+        cyclic_pair(vi)
+        schema = object_schema(vs)
+        p = Var("p", classref("Person"))
+        c = Var("c", classref("Clone"))
+        n = Var("n", D)
+        s = Var("s", classref("Person"))
+        mapping = schema.with_names(
+            relations={"Map": tuple_of(src=classref("Person"), dst=classref("Clone"))}
+        )
+        program = Program(
+            mapping,
+            stages=[
+                [
+                    Rule(
+                        Membership(NameTerm("Map"), TupleTerm(src=p, dst=c)),
+                        [Membership(NameTerm("Person"), p)],
+                    )
+                ],
+                [
+                    Rule(
+                        Equality(c.hat(), TupleTerm(name=n, spouse=s)),
+                        [
+                            Membership(NameTerm("Map"), TupleTerm(src=p, dst=c)),
+                            Equality(p.hat(), TupleTerm(name=n, spouse=s)),
+                        ],
+                    )
+                ],
+            ],
+            input_names=["Person"],
+            output_names=["Person", "Clone"],
+        )
+        out = run_iqlv(program, vi)
+        assert out.canonical_assignment()["Clone"] == out.canonical_assignment()["Person"]
