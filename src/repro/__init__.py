@@ -17,7 +17,10 @@ The package implements the paper end to end:
 * :mod:`repro.inheritance` — isa hierarchies compiled to union types (§6),
 * :mod:`repro.valuebased` — regular trees, φ/ψ, and IQLv (§7),
 * :mod:`repro.workloads` — the Genesis and university fixtures plus
-  benchmark generators.
+  benchmark generators,
+* :mod:`repro.analysis` — the unified static-analysis subsystem (IQL
+  lint): ``analyze(program) -> Report`` with source-spanned ``IQLxxx``
+  diagnostics and Definition-5.3 certification.
 
 Quickstart::
 
@@ -33,6 +36,7 @@ Quickstart::
     ], input_names=["E"], output_names=["T"]))
 """
 
+from repro.diagnostics import CODES, Diagnostic, Span
 from repro.errors import (
     EvaluationError,
     GenericityError,
@@ -69,6 +73,9 @@ from repro.values import Oid, OSet, OTuple, ensure_ovalue
 __version__ = "1.0.0"
 
 __all__ = [
+    "CODES",
+    "Diagnostic",
+    "Span",
     "EvaluationError",
     "GenericityError",
     "InstanceError",

@@ -3,18 +3,21 @@
 Usage::
 
     python -m repro run PROGRAM.iql --input data.json [--output out.json]
-    python -m repro check PROGRAM.iql            # type check + classify
+    python -m repro check PROGRAM.iql [--json]   # type check + classify
+    python -m repro lint PROGRAM.iql [--format text|json]
     python -m repro fmt PROGRAM.iql              # parse + pretty-print
     python -m repro validate data.json           # instance legality
     python -m repro demo                         # the Example 1.2 pipeline
 
 Programs are in the surface syntax (see repro.parser); instances in the
-JSON format of repro.io.
+JSON format of repro.io. ``lint`` runs the full repro.analysis pipeline
+and exits non-zero on error-severity diagnostics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import io
@@ -33,9 +36,16 @@ def _load_program(path: str):
 def cmd_check(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     errors = check_program(program)
+    report = classify(program)
+    if getattr(args, "json", False):
+        from repro.analysis import analyze
+
+        doc = analyze(program).to_json(filename=args.program)
+        doc["classification"] = report.summary()
+        print(json.dumps(doc, indent=2))
+        return 1 if errors else 0
     for error in errors:
         print(f"type error: {error}", file=sys.stderr)
-    report = classify(program)
     print(f"rules: {len(program.rules)} in {len(program.stages)} stage(s)")
     print(f"classification: {report.summary()}")
     if program.uses_choose():
@@ -43,6 +53,19 @@ def cmd_check(args: argparse.Namespace) -> int:
     if program.uses_deletion():
         print("features: deletion (IQL*)")
     return 1 if errors else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_source
+
+    with open(args.program, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    report = analyze_source(text, filename=args.program)
+    if args.format == "json":
+        print(json.dumps(report.to_json(filename=args.program), indent=2))
+    else:
+        print(report.render_text(filename=args.program))
+    return 0 if report.ok else 1
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -111,7 +134,19 @@ def main(argv=None) -> int:
 
     p_check = sub.add_parser("check", help="type check and classify a program")
     p_check.add_argument("program")
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full analysis report as JSON instead of the text summary",
+    )
     p_check.set_defaults(func=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint", help="run all static analyses; non-zero exit on errors"
+    )
+    p_lint.add_argument("program")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_run = sub.add_parser("run", help="evaluate a program on an instance")
     p_run.add_argument("program")
@@ -147,7 +182,7 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

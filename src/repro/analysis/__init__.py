@@ -1,0 +1,42 @@
+"""repro.analysis — the unified static-analysis subsystem (IQL lint).
+
+One entry point, :func:`analyze` (or :func:`analyze_source` for raw
+text), runs every static check the repo knows about — well-typedness
+(Sections 3.1/3.3), binding hygiene, invention-cycle detection on G(Γ),
+dead-code lints — and Definition-5.3 certification, returning a
+:class:`Report` of structured, source-spanned :class:`Diagnostic`
+objects with stable ``IQLxxx`` codes. ``repro lint`` is the CLI face of
+this package; the raising APIs in :mod:`repro.iql.typecheck` and
+:mod:`repro.iql.sublanguages` remain as thin wrappers for programmatic
+use.
+"""
+
+from repro.analysis.certify import Certificate, certify
+from repro.analysis.passes import (
+    binding_pass,
+    certification_pass,
+    invention_cycle_pass,
+    typecheck_pass,
+    unused_pass,
+)
+from repro.analysis.report import PreflightWarning, Report, analyze, analyze_source
+from repro.diagnostics import CODES, Diagnostic, Span, diagnostic, diagnostics_to_json
+
+__all__ = [
+    "CODES",
+    "Certificate",
+    "Diagnostic",
+    "PreflightWarning",
+    "Report",
+    "Span",
+    "analyze",
+    "analyze_source",
+    "binding_pass",
+    "certification_pass",
+    "certify",
+    "diagnostic",
+    "diagnostics_to_json",
+    "invention_cycle_pass",
+    "typecheck_pass",
+    "unused_pass",
+]

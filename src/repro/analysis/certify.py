@@ -1,0 +1,94 @@
+"""Program certification: where a program sits in the Section-5 hierarchy.
+
+The certificate condenses :func:`repro.iql.sublanguages.classify` into the
+stamps a tool (or a CI gate) wants to assert on: the sublanguage class
+``IQLrr`` / ``IQLpr`` / ``unrestricted`` (Definitions 5.1-5.3), plus the
+two freedom properties — *invention-free* and *recursion-free* — that
+Definition 5.3 lets each stage trade off, reported here only when they
+hold for **every** stage. ``IQLrr``/``IQLpr`` certify PTIME data
+complexity (Theorem 5.4); ``unrestricted`` programs carry no guarantee
+and may diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.iql.program import Program
+from repro.iql.sublanguages import SublanguageReport, classify
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The analysis layer's stamp on one program."""
+
+    sublanguage: str  # "IQLrr" | "IQLpr" | "unrestricted"
+    invention_free: bool
+    recursion_free: bool
+    uses_choose: bool
+    uses_deletion: bool
+    stage_count: int
+    rule_count: int
+
+    @property
+    def ptime(self) -> bool:
+        """Does the certificate guarantee PTIME data complexity?"""
+        return self.sublanguage in ("IQLrr", "IQLpr")
+
+    @property
+    def stamps(self) -> Tuple[str, ...]:
+        """The stamp set: sublanguage class plus program-wide freedoms."""
+        out = [self.sublanguage]
+        if self.invention_free:
+            out.append("invention-free")
+        if self.recursion_free:
+            out.append("recursion-free")
+        return tuple(out)
+
+    def summary(self) -> str:
+        features = []
+        if self.uses_choose:
+            features.append("choose (IQL+)")
+        if self.uses_deletion:
+            features.append("deletion (IQL*)")
+        suffix = f"; features: {', '.join(features)}" if features else ""
+        return (
+            f"{', '.join(self.stamps)}"
+            f" ({'PTIME data complexity' if self.ptime else 'no PTIME guarantee'})"
+            f"{suffix}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "sublanguage": self.sublanguage,
+            "stamps": list(self.stamps),
+            "ptime": self.ptime,
+            "invention_free": self.invention_free,
+            "recursion_free": self.recursion_free,
+            "uses_choose": self.uses_choose,
+            "uses_deletion": self.uses_deletion,
+            "stages": self.stage_count,
+            "rules": self.rule_count,
+        }
+
+
+def certify(program: Program, report: SublanguageReport = None) -> Certificate:
+    """Stamp ``program``; ``report`` reuses an existing classification."""
+    if report is None:
+        report = classify(program)
+    if report.is_iql_rr:
+        sublanguage = "IQLrr"
+    elif report.is_iql_pr:
+        sublanguage = "IQLpr"
+    else:
+        sublanguage = "unrestricted"
+    return Certificate(
+        sublanguage=sublanguage,
+        invention_free=all(stage.invention_free for stage in report.stages),
+        recursion_free=all(stage.recursion_free for stage in report.stages),
+        uses_choose=program.uses_choose(),
+        uses_deletion=program.uses_deletion(),
+        stage_count=len(program.stages),
+        rule_count=len(program.rules),
+    )

@@ -15,7 +15,7 @@ evaluator against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
 
 from repro.errors import TypeCheckError
 

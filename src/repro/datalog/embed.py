@@ -19,7 +19,7 @@ fact-for-fact.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 from repro.datalog.ast import Constant, Database, DatalogProgram, DAtom, DRule, DVar
 from repro.datalog.stratify import stratify
@@ -27,7 +27,7 @@ from repro.iql.literals import Membership
 from repro.iql.program import Program
 from repro.iql.rules import Rule
 from repro.iql.shorthands import atom, columns
-from repro.iql.terms import Const, TupleTerm, Var
+from repro.iql.terms import Const, Var
 from repro.schema.instance import Instance
 from repro.schema.schema import Schema
 from repro.typesys.expressions import D

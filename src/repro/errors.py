@@ -8,9 +8,38 @@ and the evaluator (dynamic checks).
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
+
+
+class _LocatedError(ReproError):
+    """A static-check error that can carry its source location.
+
+    ``rule_label`` names the offending rule (its explicit label, or a
+    rendering of the rule); ``span`` is a :class:`repro.diagnostics.Span`
+    when the program came from surface syntax. Both are optional so the
+    legacy raising call sites keep working; when present they are folded
+    into ``str(exc)`` so even uncaught errors identify which rule failed.
+    """
+
+    def __init__(self, message: str, *, rule_label: Optional[str] = None, span=None):
+        super().__init__(message)
+        self.rule_label = rule_label
+        self.span = span
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = []
+        if self.rule_label:
+            context.append(f"rule {self.rule_label}")
+        if self.span is not None:
+            context.append(f"at {self.span}")
+        if context:
+            return f"{base} [{', '.join(context)}]"
+        return base
 
 
 class OValueError(ReproError):
@@ -29,7 +58,7 @@ class InstanceError(ReproError):
     """An instance violates its schema (Definition 2.3.2)."""
 
 
-class TypeCheckError(ReproError):
+class TypeCheckError(_LocatedError):
     """An IQL program fails static type checking (Section 3.1/3.3)."""
 
 
@@ -50,7 +79,7 @@ class GenericityError(EvaluationError):
     """A ``choose`` literal would have violated genericity (Section 4.4)."""
 
 
-class SublanguageError(ReproError):
+class SublanguageError(_LocatedError):
     """A program does not belong to the claimed IQL sublanguage (Section 5)."""
 
 

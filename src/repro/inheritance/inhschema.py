@@ -31,8 +31,7 @@ from repro.schema.instance import Instance
 from repro.schema.schema import Schema
 from repro.typesys.expressions import Intersection, TypeExpr, classref, union
 from repro.typesys.interpretation import member
-from repro.typesys.reduction import intersection_free, intersection_reduced
-from repro.values.ovalues import Oid, OValue
+from repro.typesys.reduction import intersection_free
 
 
 class InheritanceSchema:

@@ -31,7 +31,7 @@ Extensions handled here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import EvaluationError, GenericityError, NonTerminationError
 from repro.iql.invention import CountingOidFactory, OidFactory
@@ -119,10 +119,13 @@ class Evaluator:
         seed: int = 0,
         trace: bool = False,
         seminaive: bool = True,
+        preflight: bool = False,
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
             raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
         self.program = program
+        if preflight:
+            self._preflight(program)
         self.oid_factory = oid_factory or CountingOidFactory()
         self.limits = limits or EvaluatorLimits()
         self.choose_mode = choose_mode
@@ -134,6 +137,26 @@ class Evaluator:
         import random as _random
 
         self._rng = _random.Random(seed)
+
+    @staticmethod
+    def _preflight(program: Program) -> None:
+        """Opt-in pre-flight static analysis (``Evaluator(preflight=True)``).
+
+        Runs :func:`repro.analysis.analyze` before evaluation and turns
+        every warning-severity diagnostic — unsafe negation, unbound
+        variables, invention cycles, dead code — into a
+        :class:`~repro.analysis.PreflightWarning`, so a caller learns that
+        the fixpoint may diverge *before* burning through ``max_steps``.
+        Error-severity diagnostics are left to the typechecker proper.
+        """
+        import warnings
+
+        from repro.analysis import PreflightWarning, analyze
+
+        for diag in analyze(program).warnings:
+            warnings.warn(
+                f"{diag.code}: {diag.message}", PreflightWarning, stacklevel=3
+            )
 
     def _emit(self, stats: "EvaluationStats", kind: str, rule: Rule, detail: str) -> None:
         if self._trace is not None:

@@ -15,8 +15,9 @@ allows negative facts in heads, interpreted as deletions.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
+from repro.diagnostics import Span
 from repro.errors import TypeCheckError
 from repro.iql.terms import Deref, NameTerm, Term, Var, as_term
 from repro.schema.schema import Schema
@@ -24,9 +25,14 @@ from repro.typesys.expressions import SetOf
 
 
 class Literal:
-    """Base class for body/head literals."""
+    """Base class for body/head literals.
 
-    __slots__ = ("positive",)
+    ``span`` is the literal's source region when parsed from text (``None``
+    for programmatic construction); like term spans it is provenance only,
+    excluded from equality and hashing.
+    """
+
+    __slots__ = ("positive", "span")
 
     def variables(self) -> FrozenSet[Var]:
         raise NotImplementedError
@@ -41,18 +47,21 @@ class Membership(Literal):
 
     __slots__ = ("container", "element")
 
-    def __init__(self, container: Term, element, positive: bool = True):
+    def __init__(
+        self, container: Term, element, positive: bool = True, span: Optional[Span] = None
+    ):
         if not isinstance(container, Term):
             raise TypeCheckError(f"container is not a term: {container!r}")
         self.container = container
         self.element = as_term(element)
         self.positive = positive
+        self.span = span
 
     def variables(self) -> FrozenSet[Var]:
         return self.container.variables() | self.element.variables()
 
     def negate(self) -> "Membership":
-        return Membership(self.container, self.element, not self.positive)
+        return Membership(self.container, self.element, not self.positive, span=self.span)
 
     def __repr__(self):
         bang = "" if self.positive else "¬"
@@ -75,16 +84,17 @@ class Equality(Literal):
 
     __slots__ = ("left", "right")
 
-    def __init__(self, left, right, positive: bool = True):
+    def __init__(self, left, right, positive: bool = True, span: Optional[Span] = None):
         self.left = as_term(left)
         self.right = as_term(right)
         self.positive = positive
+        self.span = span
 
     def variables(self) -> FrozenSet[Var]:
         return self.left.variables() | self.right.variables()
 
     def negate(self) -> "Equality":
-        return Equality(self.left, self.right, not self.positive)
+        return Equality(self.left, self.right, not self.positive, span=self.span)
 
     def __repr__(self):
         op = "=" if self.positive else "≠"
@@ -113,8 +123,9 @@ class Choose(Literal):
 
     __slots__ = ()
 
-    def __init__(self):
+    def __init__(self, span: Optional[Span] = None):
         self.positive = True
+        self.span = span
 
     def variables(self) -> FrozenSet[Var]:
         return frozenset()

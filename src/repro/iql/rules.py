@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Optional, Tuple
 
+from repro.diagnostics import Span
 from repro.errors import TypeCheckError
 from repro.iql.literals import Choose, Equality, Literal, Membership
 from repro.iql.terms import Deref, NameTerm, Var
@@ -34,7 +35,7 @@ class Rule:
     the Theorem 4.3.1 experiment.
     """
 
-    __slots__ = ("head", "body", "delete", "label")
+    __slots__ = ("head", "body", "delete", "label", "span")
 
     def __init__(
         self,
@@ -42,6 +43,7 @@ class Rule:
         body: Iterable[Literal] = (),
         delete: bool = False,
         label: Optional[str] = None,
+        span: Optional[Span] = None,
     ):
         if not isinstance(head, (Membership, Equality)):
             raise TypeCheckError(f"head must be a membership or equality literal: {head!r}")
@@ -57,6 +59,11 @@ class Rule:
         self.body = body_tuple
         self.delete = delete
         self.label = label
+        self.span = span if span is not None else head.span
+
+    def display_label(self) -> str:
+        """The rule's label, or a rendering of it, for diagnostics."""
+        return self.label if self.label else repr(self)
 
     # -- variable classification ------------------------------------------------
 
@@ -116,7 +123,7 @@ class Rule:
         arrow = "⊣" if self.delete else "←"
         if not self.body:
             return f"{self.head!r} {arrow}"
-        return f"{self.head!r} {arrow} " + ", ".join(repr(l) for l in self.body)
+        return f"{self.head!r} {arrow} " + ", ".join(repr(lit) for lit in self.body)
 
     def __hash__(self):
         return hash((Rule, self.head, self.body, self.delete))

@@ -22,7 +22,7 @@ semantics is the specification.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set
 
 from repro.iql.literals import Membership
 from repro.iql.rules import Rule

@@ -17,15 +17,15 @@ the same conveniences for programmatic construction:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.errors import TypeCheckError
-from repro.iql.literals import Equality, Membership
+from repro.iql.literals import Membership
 from repro.iql.program import Program
 from repro.iql.rules import Rule
-from repro.iql.terms import NameTerm, Term, TupleTerm, Var, as_term
+from repro.iql.terms import NameTerm, TupleTerm, Var, as_term
 from repro.schema.schema import Schema
-from repro.typesys.expressions import ClassRef, SetOf, TupleOf, TypeExpr, classref, set_of, tuple_of
+from repro.typesys.expressions import TupleOf, TypeExpr, classref, set_of, tuple_of
 
 
 def positional_attrs(k: int) -> Tuple[str, ...]:

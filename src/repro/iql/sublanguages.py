@@ -25,7 +25,7 @@ of such a rule is the class of the dereferenced variable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SublanguageError
 from repro.iql.literals import Choose, Equality, Literal, Membership
@@ -189,22 +189,107 @@ def _walk_terms(term: Term):
         yield term.var
 
 
-def has_cycle(edges: Dict[str, Set[str]]) -> bool:
-    """Depth-first cycle detection over an adjacency-set graph."""
+def find_cycle(edges: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """A directed cycle in an adjacency-set graph, as a node path
+    ``[n1, n2, ..., n1]`` (first == last), or ``None`` when acyclic.
+
+    Iterative depth-first search with an explicit stack so deep dependency
+    chains cannot overflow Python's recursion limit.
+    """
     WHITE, GREY, BLACK = 0, 1, 2
     colour = {node: WHITE for node in edges}
+    for root in sorted(edges):
+        if colour[root] != WHITE:
+            continue
+        path: List[str] = []
+        stack: List[Tuple[str, Iterator[str]]] = []
+        colour[root] = GREY
+        path.append(root)
+        stack.append((root, iter(sorted(edges.get(root, ())))))
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if colour[succ] == GREY:
+                    return path[path.index(succ):] + [succ]
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    path.append(succ)
+                    stack.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None
 
-    def visit(node: str) -> bool:
-        colour[node] = GREY
-        for succ in edges.get(node, ()):
-            if colour[succ] == GREY:
-                return True
-            if colour[succ] == WHITE and visit(succ):
-                return True
-        colour[node] = BLACK
-        return False
 
-    return any(colour[node] == WHITE and visit(node) for node in list(edges))
+def has_cycle(edges: Dict[str, Set[str]]) -> bool:
+    """Cycle detection over an adjacency-set graph."""
+    return find_cycle(edges) is not None
+
+
+def find_invention_cycle(rules: Sequence[Rule]) -> Optional[List[str]]:
+    """A cycle of G(Γ) through an invention target, or ``None``.
+
+    This is the static early warning for divergence: a set of rules that
+    (a) invents oids and (b) does so inside a dependency cycle can fire
+    forever — the loop ``R3(y, z) ← R3(x, y)`` of Section 5 invents a fresh
+    z each round and re-enables its own body. The returned path is a node
+    cycle ``[n1, ..., n1]`` that passes through the head symbol or target
+    class of some inventing (non-``choose``) rule; rules whose head-only
+    variables are ``choose``-selected never invent, so they seed nothing.
+    """
+    rules = list(rules)
+    head_seeds: Set[str] = set()
+    class_seeds: Set[str] = set()
+    for rule in rules:
+        if rule.has_choose() or not rule.invention_variables():
+            continue
+        head_seeds.add(_head_symbol(rule))
+        for var in rule.invention_variables():
+            if isinstance(var.type, ClassRef):
+                class_seeds.add(var.type.name)
+    if not head_seeds and not class_seeds:
+        return None
+    edges = dependency_graph(rules)
+    # Prefer a cycle through an inventing rule's head symbol (the loop the
+    # programmer wrote) over one through the invented class's extent node.
+    for seed in sorted(head_seeds) + sorted(class_seeds - head_seeds):
+        cycle = _cycle_through(edges, seed)
+        if cycle is not None:
+            return cycle
+    return None
+
+
+def _cycle_through(edges: Dict[str, Set[str]], target: str) -> Optional[List[str]]:
+    """The shortest cycle ``[target, ..., target]``, or ``None``.
+
+    Breadth-first search from ``target`` back to itself; ``parents`` maps
+    each discovered node to its predecessor on a shortest path from the
+    target, so the cycle reconstruction walks back until it re-reaches it.
+    """
+    if target not in edges:
+        return None
+    parents: Dict[str, str] = {}
+    queue: List[str] = [target]
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        for succ in sorted(edges.get(node, ())):
+            if succ == target:
+                chain: List[str] = []
+                cursor = node
+                while cursor != target:
+                    chain.append(cursor)
+                    cursor = parents[cursor]
+                return [target, *reversed(chain), target]
+            if succ not in parents:
+                parents[succ] = node
+                queue.append(succ)
+    return None
 
 
 def is_recursion_free(rules: Sequence[Rule]) -> bool:
@@ -282,14 +367,25 @@ def classify(program: Program) -> SublanguageReport:
     return SublanguageReport(stages)
 
 
+def _first_rule_location(program: Program, stage_indexes: Iterable[int]):
+    """(rule_label, span) of the first rule of the first offending stage."""
+    for index in stage_indexes:
+        for rule in program.stages[index]:
+            return rule.display_label(), rule.span
+    return None, None
+
+
 def require_iql_rr(program: Program) -> Program:
     """Raise unless the program is IQLrr; returns it unchanged otherwise."""
     report = classify(program)
     if not report.is_iql_rr:
         bad = [s for s in report.stages if not s.admissible_rr]
+        label, span = _first_rule_location(program, (s.index for s in bad))
         raise SublanguageError(
             f"program is not IQLrr; offending stages: "
-            f"{[(s.index, s.offending_vars) for s in bad]}"
+            f"{[(s.index, s.offending_vars) for s in bad]}",
+            rule_label=label,
+            span=span,
         )
     return program
 
@@ -298,7 +394,9 @@ def require_iql_pr(program: Program) -> Program:
     """Raise unless the program is IQLpr; returns it unchanged otherwise."""
     report = classify(program)
     if not report.is_iql_pr:
-        raise SublanguageError("program is not IQLpr")
+        bad = [s for s in report.stages if not s.admissible_pr]
+        label, span = _first_rule_location(program, (s.index for s in bad))
+        raise SublanguageError("program is not IQLpr", rule_label=label, span=span)
     return program
 
 

@@ -17,12 +17,17 @@ far more pleasant with them, so we add them.
 Terms are immutable and hashable. Variable identity is by *name*: two
 ``Var("x", t)`` objects with the same name denote the same variable, and
 the type checker verifies that a rule types each name consistently.
+
+Every term optionally carries a source :class:`~repro.diagnostics.Span`
+(set by the parser, ``None`` for programmatically built terms). Spans are
+provenance, not identity: they are excluded from equality and hashing.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
+from repro.diagnostics import Span
 from repro.errors import TypeCheckError
 from repro.typesys.expressions import ClassRef, SetOf, TupleOf, TypeExpr
 from repro.schema.schema import Schema
@@ -49,15 +54,16 @@ class Term:
 class Var(Term):
     """A typed variable. Identity is by name; the type travels with it."""
 
-    __slots__ = ("name", "type")
+    __slots__ = ("name", "type", "span")
 
-    def __init__(self, name: str, type: TypeExpr):
+    def __init__(self, name: str, type: TypeExpr, span: Optional[Span] = None):
         if not isinstance(name, str) or not name:
             raise TypeCheckError(f"variable name must be a non-empty string, got {name!r}")
         if not isinstance(type, TypeExpr):
             raise TypeCheckError(f"variable {name!r} needs a type expression, got {type!r}")
         self.name = name
         self.type = type
+        self.span = span
 
     def variables(self) -> FrozenSet["Var"]:
         return frozenset([self])
@@ -87,12 +93,13 @@ class Var(Term):
 class Const(Term):
     """A constant of the base domain D used as a term (Remark 3.1.1)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "span")
 
-    def __init__(self, value: OValue):
+    def __init__(self, value: OValue, span: Optional[Span] = None):
         if not is_constant(value):
             raise TypeCheckError(f"{value!r} is not a constant of D")
         self.value = value
+        self.span = span
 
     def type_in(self, schema: Schema) -> TypeExpr:
         from repro.typesys.expressions import Base
@@ -116,12 +123,13 @@ class NameTerm(Term):
     {P} (the class is a set of its oids).
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "span")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, span: Optional[Span] = None):
         if not isinstance(name, str) or not name:
             raise TypeCheckError(f"invalid relation/class name {name!r}")
         self.name = name
+        self.span = span
 
     def type_in(self, schema: Schema) -> TypeExpr:
         if schema.is_relation(self.name):
@@ -148,12 +156,13 @@ class Deref(Term):
     indirection.
     """
 
-    __slots__ = ("var",)
+    __slots__ = ("var", "span")
 
-    def __init__(self, var: Var):
+    def __init__(self, var: Var, span: Optional[Span] = None):
         if not isinstance(var, Var):
             raise TypeCheckError(f"only variables can be dereferenced, got {var!r}")
         self.var = var
+        self.span = span if span is not None else var.span
 
     def variables(self) -> FrozenSet[Var]:
         return frozenset([self.var])
@@ -181,13 +190,14 @@ class Deref(Term):
 class SetTerm(Term):
     """``{t1, ..., tk}`` — a set of terms, all of the same type; type {t}."""
 
-    __slots__ = ("terms",)
+    __slots__ = ("terms", "span")
 
-    def __init__(self, *terms: Term):
+    def __init__(self, *terms: Term, span: Optional[Span] = None):
         for t in terms:
             if not isinstance(t, Term):
                 raise TypeCheckError(f"not a term: {t!r}")
         self.terms: Tuple[Term, ...] = tuple(terms)
+        self.span = span
 
     def variables(self) -> FrozenSet[Var]:
         out: FrozenSet[Var] = frozenset()
@@ -196,7 +206,7 @@ class SetTerm(Term):
         return out
 
     def type_in(self, schema: Schema) -> TypeExpr:
-        from repro.typesys.expressions import Empty, Union
+        from repro.typesys.expressions import Empty
 
         if not self.terms:
             return SetOf(Empty())
@@ -220,10 +230,13 @@ class SetTerm(Term):
 class TupleTerm(Term):
     """``[A1: t1, ..., Ak: tk]`` — a tuple of terms; canonical attr order."""
 
-    __slots__ = ("fields",)
+    __slots__ = ("fields", "span")
 
-    def __init__(self, fields: Mapping[str, Term] = None, **kwargs: Term):
+    def __init__(
+        self, fields: Mapping[str, Term] = None, *, span: Optional[Span] = None, **kwargs: Term
+    ):
         items: Dict[str, Term] = dict(fields or {})
+        self.span = span
         for attr, t in kwargs.items():
             if attr in items:
                 raise TypeCheckError(f"duplicate attribute {attr!r}")

@@ -17,19 +17,24 @@ except for the inexpensive dynamic check of the weak-assignment rule (★),
 which the evaluator performs.
 
 The checker is a pure function from programs to (possibly empty) lists of
-:class:`~repro.errors.TypeCheckError`; ``typecheck_program`` raises on the
-first error, ``check_program`` collects them all.
+structured :class:`~repro.diagnostics.Diagnostic` objects with stable
+``IQL1xx`` codes and source spans (``check_rule_diagnostics`` /
+``check_program_diagnostics``); the historical error-based APIs remain as
+thin wrappers: ``check_program`` converts diagnostics to
+:class:`~repro.errors.TypeCheckError` and ``typecheck_program`` raises the
+first one.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.diagnostics import Diagnostic, Span, diagnostic
 from repro.errors import TypeCheckError
 from repro.iql.literals import Choose, Equality, Literal, Membership
 from repro.iql.program import Program
 from repro.iql.rules import Rule
-from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.iql.terms import Deref, NameTerm, SetTerm, Term, TupleTerm, Var
 from repro.schema.schema import Schema
 from repro.typesys.expressions import (
     ClassRef,
@@ -100,18 +105,25 @@ def coercible(a: TypeExpr, b: TypeExpr) -> bool:
 
 
 class RuleDiagnostics:
-    """Collects errors for one rule, with rule context in every message."""
+    """Collects diagnostics for one rule, with rule context in every message."""
 
     def __init__(self, rule: Rule):
         self.rule = rule
-        self.errors: List[TypeCheckError] = []
+        self.errors: List[Diagnostic] = []
 
-    def error(self, message: str) -> None:
-        self.errors.append(TypeCheckError(f"{message} — in rule: {self.rule!r}"))
+    def error(self, message: str, code: str = "IQL104", span: Optional[Span] = None) -> None:
+        self.errors.append(
+            diagnostic(
+                code,
+                f"{message} — in rule: {self.rule!r}",
+                span=span if span is not None else self.rule.span,
+                rule_label=self.rule.display_label(),
+            )
+        )
 
 
-def check_rule(rule: Rule, schema: Schema) -> List[TypeCheckError]:
-    """All static errors in one rule."""
+def check_rule_diagnostics(rule: Rule, schema: Schema) -> List[Diagnostic]:
+    """All static errors in one rule, as structured diagnostics."""
     diag = RuleDiagnostics(rule)
     _check_variable_consistency(rule, diag)
     _check_names_exist(rule, schema, diag)
@@ -119,15 +131,30 @@ def check_rule(rule: Rule, schema: Schema) -> List[TypeCheckError]:
         return diag.errors  # cascading checks would only produce noise
     _check_head(rule, schema, diag)
     _check_body(rule, schema, diag)
-    try:
-        rule.check_invention_variable_types()
-    except TypeCheckError as exc:
-        diag.errors.append(exc)
+    for var in rule.invention_variables():
+        if not isinstance(var.type, ClassRef):
+            diag.error(
+                f"variable {var.name!r} occurs only in the head "
+                f"but has non-class type {var.type!r}",
+                code="IQL106",
+                span=var.span,
+            )
     if rule.delete and rule.invention_variables():
-        diag.error("a deletion rule cannot have head-only (invention) variables")
+        diag.error(
+            "a deletion rule cannot have head-only (invention) variables", code="IQL107"
+        )
     if rule.has_choose() and rule.delete:
-        diag.error("choose and deletion cannot be combined in one rule")
+        diag.error("choose and deletion cannot be combined in one rule", code="IQL108")
     return diag.errors
+
+
+def _to_error(diag: Diagnostic) -> TypeCheckError:
+    return TypeCheckError(diag.message, rule_label=diag.rule_label, span=diag.span)
+
+
+def check_rule(rule: Rule, schema: Schema) -> List[TypeCheckError]:
+    """All static errors in one rule (legacy error-object form)."""
+    return [_to_error(d) for d in check_rule_diagnostics(rule, schema)]
 
 
 def _all_terms(literal: Literal):
@@ -162,7 +189,9 @@ def _check_variable_consistency(rule: Rule, diag: RuleDiagnostics) -> None:
                         seen[term.name] = term.type
                     elif prior != term.type:
                         diag.error(
-                            f"variable {term.name!r} typed both {prior!r} and {term.type!r}"
+                            f"variable {term.name!r} typed both {prior!r} and {term.type!r}",
+                            code="IQL101",
+                            span=term.span,
                         )
 
 
@@ -171,12 +200,18 @@ def _check_names_exist(rule: Rule, schema: Schema, diag: RuleDiagnostics) -> Non
         for top in _all_terms(literal):
             for term in _subterms(top):
                 if isinstance(term, NameTerm) and term.name not in schema.names:
-                    diag.error(f"unknown relation/class {term.name!r}")
+                    diag.error(
+                        f"unknown relation/class {term.name!r}",
+                        code="IQL102",
+                        span=term.span,
+                    )
                 if isinstance(term, Var) and isinstance(term.type, ClassRef):
                     if not schema.is_class(term.type.name):
                         diag.error(
                             f"variable {term.name!r} has type {term.type!r}, "
-                            f"but no such class exists"
+                            f"but no such class exists",
+                            code="IQL103",
+                            span=term.span,
                         )
                 unknown = (
                     term.type.class_names() - set(schema.classes)
@@ -185,12 +220,15 @@ def _check_names_exist(rule: Rule, schema: Schema, diag: RuleDiagnostics) -> Non
                 )
                 if unknown:
                     diag.error(
-                        f"variable {term.name!r} mentions unknown classes {sorted(unknown)}"
+                        f"variable {term.name!r} mentions unknown classes {sorted(unknown)}",
+                        code="IQL103",
+                        span=term.span,
                     )
 
 
 def _check_head(rule: Rule, schema: Schema, diag: RuleDiagnostics) -> None:
     head = rule.head
+    head_span = head.span if head.span is not None else rule.span
     if isinstance(head, Membership):
         container = head.container
         if isinstance(container, NameTerm):
@@ -201,74 +239,82 @@ def _check_head(rule: Rule, schema: Schema, diag: RuleDiagnostics) -> None:
             try:
                 actual = head.element.type_in(schema)
             except TypeCheckError as exc:
-                diag.errors.append(exc)
+                diag.error(str(exc), span=head.element.span)
                 return
             if not assignable(actual, expected):
                 diag.error(
-                    f"head {name}(t) requires t of type {expected!r}, got {actual!r}"
+                    f"head {name}(t) requires t of type {expected!r}, got {actual!r}",
+                    span=head_span,
                 )
         elif isinstance(container, Deref):
             try:
                 value_type = container.type_in(schema)
             except TypeCheckError as exc:
-                diag.errors.append(exc)
+                diag.error(str(exc), span=container.span)
                 return
             if not isinstance(value_type, SetOf):
                 diag.error(
-                    f"head x̂(t) requires x̂ set valued; {container!r} has type {value_type!r}"
+                    f"head x̂(t) requires x̂ set valued; {container!r} has type {value_type!r}",
+                    span=head_span,
                 )
                 return
             try:
                 actual = head.element.type_in(schema)
             except TypeCheckError as exc:
-                diag.errors.append(exc)
+                diag.error(str(exc), span=head.element.span)
                 return
             if not assignable(actual, value_type.element):
                 diag.error(
                     f"head {container!r}(t) requires t of type "
-                    f"{value_type.element!r}, got {actual!r}"
+                    f"{value_type.element!r}, got {actual!r}",
+                    span=head_span,
                 )
         else:
-            diag.error(f"illegal head container {container!r}")
+            diag.error(f"illegal head container {container!r}", code="IQL109", span=head_span)
     elif isinstance(head, Equality):
         left = head.left
         if not isinstance(left, Deref):
-            diag.error("an equality head must have the form x̂ = t")
+            diag.error("an equality head must have the form x̂ = t", code="IQL109", span=head_span)
             return
         try:
             value_type = left.type_in(schema)
             actual = head.right.type_in(schema)
         except TypeCheckError as exc:
-            diag.errors.append(exc)
+            diag.error(str(exc), span=head_span)
             return
         if isinstance(value_type, SetOf):
             diag.error(
-                f"head x̂ = t requires x̂ non-set valued; {left!r} has type {value_type!r}"
+                f"head x̂ = t requires x̂ non-set valued; {left!r} has type {value_type!r}",
+                span=head_span,
             )
             return
         if not assignable(actual, value_type):
             diag.error(
-                f"head {left!r} = t requires t of type {value_type!r}, got {actual!r}"
+                f"head {left!r} = t requires t of type {value_type!r}, got {actual!r}",
+                span=head_span,
             )
     else:
-        diag.error(f"illegal head literal {head!r}")
+        diag.error(f"illegal head literal {head!r}", code="IQL109", span=head_span)
 
 
 def _check_body(rule: Rule, schema: Schema, diag: RuleDiagnostics) -> None:
     for literal in rule.body:
         if isinstance(literal, Choose):
             continue
+        span = literal.span if literal.span is not None else rule.span
         if isinstance(literal, Membership):
             try:
                 container_type = literal.container.type_in(schema)
                 element_type = literal.element.type_in(schema)
             except TypeCheckError as exc:
-                diag.errors.append(exc)
+                diag.error(str(exc), code="IQL105", span=span)
                 continue
             if not isinstance(container_type, SetOf):
                 diag.error(
                     f"body literal {literal!r}: container has non-set type "
-                    f"{container_type!r}"
+                    f"{container_type!r}",
+                    code="IQL105",
+                    span=span,
                 )
                 continue
             if not (
@@ -277,30 +323,45 @@ def _check_body(rule: Rule, schema: Schema, diag: RuleDiagnostics) -> None:
             ):
                 diag.error(
                     f"body literal {literal!r}: element type {element_type!r} "
-                    f"does not match member type {container_type.element!r}"
+                    f"does not match member type {container_type.element!r}",
+                    code="IQL105",
+                    span=span,
                 )
         elif isinstance(literal, Equality):
             try:
                 left_type = literal.left.type_in(schema)
                 right_type = literal.right.type_in(schema)
             except TypeCheckError as exc:
-                diag.errors.append(exc)
+                diag.error(str(exc), code="IQL105", span=span)
                 continue
             if not coercible(left_type, right_type):
                 diag.error(
                     f"body equality {literal!r}: types {left_type!r} and "
-                    f"{right_type!r} cannot coerce (no common values)"
+                    f"{right_type!r} cannot coerce (no common values)",
+                    code="IQL105",
+                    span=span,
                 )
         else:
-            diag.error(f"unknown body literal {literal!r}")
+            diag.error(f"unknown body literal {literal!r}", code="IQL105", span=span)
+
+
+def check_program_diagnostics(program: Program, schema: Optional[Schema] = None) -> List[Diagnostic]:
+    """All static errors in the program, as structured diagnostics.
+
+    ``schema`` overrides the program's own schema when the caller wants to
+    check the rules against a different typing environment (the
+    ``analyze(program, schema)`` entry point of :mod:`repro.analysis`).
+    """
+    schema = schema if schema is not None else program.schema
+    diagnostics: List[Diagnostic] = []
+    for rule in program.rules:
+        diagnostics.extend(check_rule_diagnostics(rule, schema))
+    return diagnostics
 
 
 def check_program(program: Program) -> List[TypeCheckError]:
     """All static errors in the program (empty list = well typed)."""
-    errors: List[TypeCheckError] = []
-    for rule in program.rules:
-        errors.extend(check_rule(rule, program.schema))
-    return errors
+    return [_to_error(d) for d in check_program_diagnostics(program)]
 
 
 def typecheck_program(program: Program) -> Program:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.diagnostics import Span
 from repro.errors import ParseError
 from repro.iql.literals import Choose, Equality, Literal, Membership
 from repro.iql.program import Program
@@ -50,6 +51,12 @@ from repro.typesys.expressions import (
     tuple_of,
     union,
 )
+
+
+def _span(start: Token, stream: TokenStream) -> Span:
+    """The source region from ``start`` to the last token consumed."""
+    end = stream.tokens[max(stream.position - 1, 0)]
+    return Span.from_token(start).to(Span.from_token(end))
 
 
 # -- types -----------------------------------------------------------------------
@@ -116,7 +123,6 @@ def parse_schema_block(stream: TokenStream):
     stream.expect("{")
     # First pass over the block to collect class names (types may forward-
     # reference classes declared later — Example 1.1 needs this).
-    start = stream.position
     class_names: Set[str] = set()
     depth = 1
     position = stream.position
@@ -190,15 +196,22 @@ class RuleParser:
         self.var_types = dict(var_types)
         self.placeholder_vars: Set[str] = set()
 
-    def _var(self, name: str) -> Var:
+    def _var(self, name: str, span: Optional[Span] = None) -> Var:
         if name in self.var_types:
-            return Var(name, self.var_types[name])
+            return Var(name, self.var_types[name], span=span)
         self.placeholder_vars.add(name)
-        return Var(name, self.PLACEHOLDER)
+        return Var(name, self.PLACEHOLDER, span=span)
 
     # -- terms -------------------------------------------------------------------
 
     def parse_term(self, stream: TokenStream) -> Term:
+        start = stream.peek()
+        term = self._parse_term(stream)
+        if term.span is None:
+            term.span = _span(start, stream)
+        return term
+
+    def _parse_term(self, stream: TokenStream) -> Term:
         token = stream.peek()
         if token.kind == "string":
             stream.advance()
@@ -210,11 +223,12 @@ class RuleParser:
         if token.kind == "ident":
             stream.advance()
             name = token.value
+            where = Span.from_token(token)
             if stream.accept("^"):
-                return Deref(self._var(name))
+                return Deref(self._var(name, span=where), span=_span(token, stream))
             if name in self.schema.names:
-                return NameTerm(name)
-            return self._var(name)
+                return NameTerm(name, span=where)
+            return self._var(name, span=where)
         if stream.accept("{"):
             terms: List[Term] = []
             while not stream.at("}"):
@@ -238,8 +252,16 @@ class RuleParser:
     # -- literals -----------------------------------------------------------------
 
     def parse_literal(self, stream: TokenStream) -> Literal:
+        start = stream.peek()
+        literal = self._parse_literal(stream)
+        if literal.span is None:
+            literal.span = _span(start, stream)
+        return literal
+
+    def _parse_literal(self, stream: TokenStream) -> Literal:
+        token = stream.peek()
         if stream.accept("keyword", "choose"):
-            return Choose()
+            return Choose(span=Span.from_token(token))
         negated = bool(stream.accept("keyword", "not"))
         term = self.parse_term_or_atom(stream)
         if isinstance(term, Membership):
@@ -247,20 +269,30 @@ class RuleParser:
         if stream.accept("="):
             right = self.parse_term(stream)
             if negated:
-                raise ParseError("use != for negated equality")
+                raise ParseError("use != for negated equality", token.line, token.column)
             return Equality(term, right)
         if stream.accept("!="):
             right = self.parse_term(stream)
             return Equality(term, right, positive=False)
         if negated:
-            raise ParseError("'not' must precede an atom")
-        raise ParseError(f"expected a literal near {stream.peek().value!r}")
+            raise ParseError("'not' must precede an atom", token.line, token.column)
+        next_token = stream.peek()
+        raise ParseError(
+            f"expected a literal near {next_token.value!r}", next_token.line, next_token.column
+        )
 
     def parse_term_or_atom(self, stream: TokenStream):
         """An atom ``container(args)`` or a bare term.
 
         ``name(...)`` parses as an atom over a relation/class name or over
         a dereference/variable container (``X(y)``, ``p^(q)``)."""
+        start = stream.peek()
+        result = self._parse_term_or_atom(stream)
+        if result.span is None:
+            result.span = _span(start, stream)
+        return result
+
+    def _parse_term_or_atom(self, stream: TokenStream):
         token = stream.peek()
         if token.kind == "ident":
             name = token.value
@@ -272,7 +304,7 @@ class RuleParser:
             if next_token.kind == "^":
                 stream.advance()
                 stream.advance()
-                deref = Deref(self._var(name))
+                deref = Deref(self._var(name, span=Span.from_token(token)), span=_span(token, stream))
                 if stream.at("("):
                     args = self._parse_args(stream)
                     if len(args) != 1:
@@ -288,7 +320,7 @@ class RuleParser:
                     raise ParseError(
                         "X(t) takes exactly one element", token.line, token.column
                     )
-                return Membership(self._var(name), args[0])
+                return Membership(self._var(name, span=Span.from_token(token)), args[0])
         return self.parse_term(stream)
 
     def _parse_args(self, stream: TokenStream) -> List[Term]:
@@ -304,7 +336,7 @@ class RuleParser:
     def _positional_atom(self, name: str, args: List[Term], token: Token) -> Membership:
         from repro.typesys.expressions import TupleOf
 
-        container = NameTerm(name)
+        container = NameTerm(name, span=Span.from_token(token))
         if self.schema.is_class(name):
             if len(args) != 1:
                 raise ParseError(
@@ -328,14 +360,18 @@ class RuleParser:
     # -- rules ---------------------------------------------------------------------
 
     def parse_rule(self, stream: TokenStream) -> Rule:
+        start = stream.peek()
         delete = bool(stream.accept("keyword", "delete"))
         head = self.parse_term_or_atom(stream)
         if isinstance(head, Deref):
             stream.expect("=")
             right = self.parse_term(stream)
-            head = Equality(head, right)
+            head = Equality(head, right, span=_span(start, stream))
         if not isinstance(head, (Membership, Equality)):
-            raise ParseError(f"illegal rule head near {stream.peek().value!r}")
+            token = stream.peek()
+            raise ParseError(
+                f"illegal rule head near {token.value!r}", token.line, token.column
+            )
         body: List[Literal] = []
         if stream.accept(":-"):
             while not stream.at("."):
@@ -343,7 +379,7 @@ class RuleParser:
                 if not stream.accept(","):
                     break
         stream.expect(".")
-        return Rule(head, body, delete=delete)
+        return Rule(head, body, delete=delete, span=_span(start, stream))
 
 
 # -- programs -------------------------------------------------------------------------

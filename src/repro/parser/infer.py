@@ -27,7 +27,7 @@ declaration.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.errors import ParseError
 from repro.iql.literals import Choose, Equality, Literal, Membership
@@ -106,17 +106,19 @@ def _infer_rule(rule: Rule, schema: Schema, placeholder_names: Set[str]) -> Rule
         )
 
     def retype(term: Term) -> Term:
+        # Spans are preserved through the rebuild: the retyped AST must
+        # still point back at the source the parser read.
         if isinstance(term, Var):
             if _is_placeholder(term, placeholder_names):
-                return Var(term.name, resolved[term.name])
+                return Var(term.name, resolved[term.name], span=term.span)
             return term
         if isinstance(term, Deref):
             inner = retype(term.var)
-            return Deref(inner)
+            return Deref(inner, span=term.span)
         if isinstance(term, SetTerm):
-            return SetTerm(*(retype(t) for t in term.terms))
+            return SetTerm(*(retype(t) for t in term.terms), span=term.span)
         if isinstance(term, TupleTerm):
-            return TupleTerm({attr: retype(t) for attr, t in term.fields})
+            return TupleTerm({attr: retype(t) for attr, t in term.fields}, span=term.span)
         return term
 
     def retype_literal(literal: Literal) -> Literal:
@@ -124,15 +126,21 @@ def _infer_rule(rule: Rule, schema: Schema, placeholder_names: Set[str]) -> Rule
             return literal
         if isinstance(literal, Membership):
             return Membership(
-                retype(literal.container), retype(literal.element), literal.positive
+                retype(literal.container),
+                retype(literal.element),
+                literal.positive,
+                span=literal.span,
             )
-        return Equality(retype(literal.left), retype(literal.right), literal.positive)
+        return Equality(
+            retype(literal.left), retype(literal.right), literal.positive, span=literal.span
+        )
 
     return Rule(
         retype_literal(rule.head),
-        [retype_literal(l) for l in rule.body],
+        [retype_literal(lit) for lit in rule.body],
         delete=rule.delete,
         label=rule.label,
+        span=rule.span,
     )
 
 

@@ -14,7 +14,7 @@ The concrete syntax stays close to the paper's notation, ASCII-fied:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 from repro.errors import ParseError
 

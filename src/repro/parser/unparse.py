@@ -19,7 +19,7 @@ Uses:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List
 
 from repro.errors import ParseError
 from repro.iql.literals import Choose, Equality, Literal, Membership
@@ -106,7 +106,7 @@ def _rule_to_source(rule: Rule, schema: Schema) -> str:
     prefix = "delete " if rule.delete else ""
     if not rule.body:
         return f"{prefix}{head} :- ."
-    body = ", ".join(_literal_to_source(l, schema) for l in rule.body)
+    body = ", ".join(_literal_to_source(lit, schema) for lit in rule.body)
     return f"{prefix}{head} :- {body}."
 
 
@@ -183,7 +183,7 @@ def _rename_rule(rule: Rule, mapping: Dict[str, str]) -> Rule:
 
     return Rule(
         rename_literal(rule.head),
-        [rename_literal(l) for l in rule.body],
+        [rename_literal(lit) for lit in rule.body],
         delete=rule.delete,
         label=rule.label,
     )

@@ -19,7 +19,7 @@ programmatically::
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 from repro.errors import SchemaError
 from repro.typesys.expressions import SetOf, TypeExpr

@@ -25,7 +25,7 @@ This module provides the machinery around that story:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import InstanceError
 from repro.schema.instance import Instance

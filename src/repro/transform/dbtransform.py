@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.iql.evaluator import Evaluator, EvaluatorLimits
 from repro.iql.invention import PrefixedOidFactory
@@ -36,7 +36,7 @@ from repro.schema.isomorphism import (
     are_o_isomorphic,
     find_o_isomorphism,
 )
-from repro.values.ovalues import Oid, OValue, is_constant
+from repro.values.ovalues import Oid, OValue
 
 
 @dataclass

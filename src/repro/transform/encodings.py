@@ -20,17 +20,17 @@ Each function returns a ready-to-run :class:`~repro.iql.program.Program`
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.iql.literals import Choose, Equality, Membership
 from repro.iql.program import Program
 from repro.iql.rules import Rule
-from repro.iql.shorthands import atom, columns, neg
-from repro.iql.terms import Const, NameTerm, SetTerm, TupleTerm, Var
+from repro.iql.shorthands import atom, columns
+from repro.iql.terms import NameTerm, SetTerm, TupleTerm, Var
 from repro.schema.instance import Instance
 from repro.schema.schema import Schema
 from repro.typesys.expressions import D, classref, set_of, tuple_of, union
-from repro.values.ovalues import Oid, OSet, OTuple, OValue
+from repro.values.ovalues import Oid, OTuple
 
 
 # -- Example 1.2: graph → class ---------------------------------------------------
@@ -273,7 +273,6 @@ def union_encode_program() -> Program:
     schema = s.merge(s_prime).with_names(relations={"R_map": columns(P, Pp)})
     x, y, z = Var("x", P), Var("y", P), Var("z", P)
     xp, yp, zp = Var("xp", Pp), Var("yp", Pp), Var("zp", Pp)
-    pair_type = tuple_of(A1=Pp, A2=Pp)
     stage1 = [
         Rule(atom(schema, "R_map", x, xp), [atom(schema, "P", x)], label="pair-up"),
     ]

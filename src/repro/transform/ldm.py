@@ -28,7 +28,6 @@ matching LDM's own complexity story.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import SchemaError
 from repro.iql.literals import Equality, Membership

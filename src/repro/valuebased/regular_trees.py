@@ -29,7 +29,7 @@ two nodes in different systems are bisimilar iff their keys are equal.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import RegularTreeError
 from repro.values.ovalues import OValue, is_constant

@@ -146,7 +146,6 @@ def psi(instance: Instance, vschema: Optional[VSchema] = None) -> VInstance:
                 depth += 1
                 if depth > len(oid_node):
                     raise RegularTreeError("cyclic oid aliasing has no tree solution")
-            final = instance.value_of(target)
             system.define(node_id, ("alias", oid_node[target]))
         else:
             if isinstance(value, OTuple):

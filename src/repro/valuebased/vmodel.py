@@ -15,7 +15,7 @@ assuming pending obligations hold (standard guarded coinduction).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
 
 from repro.errors import RegularTreeError, SchemaError
 from repro.typesys.expressions import Base, ClassRef, SetOf, TupleOf, TypeExpr

@@ -5,7 +5,7 @@ import pytest
 from repro.schema import Instance, Schema
 from repro.typesys import D, classref, set_of, tuple_of
 from repro.iql import Program, Rule, Var, atom, columns, typecheck_program
-from repro.values import Oid, OTuple
+from repro.values import OTuple
 
 
 @pytest.fixture

@@ -15,7 +15,6 @@ from repro.iql.algebra import (
     compile_query,
     eq_attr,
     eq_const,
-    neq_attr,
     neq_const,
 )
 from repro.schema import Instance, Schema

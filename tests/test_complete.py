@@ -3,14 +3,14 @@
 import pytest
 
 from repro.errors import EvaluationError
-from repro.schema import Instance, Schema, are_o_isomorphic
+from repro.schema import Instance, Schema
 from repro.transform.complete import (
     dovetail_pairs,
     dovetail_search,
     enumerate_instances,
 )
 from repro.typesys import D, classref, set_of, tuple_of
-from repro.values import Oid, OSet, OTuple
+from repro.values import Oid, OSet
 
 
 class TestDovetailOrder:

@@ -13,7 +13,7 @@ from repro.transform import (
     make_instance_with_copies,
 )
 from repro.typesys import D, classref, set_of, tuple_of
-from repro.values import Oid, OSet, OTuple
+from repro.values import Oid, OTuple
 
 
 @pytest.fixture
@@ -81,10 +81,6 @@ class TestMakeAndRecognize:
 
     def test_detects_straddling_members(self, base):
         schema, instance = base
-        i_bar = make_instance_with_copies(instance, 2)
-        groups = sorted(i_bar.relations[COPY_RELATION], key=repr)
-        cross = OTuple(who=next(iter(groups[0])), what="logic")
-        other = OTuple(who=next(iter(groups[1])), what="logic")
         # A member whose oids live in group 0 is fine; fabricate one that
         # straddles by pairing oids of both groups in a single... our type
         # has one oid slot, so instead check the empty-R̄ rejection:

@@ -6,8 +6,6 @@ from repro.errors import NonTerminationError
 from repro.iql import (
     Equality,
     EvaluatorLimits,
-    Membership,
-    NameTerm,
     Program,
     Rule,
     TupleTerm,

@@ -4,7 +4,6 @@ Determinacy (condition 4) and genericity (condition 3) are falsifiable on
 probes: different oid factories, random DO-isomorphisms of the input.
 """
 
-import pytest
 
 from repro.transform import (
     check_constants_preserved,

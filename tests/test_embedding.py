@@ -5,7 +5,6 @@ schema, and its Datalog and IQL semantics are identical." These tests
 compare the two engines fact-for-fact.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

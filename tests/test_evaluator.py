@@ -5,12 +5,9 @@ import pytest
 from repro.errors import EvaluationError, NonTerminationError
 from repro.iql import (
     Const,
-    CountingOidFactory,
     Equality,
-    Evaluator,
     EvaluatorLimits,
     Membership,
-    NameTerm,
     PrefixedOidFactory,
     Program,
     Rule,
@@ -198,7 +195,6 @@ class TestWeakAssignment:
         # If one value arrives a step before the other, the first sticks —
         # inflationary semantics never modifies a determined value.
         p = Var("p", classref("P"))
-        v = Var("v", D)
         stage1 = [
             Rule(
                 Equality(p.hat(), TupleTerm(val=Const("first"))),

@@ -13,22 +13,13 @@ from repro.iql import (
     NameTerm,
     Program,
     Rule,
-    SetTerm,
     TupleTerm,
     Var,
     evaluate,
     typecheck_program,
 )
-from repro.schema import Instance
 from repro.typesys import D, classref, set_of, tuple_of, union
-from repro.workloads import (
-    ANCESTOR,
-    FIRST,
-    FOUNDED,
-    SECOND,
-    genesis_instance,
-    genesis_schema,
-)
+from repro.workloads import ANCESTOR, FIRST, FOUNDED, SECOND, genesis_instance
 
 
 @pytest.fixture
@@ -64,7 +55,6 @@ class TestNavigation:
     def test_children_names(self, genesis):
         """Names of all children of anyone in the first generation."""
         instance, oids = genesis
-        schema = instance.schema.with_names(relations={"ChildName": D})
         first = classref(FIRST)
         second = classref(SECOND)
         p = Var("p", first)

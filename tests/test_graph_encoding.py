@@ -1,6 +1,5 @@
 """E2 — Example 1.2: the acyclic↔cyclic graph re-representation."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -12,7 +12,6 @@ from repro.iql import (
     Rule,
     TupleTerm,
     Var,
-    atom,
     evaluate,
     typecheck_program,
 )
@@ -64,7 +63,7 @@ class TestEffectiveTypes:
         )
 
     def test_incompatible_parents_collapse_to_empty(self):
-        from repro.typesys import EMPTY, set_of
+        from repro.typesys import EMPTY
 
         schema = InheritanceSchema(
             classes={"a": tuple_of(), "b": D, "sub": tuple_of()},

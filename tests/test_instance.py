@@ -4,16 +4,9 @@ import pytest
 
 from repro.errors import InstanceError
 from repro.schema import Instance, Schema
-from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.typesys import D, classref, set_of, tuple_of
 from repro.values import Oid, OSet, OTuple
-from repro.workloads import (
-    ANCESTOR,
-    FIRST,
-    FOUNDED,
-    SECOND,
-    genesis_instance,
-    genesis_schema,
-)
+from repro.workloads import ANCESTOR, FIRST, FOUNDED, SECOND, genesis_instance
 
 
 class TestGenesis:

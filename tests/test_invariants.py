@@ -10,7 +10,6 @@ For arbitrary inputs through the paper's programs:
 * two runs with different invention orders agree up to O-isomorphism.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

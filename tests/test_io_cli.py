@@ -7,7 +7,7 @@ import pytest
 from repro import io
 from repro.errors import OValueError, SchemaError
 from repro.schema import Instance, Schema, are_o_isomorphic
-from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.typesys import D, classref, tuple_of, union
 from repro.values import Oid, OSet, OTuple
 from repro.workloads import genesis_instance
 

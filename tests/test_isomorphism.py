@@ -1,6 +1,5 @@
 """Tests for O-/DO-isomorphisms (Section 4.1)."""
 
-import pytest
 
 from repro.schema import (
     Instance,

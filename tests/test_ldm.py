@@ -14,8 +14,8 @@ from repro.transform.ldm import (
     ldm_selection,
     ldm_union,
 )
-from repro.typesys import D, classref, set_of, tuple_of
-from repro.values import Oid, OSet, OTuple
+from repro.typesys import D, set_of
+from repro.values import Oid, OSet
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """E3 — Example 3.4.1: nest and unnest as IQL programs."""
 
-import pytest
 
 from repro.iql import classify, compose, evaluate, evaluate_full, nest_program, typecheck_program, unnest_program
 from repro.schema import Instance

@@ -1,7 +1,7 @@
 """Unit and property tests for o-values (Definition 2.1.1)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import OValueError

@@ -9,7 +9,7 @@ import pytest
 
 from repro.errors import GenericityError
 from repro.iql import Evaluator, evaluate, typecheck_program
-from repro.schema import Instance, are_o_isomorphic, automorphisms
+from repro.schema import are_o_isomorphic, automorphisms
 from repro.transform import (
     copies_in_output,
     quadrangle_choose_program,

@@ -7,14 +7,11 @@ from repro.typesys import (
     D,
     EMPTY,
     Empty,
-    Intersection,
     classref,
     equivalent_on_samples,
     intersection,
     intersection_free,
     intersection_reduced,
-    member,
-    sample_values,
     set_of,
     tuple_of,
     union,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.schema import Schema
-from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.typesys import D, classref, set_of, tuple_of
 from repro.iql import columns
 
 

@@ -16,7 +16,7 @@ from repro.datalog import (
     same_generation_program,
     transitive_closure_program,
 )
-from repro.iql import Choose, Equality, Evaluator, Membership, NameTerm, Program, Rule, Var, atom, columns
+from repro.iql import Choose, Evaluator, Membership, NameTerm, Program, Rule, Var, atom, columns
 from repro.iql.seminaive import stage_eligible
 from repro.schema import Instance, Schema
 from repro.typesys import D, classref, set_of, tuple_of

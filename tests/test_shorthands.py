@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import TypeCheckError
 from repro.iql import (
-    Membership,
     Program,
     Rule,
     TupleTerm,

@@ -18,7 +18,7 @@ from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, ru
 
 from repro.errors import InstanceError
 from repro.schema import Instance, Schema
-from repro.typesys import D, classref, set_of, tuple_of, union
+from repro.typesys import D, classref, set_of, tuple_of
 from repro.values import Oid, OSet, OTuple
 
 SCHEMA = Schema(

@@ -4,9 +4,9 @@ import pytest
 
 from repro.errors import SublanguageError
 from repro.iql import (
+    Choose,
     Equality,
     Membership,
-    NameTerm,
     Program,
     Rule,
     SetTerm,
@@ -16,6 +16,8 @@ from repro.iql import (
     classify,
     columns,
     dependency_graph,
+    find_cycle,
+    find_invention_cycle,
     evaluate_full,
     is_invention_free,
     is_ptime_restricted,
@@ -29,14 +31,14 @@ from repro.iql import (
     require_iql_rr,
     unnest_program,
 )
-from repro.schema import Instance, Schema
+from repro.schema import Schema
 from repro.typesys import D, classref, set_of, tuple_of
 from repro.transform import (
     graph_to_class_program,
     powerset_restricted_program,
     powerset_unrestricted_program,
 )
-from repro.values import OTuple, branching_factor
+from repro.values import branching_factor
 
 
 @pytest.fixture
@@ -185,3 +187,164 @@ class TestBranchingFactorLemma:
         )
         program = Program(schema, rules=[rule], input_names=["S"], output_names=["RS"])
         assert max_constructor_width(program) == 3
+
+
+class TestCycleWitnesses:
+    """find_cycle / find_invention_cycle — the IQL301 machinery."""
+
+    def test_find_cycle_none_on_dag(self):
+        assert find_cycle({"a": {"b"}, "b": {"c"}, "c": set()}) is None
+
+    def test_find_cycle_self_loop(self):
+        cycle = find_cycle({"a": {"a"}})
+        assert cycle == ["a", "a"]
+
+    def test_find_cycle_longer_loop(self):
+        cycle = find_cycle({"a": {"b"}, "b": {"c"}, "c": {"a"}})
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_divergent_loop_is_witnessed(self, schema):
+        # Section 5's R3(y, z) <- R3(x, y): fresh z every round, forever.
+        rp_schema = Schema(
+            relations={"R3": columns(classref("P"), classref("P"))},
+            classes={"P": tuple_of()},
+        )
+        x, y, z = (Var(n, classref("P")) for n in "xyz")
+        rules = [Rule(atom(rp_schema, "R3", y, z), [atom(rp_schema, "R3", x, y)])]
+        cycle = find_invention_cycle(rules)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_invention_free_recursion_is_not_witnessed(self, schema):
+        # Transitive closure has a cycle in G but invents nothing.
+        x, y, z = (Var(n, D) for n in "xyz")
+        rules = [
+            Rule(atom(schema, "R", x, z), [atom(schema, "R", x, y), atom(schema, "R", y, z)])
+        ]
+        assert find_invention_cycle(rules) is None
+
+    def test_acyclic_invention_is_not_witnessed(self, schema):
+        # Inventing into P from plain data is safe: no cycle through P.
+        x = Var("x", D)
+        p = Var("p", classref("P"))
+        rp_schema = schema.with_names(relations={"RP": columns(D, classref("P"))})
+        rules = [Rule(atom(rp_schema, "RP", x, p), [atom(rp_schema, "S", x)])]
+        assert find_invention_cycle(rules) is None
+
+
+class TestChooseEdgeCases:
+    """choose switches head-only variables from invention to selection."""
+
+    @pytest.fixture
+    def p_schema(self):
+        return Schema(
+            relations={"S": D, "RP": columns(D, classref("P"))},
+            classes={"P": tuple_of()},
+        )
+
+    def test_choose_rule_still_reports_head_only_vars(self, p_schema):
+        x = Var("x", D)
+        p = Var("p", classref("P"))
+        rule = Rule(atom(p_schema, "RP", x, p), [atom(p_schema, "S", x), Choose()])
+        assert rule.has_choose()
+        assert p in rule.invention_variables()  # syntactically head-only...
+        assert not rule.is_invention_free()  # ...so Definition 5.3 counts it
+
+    def test_choose_rule_does_not_seed_invention_cycles(self, p_schema):
+        # Selection cannot diverge: choose picks among EXISTING oids, so a
+        # cycle through P in a choose rule is not an invention cycle.
+        x = Var("x", D)
+        p, q = Var("p", classref("P")), Var("q", classref("P"))
+        rules = [
+            Rule(
+                atom(p_schema, "RP", x, q),
+                [atom(p_schema, "RP", x, p), Choose()],
+            )
+        ]
+        assert find_invention_cycle(rules) is None
+
+    def test_choose_literal_restricts_nothing(self, p_schema):
+        x = Var("x", D)
+        p = Var("p", classref("P"))
+        rule = Rule(atom(p_schema, "RP", x, p), [atom(p_schema, "S", x), Choose()])
+        assert p not in ptime_restricted_vars(rule)
+        assert x in ptime_restricted_vars(rule)
+
+
+class TestDerefHeadSymbols:
+    """Footnote 6: the leftmost symbol of x̂(t) / x̂ = t heads is ^P."""
+
+    @pytest.fixture
+    def q_schema(self):
+        return Schema(relations={"S": D}, classes={"Q": set_of(D)})
+
+    def test_deref_membership_head(self, q_schema):
+        q = Var("q", classref("Q"))
+        x = Var("x", D)
+        rules = [
+            Rule(Membership(q.hat(), x), [atom(q_schema, "Q", q), atom(q_schema, "S", x)])
+        ]
+        graph = dependency_graph(rules)
+        assert "^Q" in graph["S"]
+        assert is_recursion_free(rules)
+        assert find_invention_cycle(rules) is None
+
+    def test_deref_equality_head(self):
+        t_schema = Schema(relations={"S": D}, classes={"T": tuple_of(a=D)})
+        t = Var("t", classref("T"))
+        x = Var("x", D)
+        rules = [
+            Rule(
+                Equality(t.hat(), TupleTerm(a=x)),
+                [atom(t_schema, "T", t), atom(t_schema, "S", x)],
+            )
+        ]
+        graph = dependency_graph(rules)
+        # Both head shapes write the value plane ^T, never the extent T.
+        assert "^T" in graph["S"]
+        assert "T" not in graph["S"]
+        assert is_recursion_free(rules)
+
+    def test_value_plane_feedback_is_recursion(self, q_schema):
+        # Reading q̂ in the body while writing q̂ in the head IS a loop
+        # on the value plane ^Q -> ^Q.
+        q = Var("q", classref("Q"))
+        x = Var("x", D)
+        rules = [
+            Rule(
+                Membership(q.hat(), x),
+                [atom(q_schema, "Q", q), Membership(q.hat(), x, positive=True)],
+            )
+        ]
+        assert not is_recursion_free(rules)
+        # ...but with no invention anywhere it is still not an IQL301.
+        assert find_invention_cycle(rules) is None
+
+
+class TestPrButNotRr:
+    """IQLpr strictly contains IQLrr (Definition 5.1 vs 5.2)."""
+
+    def test_free_d_var_is_pr_not_rr(self, schema):
+        # S(x) <- x = x: x has set-free type D, so it is ptime-restricted
+        # for free, but no positive literal ranges it -> not rr.
+        x = Var("x", D)
+        program = Program(
+            schema,
+            rules=[Rule(atom(schema, "S", x), [Equality(x, x)])],
+            input_names=["R"],
+            output_names=["S"],
+        )
+        report = classify(program)
+        assert report.is_iql_pr
+        assert not report.is_iql_rr
+        require_iql_pr(program)
+        with pytest.raises(SublanguageError):
+            require_iql_rr(program)
+
+    def test_rr_subset_of_pr_on_paper_programs(self):
+        for builder in (graph_to_class_program, powerset_restricted_program):
+            report = classify(builder())
+            if report.is_iql_rr:
+                assert report.is_iql_pr

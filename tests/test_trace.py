@@ -1,6 +1,5 @@
 """Tests for evaluation tracing (derivation logs)."""
 
-import pytest
 
 from repro.iql import Evaluator
 from repro.transform import graph_instance, graph_to_class_program

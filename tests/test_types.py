@@ -12,7 +12,6 @@ from repro.typesys import (
     ClassRef,
     Empty,
     Intersection,
-    SetOf,
     TupleOf,
     Union,
     classref,
@@ -22,7 +21,6 @@ from repro.typesys import (
     is_disjoint,
     is_empty_type,
     member,
-    sample_values,
     set_of,
     tuple_of,
     union,

@@ -1,6 +1,5 @@
 """E5 — Example 3.4.3: lossless elimination of union types."""
 
-import pytest
 
 from repro.iql import evaluate, typecheck_program
 from repro.schema import Instance, are_o_isomorphic

@@ -14,7 +14,6 @@ from repro.transform import (
     class_to_graph_program,
     graph_instance,
     graph_to_class_program,
-    powerset_input,
     powerset_restricted_program,
     powerset_unrestricted_program,
     quadrangle_choose_program,
