@@ -80,6 +80,7 @@ def main():
         rows,
     )
     print(f"  log-log slope ≈ {fit_loglog_slope(sizes, times):.2f} — PTIME, as IQLrr requires")
+    return dict(zip(sizes, times))
 
 
 if __name__ == "__main__":

@@ -1,13 +1,16 @@
 """E11 — Section 3.4: Datalog ⊂ IQL, and what the generality costs.
 
-Four engines on identical transitive-closure workloads:
+Five engines on identical transitive-closure workloads:
 
 * the dedicated Datalog engine, naive and semi-naive,
-* the generic IQL evaluator, naive and with its own delta rewriting
+* the generic IQL evaluator at three optimization levels: naive with
+  indexes disabled (the reference generate-and-test join), naive with the
+  hash-index planner, and the full delta rewriting + indexes
   (auto-enabled for Datalog-positive stages; repro.iql.seminaive).
 
-Claims measured: all four produce identical fact sets; semi-naive beats
-naive by a growing factor in both engines (the classical result); the IQL
+Claims measured: all five produce identical fact sets; semi-naive beats
+naive by a growing factor in both engines (the classical result); the
+hash indexes alone buy a growing factor over the unindexed join; the IQL
 evaluator pays a constant-factor interpretation overhead over the flat
 engine at matching algorithms — same asymptotics, since the embedding is
 verbatim.
@@ -64,16 +67,27 @@ def test_iql_embedded(benchmark, n):
     assert instance_to_database(out)["T"] == transitive_closure(edges)
 
 
-def main():
+SMOKE_SIZES = [8, 16]
+
+
+def main(sizes=None):
     rows = []
-    for n in [8, 16, 24, 32]:
+    series = {}
+    for n in sizes or [8, 16, 24, 32]:
         dprog, edb, edges = setup(n)
         t_naive, out_naive = time_call(evaluate_naive, dprog, edb)
         t_semi, out_semi = time_call(evaluate_seminaive, dprog, edb)
         program = datalog_to_iql(dprog)
         instance = database_to_instance(dprog, edb, names=dprog.edb)
-        t_iql_naive, res_naive = time_call(
-            lambda: Evaluator(program, seminaive=False).run(instance.copy()).output
+        t_noidx, res_noidx = time_call(
+            lambda: Evaluator(program, seminaive=False, indexed=False)
+            .run(instance.copy())
+            .output
+        )
+        t_idx, res_idx = time_call(
+            lambda: Evaluator(program, seminaive=False, indexed=True)
+            .run(instance.copy())
+            .output
         )
         t_iql_semi, res_semi = time_call(
             lambda: Evaluator(program, seminaive=True).run(instance.copy()).output
@@ -81,33 +95,39 @@ def main():
         agree = (
             out_naive["T"]
             == out_semi["T"]
-            == instance_to_database(res_naive)["T"]
+            == instance_to_database(res_noidx)["T"]
+            == instance_to_database(res_idx)["T"]
             == instance_to_database(res_semi)["T"]
         )
+        series[n] = t_iql_semi
         rows.append(
             (
                 n,
                 len(out_naive["T"]),
                 ms(t_naive),
                 ms(t_semi),
-                ms(t_iql_naive),
+                ms(t_noidx),
+                ms(t_idx),
                 ms(t_iql_semi),
-                f"{t_naive / t_semi:.1f}×",
-                f"{t_iql_naive / t_iql_semi:.1f}×",
+                f"{t_noidx / t_idx:.1f}×",
+                f"{t_noidx / t_iql_semi:.1f}×",
                 "✓" if agree else "✗",
             )
         )
     print_series(
-        "E11: transitive closure on path graphs — four engines, one answer",
-        ["n", "|T|", "DL naive", "DL semi", "IQL naive", "IQL semi",
-         "DL speedup", "IQL speedup", "agree"],
+        "E11: transitive closure on path graphs — five engines, one answer",
+        ["n", "|T|", "DL naive", "DL semi", "IQL no-index", "IQL indexed",
+         "IQL semi+idx", "index speedup", "total speedup", "agree"],
         rows,
     )
     print(
-        "  shape: semi-naive's advantage grows with n (it avoids rediscovery);\n"
-        "  IQL's overhead over Datalog-naive is a constant factor — identical\n"
-        "  asymptotics, as the verbatim embedding predicts."
+        "  shape: the hash indexes alone buy a growing factor over the\n"
+        "  unindexed generate-and-test join; semi-naive on top avoids\n"
+        "  rediscovery, so the combined speedup grows fastest. IQL's overhead\n"
+        "  over Datalog at matching algorithms stays a constant factor —\n"
+        "  identical asymptotics, as the verbatim embedding predicts."
     )
+    return series
 
 
 if __name__ == "__main__":

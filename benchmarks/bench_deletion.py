@@ -121,9 +121,11 @@ def test_cascade_chain(benchmark, n):
 def main():
     program = relation_cleanup_program()
     rows = []
+    series = {}
     for n in [32, 64, 128, 256]:
         instance = cleanup_instance(program.schema, n)
         elapsed, out = time_call(evaluate, program, instance)
+        series[n] = elapsed
         rows.append((n, n - len(out.relations["R"]), ms(elapsed)))
     print_series(
         "E9a: IQL* relation cleanup (delete every 3rd key)",
@@ -147,6 +149,7 @@ def main():
         "  oid in their o-value' — the cascade is the dominant cost, as the\n"
         "  paper's reference-count/garbage-collection remark anticipates."
     )
+    return series
 
 
 if __name__ == "__main__":

@@ -43,11 +43,13 @@ def test_genericity_graph(benchmark):
 
 def main():
     rows = []
+    series = {}
     program = graph_to_class_program()
     for n in [4, 6, 8, 12]:
         instance = graph_instance(cycle_graph(n))
         t_det, det = time_call(check_determinacy, program, instance, 3)
         t_gen, gen = time_call(check_genericity, program, instance, 2)
+        series[n] = t_det
         rows.append((n, ms(t_det), det.all_isomorphic, ms(t_gen), gen.all_generic))
     print_series(
         "E6: Theorem 4.1.3 probes on Example 1.2 (cycle graphs)",
@@ -58,6 +60,7 @@ def main():
     instance = union_instance({"a": ("a", "b"), "b": "a", "c": None})
     t_det, det = time_call(check_determinacy, union_encode_program(), instance, 3)
     print(f"\n  union encoding determinacy (3 runs): {ms(t_det)}, ok={det.all_isomorphic}")
+    return series
 
 
 if __name__ == "__main__":

@@ -53,10 +53,13 @@ def test_round_trip(benchmark):
     assert got == edges
 
 
-def main():
+SMOKE_SIZES = [8, 16]
+
+
+def main(sizes=None):
     program = graph_to_class_program()
     rows = []
-    sizes = [8, 16, 32, 64]
+    sizes = sizes or [8, 16, 32, 64]
     times = []
     for n in sizes:
         instance = graph_instance(cycle_graph(n))
@@ -72,6 +75,7 @@ def main():
     )
     slope = fit_loglog_slope(sizes, times)
     print(f"  log-log slope ≈ {slope:.2f} (polynomial, as Theorem 5.4 predicts for IQLrr)")
+    return dict(zip(sizes, times))
 
 
 if __name__ == "__main__":

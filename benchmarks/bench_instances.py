@@ -72,17 +72,20 @@ def main():
     )
 
     rows = []
+    series = {}
     for n in [16, 32, 64, 128]:
         chain = chain_instance(n)
         t_val, _ = time_call(chain.validate)
         image = apply_o_isomorphism(chain, {o: Oid() for o in chain.objects()})
         t_iso, mapping = time_call(find_o_isomorphism, chain, image)
+        series[n] = t_val
         rows.append((n, ms(t_val), ms(t_iso), mapping is not None))
     print_series(
         "E1b: synthetic chains — validation and O-isomorphism",
         ["objects", "validate", "find O-isomorphism", "found"],
         rows,
     )
+    return series
 
 
 if __name__ == "__main__":

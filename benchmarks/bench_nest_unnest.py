@@ -74,6 +74,7 @@ def main():
         rows,
     )
     print(f"  nest log-log slope ≈ {fit_loglog_slope(sizes, times):.2f} (polynomial; IQLrr)")
+    return dict(zip(sizes, times))
 
 
 if __name__ == "__main__":

@@ -52,9 +52,11 @@ def main():
         f"\nclassifier: restricted   → {classify(restricted).summary()}"
     )
     rows = []
+    series = {}
     for n in range(1, 13):
         elements = [f"e{i}" for i in range(n)]
         t_u, out_u = time_call(evaluate, unrestricted, powerset_input(elements))
+        series[n] = t_u
         if n <= 4:
             t_r, full_r = time_call(evaluate_full, restricted, powerset_input(elements))
             invented = full_r.stats.oids_invented
@@ -72,6 +74,7 @@ def main():
         "  ~18×-es (restricted: oids grow as 4^n) the time — the exponential\n"
         "  that range-restriction + recursion-freedom exist to exclude."
     )
+    return series
 
 
 if __name__ == "__main__":

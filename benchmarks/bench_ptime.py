@@ -52,10 +52,12 @@ def main():
     sizes = [8, 12, 16, 24, 32]
     times, fact_counts = [], []
     rows = []
+    series = {}
     for n in sizes:
         program, instance, edges = tc_setup(n)
         elapsed, out = time_call(evaluate, program, instance)
         times.append(elapsed)
+        series[n] = elapsed
         fact_counts.append(len(out.relations["T"]))
         rows.append((n, len(edges), len(out.relations["T"]), ms(elapsed)))
     print_series(
@@ -90,6 +92,7 @@ def main():
         f"  TC on a 32-node graph ({ms(times[-1])}) despite the tiny input:\n"
         f"  14 constants versus 48 edge facts — the crossover Section 5 predicts."
     )
+    return series
 
 
 if __name__ == "__main__":

@@ -123,9 +123,11 @@ def main():
         nu={a: OTuple(title="x", peer=b), b: OTuple(title="y", peer=a)},
     )
     rows = []
+    series = {}
     for k in [2, 4, 8, 16]:
         i_bar = make_instance_with_copies(original, k)
         elapsed, chosen = time_call(eliminate_copies, i_bar, schema)
+        series[k] = elapsed
         rows.append((k, len(i_bar.classes["Doc"]), ms(elapsed),
                      are_o_isomorphic(chosen, original)))
     print_series(
@@ -133,6 +135,7 @@ def main():
         ["copies", "oids", "time", "correct"],
         rows,
     )
+    return series
 
 
 if __name__ == "__main__":

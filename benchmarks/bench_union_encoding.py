@@ -61,11 +61,13 @@ def test_round_trip(benchmark, n):
 def main():
     encode, decode = union_encode_program(), union_decode_program()
     rows = []
+    series = {}
     for n in [4, 8, 12, 16]:
         original = union_instance(random_links(n, seed=n))
         t_enc, encoded = time_call(evaluate, encode, original)
         t_dec, decoded = time_call(evaluate, decode, encoded)
         lossless = are_o_isomorphic(original, rename_decoded(decoded))
+        series[n] = t_enc
         rows.append((n, ms(t_enc), ms(t_dec), lossless))
     print_series(
         "E5: Example 3.4.3 — union-type elimination (random instances)",
@@ -73,6 +75,7 @@ def main():
         rows,
     )
     print("  'no information is lost when using the first program' ✓")
+    return series
 
 
 if __name__ == "__main__":

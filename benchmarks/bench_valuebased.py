@@ -61,9 +61,11 @@ def main():
     rows = []
     sizes = [16, 32, 64, 128]
     times = []
+    series = {}
     for n in sizes:
         instance = ring_instance(n)
         t_psi, vinstance = time_call(psi, instance)
+        series[n] = t_psi
         t_phi, obj = time_call(phi, vinstance)
         ok = psi(obj) == vinstance
         times.append(t_psi)
@@ -94,6 +96,7 @@ def main():
     )
     print("  the value-based view collapses copies for free — the reason IQLv\n"
           "  is vdio-complete without choose (Theorem 7.1.5).")
+    return series
 
 
 if __name__ == "__main__":

@@ -2,13 +2,23 @@
 
 This regenerates the tables recorded in EXPERIMENTS.md::
 
-    python benchmarks/run_all.py            # everything (~2-4 minutes)
-    python benchmarks/run_all.py E2 E10     # a subset by experiment id
+    python benchmarks/run_all.py                      # everything (~2-4 minutes)
+    python benchmarks/run_all.py E2 E10               # a subset by experiment id
+    python benchmarks/run_all.py --json BENCH.json    # + machine-readable trajectory
+    python benchmarks/run_all.py --smoke E2 E11       # CI-sized sweeps (<60s)
+
+Each module's ``main()`` returns its primary series as ``{size: seconds}``;
+``--json`` collects those into ``{experiment: {size: seconds}}`` so runs can
+be diffed across commits (the BENCH_PR*.json trajectory files at the repo
+root). ``--smoke`` asks modules that define ``SMOKE_SIZES`` to sweep only
+those sizes — small enough for a CI smoke job.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import json
 import sys
 import time
 
@@ -32,19 +42,40 @@ EXPERIMENTS = {
 
 
 def main(argv) -> int:
-    selected = set(argv) if argv else set(EXPERIMENTS)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--json", metavar="PATH", help="write {experiment: {size: seconds}} here"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use each module's SMOKE_SIZES (CI-sized sweeps)",
+    )
+    args = parser.parse_args(argv)
+    selected = set(args.experiments) if args.experiments else set(EXPERIMENTS)
     unknown = selected - set(EXPERIMENTS)
     if unknown:
         print(f"unknown experiment ids: {sorted(unknown)}", file=sys.stderr)
         return 1
     started = time.perf_counter()
+    trajectory = {}
     for exp_id, module_name in EXPERIMENTS.items():
         if exp_id not in selected:
             continue
         print(f"\n{'=' * 72}\n{exp_id}: {module_name}\n{'=' * 72}")
         module = importlib.import_module(module_name)
-        module.main()
+        if args.smoke and hasattr(module, "SMOKE_SIZES"):
+            series = module.main(sizes=module.SMOKE_SIZES)
+        else:
+            series = module.main()
+        trajectory[exp_id] = {str(k): v for k, v in (series or {}).items()}
     print(f"\ntotal: {time.perf_counter() - started:.1f}s")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"trajectory written to {args.json}")
     return 0
 
 

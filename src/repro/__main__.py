@@ -82,7 +82,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if not args.strict:
         instance = instance.project(program.input_schema)
     limits = EvaluatorLimits(max_steps=args.max_steps)
-    evaluator = Evaluator(program, limits=limits, choose_mode=args.choose_mode)
+    evaluator = Evaluator(
+        program,
+        limits=limits,
+        choose_mode=args.choose_mode,
+        seminaive=not args.naive,
+        indexed=not args.naive,
+    )
     result = evaluator.run(instance)
     stats = result.stats
     print(
@@ -90,6 +96,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"-{stats.facts_deleted}, {stats.oids_invented} oids invented",
         file=sys.stderr,
     )
+    if args.stats:
+        plan_total = stats.plan_cache_hits + stats.plan_cache_misses
+        print(
+            "evaluation stats:\n"
+            f"  steps                {stats.steps}\n"
+            f"  per-stage steps      {stats.per_stage_steps}\n"
+            f"  facts added          {stats.facts_added}\n"
+            f"  facts deleted        {stats.facts_deleted}\n"
+            f"  oids invented        {stats.oids_invented}\n"
+            f"  valuations           {stats.valuations_considered}\n"
+            f"  index probes         {stats.index_probes}\n"
+            f"  index scans avoided  {stats.index_scans_avoided}\n"
+            f"  plan cache           {stats.plan_cache_hits}/{plan_total} hits",
+            file=sys.stderr,
+        )
     text = io.dumps(result.output)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -162,6 +183,16 @@ def main(argv=None) -> int:
         "--strict",
         action="store_true",
         help="require the input document's schema to equal Sin exactly",
+    )
+    p_run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print full evaluation statistics (index probes, plan cache, ...)",
+    )
+    p_run.add_argument(
+        "--naive",
+        action="store_true",
+        help="disable the indexed/semi-naive join engine (reference semantics)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -56,7 +56,13 @@ class EvaluatorLimits:
 
 @dataclass
 class EvaluationStats:
-    """Observability for benchmarks: what the fixpoint actually did."""
+    """Observability for benchmarks: what the fixpoint actually did.
+
+    The last four counters report on the indexed join engine: hash-index
+    probes taken, members *not* scanned thanks to those probes, and the
+    body planner's memo behaviour (one miss per new (body, bound-set)
+    pair, hits for every re-solve of a known shape).
+    """
 
     steps: int = 0
     facts_added: int = 0
@@ -64,6 +70,10 @@ class EvaluationStats:
     oids_invented: int = 0
     valuations_considered: int = 0
     per_stage_steps: List[int] = field(default_factory=list)
+    index_probes: int = 0
+    index_scans_avoided: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 @dataclass
@@ -119,6 +129,7 @@ class Evaluator:
         seed: int = 0,
         trace: bool = False,
         seminaive: bool = True,
+        indexed: bool = True,
         preflight: bool = False,
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
@@ -131,9 +142,13 @@ class Evaluator:
         self.choose_mode = choose_mode
         self.trace_enabled = trace
         self._trace: Optional[List[TraceEvent]] = [] if trace else None
-        # Delta rewriting for Datalog-positive stages (repro.iql.seminaive);
+        # Delta rewriting for eligible stages (repro.iql.seminaive);
         # disabled automatically under tracing so every event is observed.
         self.seminaive = seminaive and not trace
+        # Hash-index probes + the selectivity-ordered body planner
+        # (repro.iql.indexes / valuation). ``indexed=False`` restores the
+        # original generate-and-test join — the differential-test oracle.
+        self.indexed = indexed
         import random as _random
 
         self._rng = _random.Random(seed)
@@ -196,6 +211,7 @@ class Evaluator:
                     stats,
                     self.limits.enumeration_budget,
                     max_steps=self.limits.max_steps,
+                    use_indexes=self.indexed,
                 )
                 stats.per_stage_steps.append(rounds)
                 return
@@ -237,7 +253,12 @@ class Evaluator:
 
         for rule in rules:
             for theta in solve_body(
-                rule.body, instance, enumeration_budget=self.limits.enumeration_budget
+                rule.body,
+                instance,
+                enumeration_budget=self.limits.enumeration_budget,
+                stats=stats,
+                plan_cache=rule.plan_cache,
+                use_indexes=self.indexed,
             ):
                 stats.valuations_considered += 1
                 if rule.delete:
@@ -402,14 +423,16 @@ class Evaluator:
                 if element is not None:
                     return element in members
                 for existing in members:
-                    for _ in match(head.element, existing, theta, instance):
+                    for _ in match(
+                        head.element, existing, theta, instance, self.indexed
+                    ):
                         return True
                 return False
             container = eval_term(head.container, theta, instance)
             if container is None:
                 return False
             for element in container:
-                for _ in match(head.element, element, theta, instance):
+                for _ in match(head.element, element, theta, instance, self.indexed):
                     return True
             return False
         if isinstance(head, Equality):
@@ -426,7 +449,7 @@ class Evaluator:
                     continue
                 extended = dict(theta)
                 extended[deref.var] = candidate
-                for _ in match(head.right, value, extended, instance):
+                for _ in match(head.right, value, extended, instance, self.indexed):
                     return True
             return False
         raise EvaluationError(f"illegal head {head!r}")  # pragma: no cover
@@ -460,6 +483,9 @@ class Evaluator:
         stats: EvaluationStats,
     ) -> bool:
         changed = False
+        # Deletions mutate relations and ν behind the mutators' backs;
+        # indexes are rebuilt lazily from post-deletion state.
+        instance.drop_indexes()
         doomed_oids: Set[Oid] = set()
         for rule, theta in deletions:
             head = rule.head
@@ -498,6 +524,7 @@ class Evaluator:
             changed = True
             stats.facts_deleted += len(doomed_oids)
             self._cascade_delete(instance, doomed_oids, stats)
+        instance.drop_indexes()
         return changed
 
     def _cascade_delete(

@@ -35,7 +35,7 @@ class Rule:
     the Theorem 4.3.1 experiment.
     """
 
-    __slots__ = ("head", "body", "delete", "label", "span")
+    __slots__ = ("head", "body", "delete", "label", "span", "_plan_cache")
 
     def __init__(
         self,
@@ -60,6 +60,20 @@ class Rule:
         self.delete = delete
         self.label = label
         self.span = span if span is not None else head.span
+        self._plan_cache = None
+
+    @property
+    def plan_cache(self) -> dict:
+        """The body planner's memo (repro.iql.valuation.solve_body).
+
+        Keyed by (literal tuple, bound-variable set, use_indexes); the
+        semi-naive delta rewriting solves many sub-bodies of the same rule,
+        so the cache lives here rather than per call. Excluded from
+        equality and hashing — it is an evaluation artifact, not syntax.
+        """
+        if self._plan_cache is None:
+            self._plan_cache = {}
+        return self._plan_cache
 
     def display_label(self) -> str:
         """The rule's label, or a rendering of it, for diagnostics."""

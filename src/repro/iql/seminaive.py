@@ -2,60 +2,146 @@
 
 The paper notes (§5, §8) that IQL "is a good candidate for conventional
 database optimizations"; this module supplies the classical one. A stage
-qualifies when it is, in effect, positive Datalog inside IQL:
+qualifies when its only *instance-dependent generators* are positive
+memberships over relation names:
 
 * every rule is plain (no delete, no choose), invention-free,
-* every head is a relation membership ``R(t)``,
-* every body literal is a *positive* membership over a relation name.
+* every head is a relation membership ``R(t)`` whose element mentions no
+  relation/class name term,
+* positive membership literals have name containers (relations are the
+  delta-driven generators; class extents are constant within such a stage,
+  so class memberships act as constant generators),
+* negative literals and equalities are admitted as long as (a) they
+  mention no name terms — a name term's value is the *growing* extension —
+  and (b) every rule variable is reachable from the generators, possibly
+  through positive-equality binders (``y = x̂`` and tuple/set construction
+  read only ν, which such a stage never mutates).
 
-For such stages the inflationary one-step operator coincides with the
-Datalog immediate-consequence operator, so the textbook delta rewriting is
-sound: a derivation in round k+1 must use at least one fact first derived
-in round k. The evaluator applies this automatically (it can be disabled
-to force naive evaluation); the equivalence is tested against the naive
-evaluator on randomized inputs, and benchmark E11 measures the speedup.
+Soundness of the delta rewriting under these conditions: within the stage
+only ρ grows — π and ν are untouched (relation heads only, invention-free)
+— so negative literals can only become *falser* round over round and
+equalities never change truth value. A derivation new in round k+1 must
+therefore use at least one fact first derived in round k in a positive
+relation membership, which is exactly what the rewriting enumerates. The
+equivalence is tested against the naive evaluator (the specification) on
+randomized inputs; benchmark E11 measures the speedup.
 
-Classes, dereferences, invention, negation, set variables — anything that
-makes IQL more than Datalog — falls back to the naive loop, whose
-semantics is the specification.
+Derefence containers, class or deref heads, invention, set-variable
+enumeration — anything beyond this fragment — falls back to the naive
+loop. Delta joins run through the hash indexes and the selectivity planner
+of :mod:`repro.iql.valuation` like every other body solve.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
-from repro.iql.literals import Membership
+from repro.iql.literals import Equality, Membership
 from repro.iql.rules import Rule
-from repro.iql.terms import NameTerm
+from repro.iql.terms import NameTerm, SetTerm, Term, TupleTerm, Var
 from repro.iql.valuation import eval_term, match, solve_body
 from repro.schema.instance import Instance
 from repro.values.ovalues import OValue
 
 
+def _mentions_name(term: Term) -> bool:
+    """Does ``term`` contain a relation/class name term at any depth?
+
+    A name term evaluates to the *current* extension, so any literal whose
+    truth depends on one through a value position is instance-dependent in
+    a way the delta rewriting cannot see.
+    """
+    if isinstance(term, NameTerm):
+        return True
+    if isinstance(term, SetTerm):
+        return any(_mentions_name(sub) for sub in term.terms)
+    if isinstance(term, TupleTerm):
+        return any(_mentions_name(sub) for _, sub in term.fields)
+    return False
+
+
+def _rule_eligible(rule: Rule, instance: Instance) -> bool:
+    schema = instance.schema
+    if rule.delete or rule.has_choose() or not rule.is_invention_free():
+        return False
+    head = rule.head
+    if not (
+        isinstance(head, Membership)
+        and isinstance(head.container, NameTerm)
+        and schema.is_relation(head.container.name)
+        and not _mentions_name(head.element)
+    ):
+        return False
+    if not rule.body:
+        return False  # unconditional facts: let the naive loop seed them
+
+    relation_generators: List[Membership] = []
+    constant_generators: List[Membership] = []  # class extents, deref containers
+    equalities: List[Equality] = []
+    for literal in rule.body:
+        if isinstance(literal, Membership):
+            if _mentions_name(literal.element):
+                return False  # e.g. R(S): the element is a growing extension
+            if isinstance(literal.container, NameTerm):
+                if literal.positive and schema.is_relation(literal.container.name):
+                    relation_generators.append(literal)
+                elif literal.positive:
+                    constant_generators.append(literal)  # class extent: constant
+                # negative name-container memberships: filters (see below)
+            else:
+                if _mentions_name(literal.container):
+                    return False
+                if literal.positive:
+                    constant_generators.append(literal)  # x̂(t): ν is constant
+        elif isinstance(literal, Equality):
+            if _mentions_name(literal.left) or _mentions_name(literal.right):
+                return False
+            if literal.positive:
+                equalities.append(literal)
+        else:
+            return False  # Choose (has_choose already bailed) or unknown
+
+    # Range check: every rule variable must be derivable from the
+    # generators, closing over constant generators and equality binders, so
+    # the enumeration fallback (whose search space constants(I) *grows*
+    # with ρ) is never needed.
+    derived: Set[Var] = set()
+    for literal in relation_generators:
+        derived |= literal.variables()
+    changed = True
+    while changed:
+        changed = False
+        for literal in constant_generators:
+            if literal.container.variables() <= derived:
+                before = len(derived)
+                derived |= literal.element.variables()
+                changed = changed or len(derived) != before
+        for literal in equalities:
+            for known, pattern in (
+                (literal.left, literal.right),
+                (literal.right, literal.left),
+            ):
+                if known.variables() <= derived and not pattern.variables() <= derived:
+                    derived |= pattern.variables()
+                    changed = True
+    return rule.variables() <= derived
+
+
 def stage_eligible(rules: Sequence[Rule], instance: Instance) -> bool:
     """True iff the delta rewriting is sound for this stage."""
-    schema = instance.schema
-    for rule in rules:
-        if rule.delete or rule.has_choose() or not rule.is_invention_free():
-            return False
-        head = rule.head
-        if not (
-            isinstance(head, Membership)
-            and isinstance(head.container, NameTerm)
-            and schema.is_relation(head.container.name)
-        ):
-            return False
-        if not rule.body:
-            return False  # unconditional facts: let the naive loop seed them
-        for literal in rule.body:
-            if not (
-                isinstance(literal, Membership)
-                and literal.positive
-                and isinstance(literal.container, NameTerm)
-                and schema.is_relation(literal.container.name)
-            ):
-                return False
-    return True
+    return all(_rule_eligible(rule, instance) for rule in rules)
+
+
+def _delta_positions(rule: Rule, schema) -> List[int]:
+    """Body positions that the delta drives: positive relation memberships."""
+    return [
+        position
+        for position, literal in enumerate(rule.body)
+        if isinstance(literal, Membership)
+        and literal.positive
+        and isinstance(literal.container, NameTerm)
+        and schema.is_relation(literal.container.name)
+    ]
 
 
 def run_stage_seminaive(
@@ -64,20 +150,20 @@ def run_stage_seminaive(
     stats,
     enumeration_budget: int,
     max_steps: int = 10_000,
+    use_indexes: bool = True,
 ) -> int:
     """Evaluate an eligible stage to fixpoint with delta rewriting.
 
     Returns the number of rounds. Round 0 seeds the delta with a full
-    evaluation; each later round requires one body literal to match a fact
-    from the previous round's delta — matched directly, with the remaining
-    literals solved under the resulting bindings (so all the generic
-    matching machinery is reused verbatim).
+    evaluation; each later round requires one positive relation membership
+    to match a fact from the previous round's delta — matched directly,
+    with the remaining literals solved under the resulting bindings (so
+    all the planning and indexing machinery is reused verbatim).
     """
-    delta: Dict[str, Set[OValue]] = {
-        name: set(members) for name, members in instance.relations.items()
-    }
+    schema = instance.schema
     rounds = 0
     first = True
+    delta: Dict[str, Set[OValue]] = {}
     while True:
         if stats.steps >= max_steps:
             from repro.errors import NonTerminationError
@@ -99,24 +185,35 @@ def run_stage_seminaive(
 
             if first:
                 for theta in solve_body(
-                    rule.body, instance, enumeration_budget=enumeration_budget
+                    rule.body,
+                    instance,
+                    enumeration_budget=enumeration_budget,
+                    stats=stats,
+                    plan_cache=rule.plan_cache,
+                    use_indexes=use_indexes,
                 ):
                     derive(theta)
                 continue
 
             body = list(rule.body)
-            for position, literal in enumerate(body):
+            for position in _delta_positions(rule, schema):
+                literal = body[position]
                 source = delta.get(literal.container.name)
                 if not source:
                     continue
                 rest = body[:position] + body[position + 1 :]
                 for fact in source:
-                    for seed in match(literal.element, fact, {}, instance):
+                    for seed in match(
+                        literal.element, fact, {}, instance, use_indexes, stats
+                    ):
                         for theta in solve_body(
                             rest,
                             instance,
                             enumeration_budget=enumeration_budget,
                             initial=seed,
+                            stats=stats,
+                            plan_cache=rule.plan_cache,
+                            use_indexes=use_indexes,
                         ):
                             derive(theta)
 

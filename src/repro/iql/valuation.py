@@ -15,15 +15,25 @@ This module provides the two directions the evaluator needs:
   returns None when a variable is unbound or a dereference undefined,
 * :func:`match` — extend bindings so that a term evaluates to a given
   value (the generator yields every such extension),
-* :func:`solve_body` — enumerate all valuations of a rule body, choosing a
-  literal order greedily and falling back to type-interpretation
-  enumeration for variables no literal can bind (the non-range-restricted
-  case, e.g. the ``R1(X) ← X = X`` powerset program of Example 3.4.2).
+* :func:`solve_body` — enumerate all valuations of a rule body through a
+  *selectivity-ordered plan*: candidate literals are scored by estimated
+  fan-out (index probe < small-container scan < large scan < equality
+  match < type enumeration) and the cheapest is processed first, with the
+  order decided once per (body, bound-variable-set) and memoized in the
+  caller-supplied plan cache (normally the owning
+  :class:`~repro.iql.rules.Rule`'s). The enumeration fallback covers
+  variables no literal can bind (the non-range-restricted case, e.g. the
+  ``R1(X) ← X = X`` powerset program of Example 3.4.2).
+
+Join-level index use (hash probes instead of scans) is routed through
+:mod:`repro.iql.indexes`; pass ``use_indexes=False`` to force the original
+generate-and-test behaviour — the differential tests use that as the
+oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError
 from repro.iql.literals import Choose, Equality, Literal, Membership
@@ -31,9 +41,12 @@ from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Va
 from repro.schema.instance import Instance
 from repro.typesys.enumeration import enumerate_type
 from repro.typesys.interpretation import member
-from repro.values.ovalues import Oid, OSet, OTuple, OValue, sort_key
+from repro.values.ovalues import Oid, OSet, OTuple, OValue, sort_key, sorted_elements
 
 Bindings = Dict[Var, OValue]
+
+#: Containers at or below this size count as "small scans" for the planner.
+SMALL_SCAN = 16
 
 
 def eval_term(term: Term, bindings: Bindings, instance: Instance) -> Optional[OValue]:
@@ -80,7 +93,12 @@ def is_evaluable(term: Term, bindings: Bindings) -> bool:
 
 
 def match(
-    term: Term, value: OValue, bindings: Bindings, instance: Instance
+    term: Term,
+    value: OValue,
+    bindings: Bindings,
+    instance: Instance,
+    use_indexes: bool = True,
+    stats=None,
 ) -> Iterator[Bindings]:
     """All extensions of ``bindings`` making ``term`` evaluate to ``value``.
 
@@ -88,6 +106,11 @@ def match(
     belong to the variable's type interpretation given the current π (this
     is where class-typed variables refuse oids of other classes, and where
     union coercion in bodies is effectively decided).
+
+    With ``use_indexes`` (the default) an *unbound* dereference probes the
+    class's reverse ν-index instead of scanning and re-sorting the whole
+    class per call; ``stats`` (any object with ``index_probes`` /
+    ``index_scans_avoided`` counters) records what that saved.
     """
     if isinstance(term, Const):
         if term.value == value:
@@ -116,11 +139,24 @@ def match(
             return
         # Unbound dereference: find class oids whose value matches.
         class_name = term.var.type.name
-        for candidate in sorted(instance.classes.get(class_name, ()), key=sort_key):
-            if instance.value_of(candidate) == value:
-                extended = dict(bindings)
-                extended[term.var] = candidate
-                yield extended
+        if use_indexes:
+            bucket = instance.indexes.deref_probe(class_name, value)
+            if stats is not None:
+                stats.index_probes += 1
+                stats.index_scans_avoided += max(
+                    0, len(instance.classes.get(class_name, ())) - len(bucket)
+                )
+            candidates = sorted(bucket, key=sort_key)
+        else:
+            candidates = [
+                c
+                for c in sorted(instance.classes.get(class_name, ()), key=sort_key)
+                if instance.value_of(c) == value
+            ]
+        for candidate in candidates:
+            extended = dict(bindings)
+            extended[term.var] = candidate
+            yield extended
         return
     if isinstance(term, TupleTerm):
         if not isinstance(value, OTuple):
@@ -129,7 +165,11 @@ def match(
         if attrs != value.attributes:
             return
         yield from _match_sequence(
-            [(sub, value[attr]) for attr, sub in term.fields], bindings, instance
+            [(sub, value[attr]) for attr, sub in term.fields],
+            bindings,
+            instance,
+            use_indexes,
+            stats,
         )
         return
     if isinstance(term, SetTerm):
@@ -141,11 +181,11 @@ def match(
             return
         if len(value) == 0:
             return  # a non-empty list of terms always denotes ≥ 1 element
-        elements = sorted(value, key=sort_key)
+        elements = sorted_elements(value)
         seen = set()
         for assignment in _set_assignments(len(term.terms), elements):
             for extended in _match_sequence(
-                list(zip(term.terms, assignment)), bindings, instance
+                list(zip(term.terms, assignment)), bindings, instance, use_indexes, stats
             ):
                 # The term set must equal the value exactly (cover check).
                 result = eval_term(term, extended, instance)
@@ -159,14 +199,18 @@ def match(
 
 
 def _match_sequence(
-    pairs: List[Tuple[Term, OValue]], bindings: Bindings, instance: Instance
+    pairs: List[Tuple[Term, OValue]],
+    bindings: Bindings,
+    instance: Instance,
+    use_indexes: bool = True,
+    stats=None,
 ) -> Iterator[Bindings]:
     if not pairs:
         yield bindings
         return
     (term, value), rest = pairs[0], pairs[1:]
-    for extended in match(term, value, bindings, instance):
-        yield from _match_sequence(rest, extended, instance)
+    for extended in match(term, value, bindings, instance, use_indexes, stats):
+        yield from _match_sequence(rest, extended, instance, use_indexes, stats)
 
 
 def _set_assignments(k: int, elements: List[OValue]) -> Iterator[Tuple[OValue, ...]]:
@@ -206,7 +250,126 @@ def satisfies(literal: Literal, bindings: Bindings, instance: Instance) -> bool:
     raise EvaluationError(f"unknown literal {literal!r}")
 
 
-# -- body solving ------------------------------------------------------------------
+# -- body solving: the selectivity-ordered planner ---------------------------------
+#
+# A *plan* is a tuple of steps, each one of
+#
+#   ("filter", lit)              check a fully-bound literal,
+#   ("member", lit, probes)      branch on a positive membership; ``probes``
+#                                is a tuple of (attr, subterm) pairs usable
+#                                as hash-index probes, or () for a scan,
+#   ("equal", lit, left_known)   branch on a positive equality, evaluating
+#                                the known side and matching the other,
+#   ("enum", var)                enumerate one variable's type interpretation.
+#
+# The plan depends only on the body and the set of initially-bound
+# variables (each generator step binds exactly its literal's variables, so
+# the bound set evolves deterministically along the plan); it is memoized
+# per (body, bound-set, use_indexes) in the caller's plan cache. Cost
+# estimates use container sizes at planning time — selectivity estimation,
+# not truth — so a cached plan can be stale; that affects speed, never the
+# solution set, because every literal is still checked on every valuation.
+
+
+def _tuple_probes(element: Term, bound: Set[Var]) -> Tuple[Tuple[str, Term], ...]:
+    """Top-level tuple components evaluable under ``bound`` — index probes."""
+    if not isinstance(element, TupleTerm):
+        return ()
+    return tuple(
+        (attr, sub)
+        for attr, sub in element.fields
+        if all(v in bound for v in sub.variables())
+    )
+
+
+def _contains_set_term(term: Term) -> bool:
+    if isinstance(term, SetTerm):
+        return True
+    if isinstance(term, TupleTerm):
+        return any(_contains_set_term(sub) for _, sub in term.fields)
+    return False
+
+
+def _generator_step(lit: Literal, bound: Set[Var], instance: Instance, use_indexes: bool):
+    """(cost, step) if ``lit`` can generate bindings now, else None.
+
+    Cost is a (rank, estimate) pair ordered lexicographically:
+    rank 0 index probe < 1 small scan < 2 large scan < 3 equality match;
+    the enumeration fallback (rank 4, implicit) is never chosen while any
+    literal is processable.
+    """
+    if isinstance(lit, Membership) and lit.positive:
+        container = lit.container
+        if not all(v in bound for v in container.variables()):
+            return None
+        if isinstance(container, NameTerm):
+            name = container.name
+            if instance.schema.is_relation(name):
+                size = len(instance.relations[name])
+                if use_indexes:
+                    probes = _tuple_probes(lit.element, bound)
+                    if probes:
+                        return ((0, size), ("member", lit, probes))
+            else:
+                size = len(instance.classes[name])
+            rank = 1 if size <= SMALL_SCAN else 2
+            return ((rank, size), ("member", lit, ()))
+        # Deref / set-term containers: size unknown until evaluated; treat
+        # as a small scan (dereferenced sets are typically narrow).
+        return ((1, SMALL_SCAN // 2), ("member", lit, ()))
+    if isinstance(lit, Equality) and lit.positive:
+        left_known = all(v in bound for v in lit.left.variables())
+        right_known = all(v in bound for v in lit.right.variables())
+        if left_known or right_known:
+            pattern = lit.right if left_known else lit.left
+            # Set patterns branch combinatorially; plain patterns bind 1:1.
+            estimate = 64 if _contains_set_term(pattern) else 1
+            return ((3, estimate), ("equal", lit, left_known))
+    return None
+
+
+def plan_body(
+    literals: Sequence[Literal],
+    bound_vars: FrozenSet[Var],
+    instance: Instance,
+    use_indexes: bool = True,
+) -> Tuple[tuple, ...]:
+    """The selectivity-ordered step sequence for ``literals``."""
+    steps: List[tuple] = []
+    remaining = list(literals)
+    bound: Set[Var] = set(bound_vars)
+    while remaining:
+        # 1. Fully-bound literals become filters immediately, in body order.
+        filters = [lit for lit in remaining if all(v in bound for v in lit.variables())]
+        if filters:
+            steps.extend(("filter", lit) for lit in filters)
+            remaining = [lit for lit in remaining if lit not in filters]
+            continue
+        # 2. The cheapest processable generator goes next.
+        best = None
+        for position, lit in enumerate(remaining):
+            candidate = _generator_step(lit, bound, instance, use_indexes)
+            if candidate is not None and (best is None or candidate[0] < best[0]):
+                best = (candidate[0], position, candidate[1])
+        if best is not None:
+            _, position, step = best
+            lit = remaining.pop(position)
+            steps.append(step)
+            bound |= lit.variables()
+            continue
+        # 3. Dead end: enumerate the type interpretation of one unbound var
+        # (restricted to constants(I) — the valuation definition makes this
+        # the exact search space). Deterministic choice: first by name.
+        unbound = sorted(
+            {v for lit in remaining for v in lit.variables() if v not in bound},
+            key=lambda v: v.name,
+        )
+        if not unbound:  # pragma: no cover - step 1 would have consumed these
+            raise EvaluationError(f"stuck with fully bound literals: {remaining!r}")
+        var = unbound[0]
+        steps.append(("enum", var))
+        bound.add(var)
+    return tuple(steps)
 
 
 def solve_body(
@@ -214,89 +377,114 @@ def solve_body(
     instance: Instance,
     enumeration_budget: int = 100_000,
     initial: Optional[Bindings] = None,
+    stats=None,
+    plan_cache: Optional[Dict] = None,
+    use_indexes: bool = True,
 ) -> Iterator[Bindings]:
     """All valuations θ of the body's variables with I ⊨ θ(body).
 
-    Strategy: repeatedly pick a *processable* literal — a positive
-    membership whose container is evaluable, or a positive equality with
-    one side evaluable — and branch on its matches; literals whose
-    variables are all bound become filters. When nothing is processable,
-    fall back to enumerating one unbound variable's type interpretation
-    restricted to constants(I) (the valuation definition makes this the
-    exact search space). Negative literals are only ever used as filters,
-    as inflationary Datalog¬ requires.
+    The literal order comes from :func:`plan_body` (selectivity-ordered,
+    memoized in ``plan_cache`` — normally the owning rule's); membership
+    literals over relations with bound tuple components probe the hash
+    indexes of :mod:`repro.iql.indexes` instead of scanning. Negative
+    literals are only ever used as filters, as inflationary Datalog¬
+    requires. ``use_indexes=False`` restores the original generate-and-test
+    join (the differential-testing oracle); ``stats`` is any object with
+    the counters of :class:`~repro.iql.evaluator.EvaluationStats`.
     """
-    constants = sorted(instance.constants(), key=sort_key)
-    literals = [lit for lit in body if not isinstance(lit, Choose)]
+    literals = tuple(lit for lit in body if not isinstance(lit, Choose))
+    bindings0 = dict(initial or {})
+    bound0 = frozenset(bindings0)
+    plan: Optional[Tuple[tuple, ...]] = None
+    if plan_cache is not None:
+        key = (literals, bound0, use_indexes)
+        plan = plan_cache.get(key)
+        if stats is not None:
+            if plan is None:
+                stats.plan_cache_misses += 1
+            else:
+                stats.plan_cache_hits += 1
+    if plan is None:
+        plan = plan_body(literals, bound0, instance, use_indexes)
+        if plan_cache is not None:
+            plan_cache[key] = plan
 
-    def process(remaining: List[Literal], bindings: Bindings) -> Iterator[Bindings]:
-        if not remaining:
+    def run(step_index: int, bindings: Bindings) -> Iterator[Bindings]:
+        if step_index == len(plan):
             yield dict(bindings)
             return
-
-        # 1. Filters first: fully-bound literals just get checked.
-        for i, lit in enumerate(remaining):
-            if all(v in bindings for v in lit.variables()):
-                if satisfies(lit, bindings, instance):
-                    yield from process(remaining[:i] + remaining[i + 1 :], bindings)
-                return
-
-        # 2. A positive membership with evaluable container binds by iteration.
-        for i, lit in enumerate(remaining):
-            if (
-                isinstance(lit, Membership)
-                and lit.positive
-                and is_evaluable(lit.container, bindings)
-            ):
-                rest = remaining[:i] + remaining[i + 1 :]
-                # Iterate the container without materializing an OSet: the
-                # inner loop of every join runs through here.
-                if isinstance(lit.container, NameTerm):
-                    name = lit.container.name
-                    if instance.schema.is_relation(name):
-                        members = list(instance.relations[name])
-                    else:
-                        members = list(instance.classes[name])
+        step = plan[step_index]
+        kind = step[0]
+        if kind == "filter":
+            if satisfies(step[1], bindings, instance):
+                yield from run(step_index + 1, bindings)
+            return
+        if kind == "member":
+            lit, probes = step[1], step[2]
+            members = None
+            if probes:
+                # Evaluate every plannable component and probe the smallest
+                # bucket; match() re-verifies the full element against each
+                # candidate, so one probe is enough for correctness.
+                name = lit.container.name
+                indexes = instance.indexes
+                for attr, sub in probes:
+                    value = eval_term(sub, bindings, instance)
+                    if value is None:
+                        return  # undefined dereference: no member can match
+                    bucket = indexes.relation_probe(name, attr, value)
+                    if members is None or len(bucket) < len(members):
+                        members = bucket
+                    if not members:
+                        break
+                if stats is not None:
+                    stats.index_probes += 1
+                    stats.index_scans_avoided += max(
+                        0, len(instance.relations[name]) - len(members)
+                    )
+                members = list(members)
+            elif isinstance(lit.container, NameTerm):
+                name = lit.container.name
+                if instance.schema.is_relation(name):
+                    members = list(instance.relations[name])
                 else:
-                    container = eval_term(lit.container, bindings, instance)
-                    if container is None:
-                        return  # undefined dereference: no facts to match
-                    if not isinstance(container, OSet):
-                        raise EvaluationError(
-                            f"membership against non-set value {container!r} in {lit!r}"
-                        )
-                    members = list(container)
-                for element in members:
-                    for extended in match(lit.element, element, bindings, instance):
-                        yield from process(rest, extended)
-                return
-
-        # 3. A positive equality with one evaluable side binds by matching.
-        for i, lit in enumerate(remaining):
-            if isinstance(lit, Equality) and lit.positive:
-                rest = remaining[:i] + remaining[i + 1 :]
-                for known, pattern in ((lit.left, lit.right), (lit.right, lit.left)):
-                    if is_evaluable(known, bindings):
-                        value = eval_term(known, bindings, instance)
-                        if value is None:
-                            return  # undefined dereference: unsatisfiable
-                        for extended in match(pattern, value, bindings, instance):
-                            yield from process(rest, extended)
-                        return
-
-        # 4. Dead end: enumerate the type interpretation of one unbound var.
-        unbound = sorted(
-            {v for lit in remaining for v in lit.variables() if v not in bindings},
-            key=lambda v: v.name,
-        )
-        if not unbound:  # pragma: no cover - step 1 would have consumed these
-            raise EvaluationError(f"stuck with fully bound literals: {remaining!r}")
-        var = unbound[0]
+                    members = list(instance.classes[name])
+            else:
+                container = eval_term(lit.container, bindings, instance)
+                if container is None:
+                    return  # undefined dereference: no facts to match
+                if not isinstance(container, OSet):
+                    raise EvaluationError(
+                        f"membership against non-set value {container!r} in {lit!r}"
+                    )
+                members = list(container)
+            for element in members:
+                for extended in match(
+                    lit.element, element, bindings, instance, use_indexes, stats
+                ):
+                    yield from run(step_index + 1, extended)
+            return
+        if kind == "equal":
+            lit, left_known = step[1], step[2]
+            known, pattern = (
+                (lit.left, lit.right) if left_known else (lit.right, lit.left)
+            )
+            value = eval_term(known, bindings, instance)
+            if value is None:
+                return  # undefined dereference: unsatisfiable
+            for extended in match(pattern, value, bindings, instance, use_indexes, stats):
+                yield from run(step_index + 1, extended)
+            return
+        # kind == "enum"
+        var = step[1]
         for value in enumerate_type(
-            var.type, constants, instance.classes, budget=enumeration_budget
+            var.type,
+            instance.sorted_constants(),
+            instance.classes,
+            budget=enumeration_budget,
         ):
             extended = dict(bindings)
             extended[var] = value
-            yield from process(remaining, extended)
+            yield from run(step_index + 1, extended)
 
-    yield from process(list(literals), dict(initial or {}))
+    yield from run(0, bindings0)

@@ -20,7 +20,7 @@ the ``ground-facts(I)`` view the paper uses to define the semantics:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import InstanceError
 from repro.schema.schema import Schema
@@ -33,6 +33,7 @@ from repro.values.ovalues import (
     ensure_ovalue,
     is_ovalue,
     oids_of,
+    sort_key,
 )
 
 #: Ground-fact tags. A ground fact is a tagged tuple:
@@ -46,7 +47,16 @@ GroundFact = Tuple[str, object, object]
 class Instance:
     """A mutable instance ``(ρ, π, ν)`` of a :class:`Schema`."""
 
-    __slots__ = ("schema", "relations", "classes", "nu", "_class_of")
+    __slots__ = (
+        "schema",
+        "relations",
+        "classes",
+        "nu",
+        "_class_of",
+        "_indexes",
+        "_constants_cache",
+        "_sorted_constants",
+    )
 
     def __init__(
         self,
@@ -60,6 +70,12 @@ class Instance:
         self.classes: Dict[str, Set[Oid]] = {p: set() for p in schema.classes}
         self.nu: Dict[Oid, OValue] = {}
         self._class_of: Dict[Oid, str] = {}
+        # Lazily-built hash indexes (repro.iql.indexes) and the cached
+        # constants(I); both maintained by the four mutators below and
+        # dropped wholesale around non-monotone mutation (deletions).
+        self._indexes = None
+        self._constants_cache: Optional[FrozenSet[OValue]] = None
+        self._sorted_constants: Optional[List[OValue]] = None
         for name, values in (relations or {}).items():
             for v in values:
                 self.add_relation_member(name, ensure_ovalue(v))
@@ -81,6 +97,9 @@ class Instance:
         if value in members:
             return False
         members.add(value)
+        if self._indexes is not None:
+            self._indexes.on_add_relation_member(name, value)
+        self._note_constants(value)
         return True
 
     def add_class_member(self, name: str, oid: Oid) -> bool:
@@ -103,6 +122,8 @@ class Instance:
             return False
         self.classes[name].add(oid)
         self._class_of[oid] = name
+        if self._indexes is not None:
+            self._indexes.on_add_class_member(name, oid)
         return True
 
     def assign(self, oid: Oid, value: OValue) -> bool:
@@ -120,7 +141,11 @@ class Instance:
             raise InstanceError(f"{value!r} is not an o-value")
         if self.nu.get(oid) == value:
             return False
+        old = self.value_of(oid)
         self.nu[oid] = value
+        if self._indexes is not None:
+            self._indexes.on_assign(oid, old, value)
+        self._note_constants(value)
         return True
 
     def add_set_element(self, oid: Oid, element: OValue) -> bool:
@@ -139,7 +164,11 @@ class Instance:
         current = self.nu.get(oid, OSet())
         if element in current:
             return False
-        self.nu[oid] = current.add(element)
+        updated = current.add(element)
+        self.nu[oid] = updated
+        if self._indexes is not None:
+            self._indexes.on_assign(oid, current, updated)
+        self._note_constants(element)
         return True
 
     # -- observation -----------------------------------------------------------
@@ -178,14 +207,62 @@ class Instance:
         return frozenset(out)
 
     def constants(self) -> FrozenSet[OValue]:
-        """constants(I): all constants occurring in the instance."""
-        out: Set[OValue] = set()
-        for members in self.relations.values():
-            for v in members:
+        """constants(I): all constants occurring in the instance.
+
+        Cached: the first call computes the set, the four mutators keep it
+        current incrementally (additions can only add constants), and the
+        evaluator's deletion paths drop it via :meth:`drop_indexes`.
+        """
+        if self._constants_cache is None:
+            out: Set[OValue] = set()
+            for members in self.relations.values():
+                for v in members:
+                    out |= constants_of(v)
+            for v in self.nu.values():
                 out |= constants_of(v)
-        for v in self.nu.values():
-            out |= constants_of(v)
-        return frozenset(out)
+            self._constants_cache = frozenset(out)
+        return self._constants_cache
+
+    def sorted_constants(self) -> List[OValue]:
+        """constants(I) in canonical :func:`sort_key` order, cached.
+
+        The enumeration fallback of ``solve_body`` consumes this list; the
+        cache avoids re-sorting the whole constant set on every body solve.
+        """
+        if self._sorted_constants is None:
+            self._sorted_constants = sorted(self.constants(), key=sort_key)
+        return self._sorted_constants
+
+    def _note_constants(self, value: OValue) -> None:
+        """Fold the constants of a freshly added value into the cache."""
+        if self._constants_cache is None:
+            return
+        fresh = constants_of(value)
+        if not fresh <= self._constants_cache:
+            self._constants_cache = self._constants_cache | fresh
+            self._sorted_constants = None
+
+    # -- hash indexes (repro.iql.indexes) ---------------------------------------
+
+    @property
+    def indexes(self):
+        """The instance's lazily-built :class:`~repro.iql.indexes.InstanceIndexes`."""
+        if self._indexes is None:
+            from repro.iql.indexes import InstanceIndexes
+
+            self._indexes = InstanceIndexes(self)
+        return self._indexes
+
+    def drop_indexes(self) -> None:
+        """Discard all indexes and caches (used around non-monotone mutation).
+
+        IQL* deletions and the cascade remove facts behind the mutators'
+        backs; rather than maintain indexes under removal we drop them and
+        let the next probe rebuild from current state.
+        """
+        self._indexes = None
+        self._constants_cache = None
+        self._sorted_constants = None
 
     def ground_facts(self) -> FrozenSet[GroundFact]:
         """The ground-fact representation of the instance (Section 2.3).

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from functools import lru_cache as _lru_cache
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple, Union
 
 from repro.errors import OValueError
@@ -364,6 +365,17 @@ def sort_key(value: OValue):
     if isinstance(value, OSet):
         return (3, tuple(sorted(sort_key(v) for v in value)))
     raise OValueError(f"not an o-value: {value!r}")
+
+
+@_lru_cache(maxsize=4096)
+def sorted_elements(value: "OSet") -> Tuple[OValue, ...]:
+    """The elements of an :class:`OSet` in canonical :func:`sort_key` order.
+
+    O-sets are immutable and hashable, so the ordering is cached (bounded
+    LRU): set-pattern matching in the evaluator visits the same container
+    values over and over and previously re-sorted them on every call.
+    """
+    return tuple(sorted(value, key=sort_key))
 
 
 def render(value: OValue) -> str:

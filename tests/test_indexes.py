@@ -1,0 +1,264 @@
+"""Tests for the incremental hash indexes (repro.iql.indexes) and the
+constants cache on Instance.
+
+The invariant under test everywhere: an incrementally-maintained index
+must equal a from-scratch rebuild from current instance state, after any
+sequence of mutator calls — `InstanceIndexes.equals_rebuild` is the
+oracle. The planner's use of the indexes is covered by the differential
+tests; here we pin down the storage layer itself.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import database_to_instance, datalog_to_iql, transitive_closure_program
+from repro.iql import Evaluator, Membership, Var, atom, columns
+from repro.iql.indexes import InstanceIndexes
+from repro.iql.valuation import match
+from repro.schema import Instance, Schema
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import Oid, OTuple
+from repro.workloads import path_graph
+
+
+def make_schema():
+    return Schema(
+        relations={"R": columns(D, D)},
+        classes={"P": tuple_of(a=D), "Q": set_of(D)},
+    )
+
+
+class TestRelationIndexes:
+    def test_probe_equals_scan(self):
+        instance = Instance(make_schema())
+        for i in range(10):
+            instance.add_relation_member("R", OTuple(A01=f"k{i % 3}", A02=f"v{i}"))
+        bucket = instance.indexes.relation_probe("R", "A01", "k1")
+        expected = {m for m in instance.relations["R"] if m["A01"] == "k1"}
+        assert set(bucket) == expected
+
+    def test_miss_is_empty(self):
+        instance = Instance(make_schema())
+        assert instance.indexes.relation_probe("R", "A01", "nope") == frozenset()
+
+    def test_incremental_addition(self):
+        instance = Instance(make_schema())
+        instance.indexes.relation_index("R", "A01")  # build while empty
+        member = OTuple(A01="a", A02="b")
+        instance.add_relation_member("R", member)
+        assert member in instance.indexes.relation_probe("R", "A01", "a")
+        assert instance.indexes.equals_rebuild()
+
+
+class TestDerefIndexes:
+    def test_reverse_nu_probe(self):
+        instance = Instance(make_schema())
+        o1, o2, o3 = Oid(), Oid(), Oid()
+        for o in (o1, o2, o3):
+            instance.add_class_member("P", o)
+        instance.assign(o1, OTuple(a="x"))
+        instance.assign(o2, OTuple(a="x"))
+        instance.assign(o3, OTuple(a="y"))
+        assert instance.indexes.deref_probe("P", OTuple(a="x")) == {o1, o2}
+        assert instance.indexes.deref_probe("P", OTuple(a="y")) == {o3}
+
+    def test_reassignment_moves_buckets(self):
+        instance = Instance(make_schema())
+        o = Oid()
+        instance.add_class_member("P", o)
+        instance.assign(o, OTuple(a="x"))
+        instance.indexes.deref_index("P")
+        instance.assign(o, OTuple(a="y"))
+        assert instance.indexes.deref_probe("P", OTuple(a="x")) == frozenset()
+        assert instance.indexes.deref_probe("P", OTuple(a="y")) == {o}
+        assert instance.indexes.equals_rebuild()
+
+    def test_unbound_deref_match_uses_index(self):
+        # x̂ matched against a value with x unbound must enumerate exactly
+        # the oids whose ν-value equals it — via the reverse index.
+        instance = Instance(make_schema())
+        o1, o2 = Oid(), Oid()
+        instance.add_class_member("P", o1)
+        instance.add_class_member("P", o2)
+        v = OTuple(a="x")
+        instance.assign(o1, v)
+        instance.assign(o2, OTuple(a="y"))
+        x = Var("x", classref("P"))
+        indexed = [theta[x] for theta in match(x.hat(), v, {}, instance, True)]
+        scanned = [theta[x] for theta in match(x.hat(), v, {}, instance, False)]
+        assert indexed == scanned == [o1]
+
+
+class TestConstantsCache:
+    def test_mutation_updates_cache(self):
+        instance = Instance(make_schema())
+        instance.add_relation_member("R", OTuple(A01="a", A02="b"))
+        assert instance.constants() == {"a", "b"}
+        # The cache is now warm; every mutator must keep it current.
+        instance.add_relation_member("R", OTuple(A01="a", A02="c"))
+        assert instance.constants() == {"a", "b", "c"}
+        o = Oid()
+        instance.add_class_member("P", o)
+        instance.assign(o, OTuple(a="d"))
+        assert "d" in instance.constants()
+        q = Oid()
+        instance.add_class_member("Q", q)
+        instance.add_set_element(q, "e")
+        assert "e" in instance.constants()
+        assert instance.sorted_constants() == sorted({"a", "b", "c", "d", "e"})
+
+    def test_sorted_constants_is_cached_until_new_constant(self):
+        instance = Instance(make_schema())
+        instance.add_relation_member("R", OTuple(A01="a", A02="b"))
+        first = instance.sorted_constants()
+        # Re-adding known constants must not invalidate the sorted list.
+        instance.add_relation_member("R", OTuple(A01="b", A02="a"))
+        assert instance.sorted_constants() is first
+        instance.add_relation_member("R", OTuple(A01="z", A02="a"))
+        assert instance.sorted_constants() == ["a", "b", "z"]
+
+    def test_drop_indexes_resets_everything(self):
+        instance = Instance(make_schema())
+        instance.add_relation_member("R", OTuple(A01="a", A02="b"))
+        instance.constants()
+        instance.indexes.relation_index("R", "A01")
+        # Simulate a deletion behind the mutators' backs (the IQL* path).
+        instance.relations["R"].clear()
+        instance.drop_indexes()
+        assert instance.constants() == frozenset()
+        assert instance.indexes.relation_probe("R", "A01", "a") == frozenset()
+
+
+class TestEvaluatorStats:
+    def test_stats_surface_index_activity(self):
+        dprog = transitive_closure_program()
+        program = datalog_to_iql(dprog)
+        instance = database_to_instance(
+            dprog, {"E": set(path_graph(8))}, names=dprog.edb
+        )
+        stats = Evaluator(program, seminaive=True, indexed=True).run(instance).stats
+        assert stats.index_probes > 0
+        assert stats.index_scans_avoided > 0
+        assert stats.plan_cache_hits > 0
+        assert stats.plan_cache_misses >= 1
+
+    def test_unindexed_run_reports_no_probes(self):
+        dprog = transitive_closure_program()
+        program = datalog_to_iql(dprog)
+        instance = database_to_instance(
+            dprog, {"E": set(path_graph(8))}, names=dprog.edb
+        )
+        stats = Evaluator(program, seminaive=False, indexed=False).run(instance).stats
+        assert stats.index_probes == 0
+        assert stats.index_scans_avoided == 0
+
+
+# -- the incremental-maintenance property test --------------------------------
+
+CONSTS = st.sampled_from(["a", "b", "c", "d"])
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("rel"), CONSTS, CONSTS),
+        st.tuples(st.just("new_p"), CONSTS),
+        st.tuples(st.just("new_q"), CONSTS),
+        st.tuples(st.just("reassign"), st.integers(0, 7), CONSTS),
+        st.tuples(st.just("grow_q"), st.integers(0, 7), CONSTS),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS)
+def test_indexes_match_rebuild_after_arbitrary_mutations(ops):
+    """After any mutator sequence, maintained indexes == from-scratch build."""
+    instance = Instance(make_schema())
+    # Build every index family up front so each op exercises maintenance.
+    instance.indexes.relation_index("R", "A01")
+    instance.indexes.relation_index("R", "A02")
+    instance.indexes.deref_index("P")
+    instance.indexes.deref_index("Q")
+    p_oids, q_oids = [], []
+    for op in ops:
+        if op[0] == "rel":
+            instance.add_relation_member("R", OTuple(A01=op[1], A02=op[2]))
+        elif op[0] == "new_p":
+            o = Oid()
+            instance.add_class_member("P", o)
+            instance.assign(o, OTuple(a=op[1]))
+            p_oids.append(o)
+        elif op[0] == "new_q":
+            o = Oid()
+            instance.add_class_member("Q", o)
+            instance.add_set_element(o, op[1])
+            q_oids.append(o)
+        elif op[0] == "reassign" and p_oids:
+            instance.assign(p_oids[op[1] % len(p_oids)], OTuple(a=op[2]))
+        elif op[0] == "grow_q" and q_oids:
+            instance.add_set_element(q_oids[op[1] % len(q_oids)], op[2])
+    assert instance.indexes.equals_rebuild()
+    # The constants cache must agree with a cold recount too.
+    cached = instance.constants()
+    fresh = Instance(make_schema())
+    fresh.relations = {k: set(v) for k, v in instance.relations.items()}
+    fresh.nu = dict(instance.nu)
+    assert cached == fresh.constants()
+
+
+def test_equals_rebuild_detects_corruption():
+    """The oracle itself must be able to fail (guard against vacuity)."""
+    instance = Instance(make_schema())
+    instance.add_relation_member("R", OTuple(A01="a", A02="b"))
+    index = instance.indexes.relation_index("R", "A01")
+    index["a"] = set()  # corrupt the bucket
+    assert not instance.indexes.equals_rebuild()
+
+
+def test_indexes_rebuilt_lazily_are_fresh_object():
+    instance = Instance(make_schema())
+    first = instance.indexes
+    assert isinstance(first, InstanceIndexes)
+    instance.drop_indexes()
+    assert instance.indexes is not first
+
+
+def test_membership_literal_solved_through_probe():
+    """R([A01: x, A02: y]) with x bound probes, and agrees with the scan."""
+    from repro.iql.valuation import solve_body
+
+    schema = make_schema()
+    instance = Instance(schema)
+    for i in range(6):
+        instance.add_relation_member("R", OTuple(A01=f"k{i % 2}", A02=f"v{i}"))
+    x, y = Var("x", D), Var("y", D)
+    body = [atom(schema, "R", x, y)]
+    seed = {x: "k1"}
+    with_idx = {theta[y] for theta in solve_body(body, instance, initial=seed)}
+    without = {
+        theta[y]
+        for theta in solve_body(body, instance, initial=seed, use_indexes=False)
+    }
+    assert with_idx == without == {"v1", "v3", "v5"}
+
+
+def test_deref_container_membership_agrees():
+    """q̂(x) — a set-valued deref container — same answers both ways."""
+    from repro.iql.valuation import solve_body
+
+    schema = make_schema()
+    instance = Instance(schema)
+    q = Oid()
+    instance.add_class_member("Q", q)
+    instance.add_set_element(q, "m")
+    instance.add_set_element(q, "n")
+    qv = Var("q", classref("Q"))
+    x = Var("x", D)
+    body = [Membership(qv.hat(), x)]
+    seed = {qv: q}
+    with_idx = {theta[x] for theta in solve_body(body, instance, initial=seed)}
+    without = {
+        theta[x]
+        for theta in solve_body(body, instance, initial=seed, use_indexes=False)
+    }
+    assert with_idx == without == {"m", "n"}

@@ -86,7 +86,10 @@ class TestEligibility:
         )
         assert stage_eligible(rules, inst)
 
-    def test_negation_is_not(self, schema):
+    def test_fully_bound_negation_is_eligible(self, schema):
+        # Negative literals whose variables the positive memberships bind
+        # are admitted: within a relations-only stage they can only become
+        # falser, so the delta rewriting stays sound.
         x, y = Var("x", D), Var("y", D)
         inst, rules = self.make(
             schema,
@@ -94,6 +97,21 @@ class TestEligibility:
                 Rule(
                     atom(schema, "S", x),
                     [atom(schema, "R", x, y), atom(schema, "S", y, positive=False)],
+                )
+            ],
+        )
+        assert stage_eligible(rules, inst)
+
+    def test_uncovered_negation_is_not(self, schema):
+        # ¬R(x, z) with z bound by nothing: the enumeration fallback would
+        # range over constants(I), which grows with ρ — ineligible.
+        x, z = Var("x", D), Var("z", D)
+        inst, rules = self.make(
+            schema,
+            [
+                Rule(
+                    atom(schema, "S", x),
+                    [atom(schema, "S", x), atom(schema, "R", x, z, positive=False)],
                 )
             ],
         )
@@ -143,8 +161,9 @@ class TestEligibility:
         rules = [Rule(Membership(NameTerm("R1"), SetTerm()), [])]
         assert not stage_eligible(rules, inst)
 
-    def test_ineligible_stage_still_evaluates_correctly(self, schema):
-        # Negation falls back to the naive loop transparently.
+    def test_negation_stage_still_evaluates_correctly(self, schema):
+        # Covered negation now runs through the delta rewriting; the
+        # result must match the naive loop (the specification) exactly.
         x, y = Var("x", D), Var("y", D)
         program = Program(
             schema,
