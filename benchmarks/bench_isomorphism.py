@@ -1,0 +1,86 @@
+"""E1b — the O-isomorphism search on growing synthetic instances.
+
+Claims measured: PR 3's partition-refinement colouring (joint, delta-driven)
+against the original digest-recomputing search it replaced
+(:func:`repro.schema.find_o_isomorphism_reference`, kept as the oracle).
+Chains are the adversarial case for the old search — every refinement round
+moved one more colour boundary down the chain, recomputing every digest each
+time — and the best case for delta refinement, which only touches the
+moving boundary.
+
+Run standalone:  python benchmarks/bench_isomorphism.py
+"""
+
+import pytest
+
+from repro.schema import (
+    apply_o_isomorphism,
+    find_o_isomorphism,
+    find_o_isomorphism_reference,
+)
+from repro.values import Oid
+
+from bench_instances import chain_instance
+from helpers import ms, print_series, time_call
+
+#: CI smoke sweep (<1s); the full sweep is the EXPERIMENTS.md series.
+SMOKE_SIZES = [16, 32]
+
+FULL_SIZES = [16, 32, 64, 128]
+
+#: The reference search is quadratic-ish on chains; keep its sweep short.
+REFERENCE_CAP = 64
+
+
+def renamed_image(instance):
+    return apply_o_isomorphism(instance, {o: Oid() for o in instance.objects()})
+
+
+@pytest.mark.parametrize("n", [32, 128])
+def test_find_o_isomorphism_chain(benchmark, n):
+    instance = chain_instance(n)
+    image = renamed_image(instance)
+    mapping = benchmark.pedantic(
+        lambda: find_o_isomorphism(instance, image), rounds=3, iterations=1
+    )
+    assert mapping is not None
+
+
+@pytest.mark.parametrize("n", [32])
+def test_find_o_isomorphism_reference_chain(benchmark, n):
+    instance = chain_instance(n)
+    image = renamed_image(instance)
+    mapping = benchmark.pedantic(
+        lambda: find_o_isomorphism_reference(instance, image), rounds=2, iterations=1
+    )
+    assert mapping is not None
+
+
+def main(sizes=None):
+    sizes = sizes or FULL_SIZES
+    rows = []
+    series = {}
+    for n in sizes:
+        chain = chain_instance(n)
+        image = renamed_image(chain)
+        t_new, mapping = time_call(find_o_isomorphism, chain, image)
+        assert mapping is not None
+        if n <= REFERENCE_CAP:
+            t_ref, ref_mapping = time_call(find_o_isomorphism_reference, chain, image)
+            assert ref_mapping is not None
+            speedup = f"{t_ref / t_new:.1f}x"
+            ref_cell = ms(t_ref)
+        else:
+            ref_cell, speedup = "(skipped)", "-"
+        series[n] = t_new
+        rows.append((n, ms(t_new), ref_cell, speedup))
+    print_series(
+        "E1b: find_o_isomorphism on chains — delta refinement vs reference",
+        ["objects", "refined", "reference", "speedup"],
+        rows,
+    )
+    return series
+
+
+if __name__ == "__main__":
+    main()

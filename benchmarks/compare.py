@@ -1,0 +1,109 @@
+"""Diff two benchmark trajectory files (BENCH_*.json) and flag regressions.
+
+The trajectory files are what ``run_all.py --json`` writes:
+``{experiment: {size: seconds}}``. This tool compares the series point by
+point over the keys both files share::
+
+    python benchmarks/compare.py BENCH_PR2.json BENCH_PR3.json
+    python benchmarks/compare.py OLD.json NEW.json --threshold 2.0
+    python benchmarks/compare.py OLD.json NEW.json --warn-only   # CI guard
+
+Speedup is old/new: >1 means the new run is faster. A point regresses when
+``new > threshold * old``; any regression makes the exit status 1 unless
+``--warn-only`` (the CI bench-smoke job runs warn-only — a noisy shared
+runner should flag, not fail).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def load_trajectory(path: str) -> Dict[str, Dict[str, float]]:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected {{experiment: {{size: seconds}}}}")
+    return data
+
+
+def _size_key(size: str):
+    try:
+        return (0, float(size))
+    except ValueError:
+        return (1, size)
+
+
+def compare(
+    old: Dict[str, Dict[str, float]],
+    new: Dict[str, Dict[str, float]],
+    threshold: float,
+) -> Tuple[List[Tuple[str, str, float, float, float]], List[Tuple[str, str, float]]]:
+    """Point-by-point comparison over the shared (experiment, size) keys.
+
+    Returns (rows, regressions); each row is (experiment, size, old_s,
+    new_s, speedup) with speedup = old/new.
+    """
+    rows = []
+    regressions = []
+    for exp in sorted(set(old) & set(new)):
+        shared = set(old[exp]) & set(new[exp])
+        for size in sorted(shared, key=_size_key):
+            old_s, new_s = old[exp][size], new[exp][size]
+            speedup = old_s / new_s if new_s else float("inf")
+            rows.append((exp, size, old_s, new_s, speedup))
+            if new_s > threshold * old_s:
+                regressions.append((exp, size, speedup))
+    return rows, regressions
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline trajectory json")
+    parser.add_argument("new", help="candidate trajectory json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="a point regresses when new > threshold * old (default 1.5)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (for noisy CI runners)",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_trajectory(args.old)
+    new = load_trajectory(args.new)
+    rows, regressions = compare(old, new, args.threshold)
+    if not rows:
+        print("no overlapping (experiment, size) points to compare", file=sys.stderr)
+        return 0 if args.warn_only else 1
+
+    print(f"{'experiment':<12}{'size':>8}{'old':>12}{'new':>12}{'speedup':>10}")
+    for exp, size, old_s, new_s, speedup in rows:
+        flag = "  <-- regression" if new_s > args.threshold * old_s else ""
+        print(
+            f"{exp:<12}{size:>8}{old_s * 1000:>10.1f}ms{new_s * 1000:>10.1f}ms"
+            f"{speedup:>9.2f}x{flag}"
+        )
+
+    if regressions:
+        label = "warning" if args.warn_only else "FAIL"
+        print(
+            f"\n{label}: {len(regressions)} point(s) slowed past "
+            f"{args.threshold:.2f}x: "
+            + ", ".join(f"{exp}[{size}] ({s:.2f}x)" for exp, size, s in regressions),
+            file=sys.stderr,
+        )
+        return 0 if args.warn_only else 1
+    print(f"\nok: no point slowed past {args.threshold:.2f}x", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

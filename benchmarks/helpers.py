@@ -18,6 +18,7 @@ scaling for IQLpr/IQLrr (Theorem 5.4), exponential blowup for powerset
 
 from __future__ import annotations
 
+import gc
 import math
 import time
 from typing import Callable, List, Sequence, Tuple
@@ -36,9 +37,22 @@ def edge_instance(schema: Schema, edges) -> Instance:
 
 
 def time_call(fn: Callable, *args, **kwargs) -> Tuple[float, object]:
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return time.perf_counter() - start, result
+    """Time one call with the cyclic collector paused (as ``timeit`` does).
+
+    Earlier experiments in a sweep leave cyclic garbage; without the pause
+    a full collection can land inside an unrelated timed region and charge
+    it for tens of thousands of weakref callbacks. Refcount-driven frees
+    (the common case) still happen during the call."""
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return elapsed, result
 
 
 def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:

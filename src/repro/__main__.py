@@ -88,6 +88,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         choose_mode=args.choose_mode,
         seminaive=not args.naive,
         indexed=not args.naive,
+        interned=not args.no_intern,
     )
     result = evaluator.run(instance)
     stats = result.stats
@@ -108,7 +109,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  valuations           {stats.valuations_considered}\n"
             f"  index probes         {stats.index_probes}\n"
             f"  index scans avoided  {stats.index_scans_avoided}\n"
-            f"  plan cache           {stats.plan_cache_hits}/{plan_total} hits",
+            f"  plan cache           {stats.plan_cache_hits}/{plan_total} hits\n"
+            f"  intern hits          {stats.intern_hits}\n"
+            f"  intern misses        {stats.intern_misses}\n"
+            f"  eq fast paths        {stats.eq_fast_paths}",
             file=sys.stderr,
         )
     text = io.dumps(result.output)
@@ -193,6 +197,11 @@ def main(argv=None) -> int:
         "--naive",
         action="store_true",
         help="disable the indexed/semi-naive join engine (reference semantics)",
+    )
+    p_run.add_argument(
+        "--no-intern",
+        action="store_true",
+        help="disable o-value hash-consing for this run (A/B escape hatch)",
     )
     p_run.set_defaults(func=cmd_run)
 

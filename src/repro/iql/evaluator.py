@@ -58,10 +58,16 @@ class EvaluatorLimits:
 class EvaluationStats:
     """Observability for benchmarks: what the fixpoint actually did.
 
-    The last four counters report on the indexed join engine: hash-index
-    probes taken, members *not* scanned thanks to those probes, and the
-    body planner's memo behaviour (one miss per new (body, bound-set)
-    pair, hits for every re-solve of a known shape).
+    ``index_*`` / ``plan_cache_*`` report on the indexed join engine:
+    hash-index probes taken, members *not* scanned thanks to those probes,
+    and the body planner's memo behaviour (one miss per new (body,
+    bound-set) pair, hits for every re-solve of a known shape).
+
+    ``intern_*`` / ``eq_fast_paths`` report on the hash-consing layer
+    (:mod:`repro.values.intern`) over the duration of the run: value
+    constructions answered from the intern table, constructions that
+    created a new node, and ``__eq__`` calls settled by the identity
+    check. With ``Evaluator(interned=False)`` the first two stay zero.
     """
 
     steps: int = 0
@@ -74,6 +80,9 @@ class EvaluationStats:
     index_scans_avoided: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
+    eq_fast_paths: int = 0
 
 
 @dataclass
@@ -131,6 +140,7 @@ class Evaluator:
         seminaive: bool = True,
         indexed: bool = True,
         preflight: bool = False,
+        interned: bool = True,
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
             raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
@@ -149,6 +159,10 @@ class Evaluator:
         # (repro.iql.indexes / valuation). ``indexed=False`` restores the
         # original generate-and-test join — the differential-test oracle.
         self.indexed = indexed
+        # Hash-consing of o-values (repro.values.intern). ``interned=False``
+        # evaluates with plain structural values — the A/B escape hatch
+        # behind ``repro run --no-intern``.
+        self.interned = interned
         import random as _random
 
         self._rng = _random.Random(seed)
@@ -188,9 +202,17 @@ class Evaluator:
             )
         working = input_instance.with_schema(self.program.schema)
         stats = EvaluationStats()
-        for stage in self.program.stages:
-            self._run_stage(working, list(stage), stats)
-        output = working.project(self.program.output_schema)
+        from repro.values import intern
+
+        hits0, misses0, fast0 = intern.counters()
+        with intern.interning(self.interned):
+            for stage in self.program.stages:
+                self._run_stage(working, list(stage), stats)
+            output = working.project(self.program.output_schema)
+        hits1, misses1, fast1 = intern.counters()
+        stats.intern_hits = hits1 - hits0
+        stats.intern_misses = misses1 - misses0
+        stats.eq_fast_paths = fast1 - fast0
         return EvaluationResult(
             full=working, output=output, stats=stats, trace=self._trace
         )

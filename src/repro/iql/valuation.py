@@ -40,7 +40,6 @@ from repro.iql.literals import Choose, Equality, Literal, Membership
 from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Var
 from repro.schema.instance import Instance
 from repro.typesys.enumeration import enumerate_type
-from repro.typesys.interpretation import member
 from repro.values.ovalues import Oid, OSet, OTuple, OValue, sort_key, sorted_elements
 
 Bindings = Dict[Var, OValue]
@@ -122,7 +121,7 @@ def match(
             if bound == value:
                 yield bindings
             return
-        if member(value, term.type, instance.classes):
+        if instance.member_of(value, term.type):
             extended = dict(bindings)
             extended[term] = value
             yield extended

@@ -7,7 +7,9 @@ from repro.schema.isomorphism import (
     are_o_isomorphic,
     automorphisms,
     find_o_isomorphism,
+    find_o_isomorphism_reference,
     orbit_partition,
+    refine_colours,
 )
 from repro.schema.schema import Schema
 
@@ -20,5 +22,7 @@ __all__ = [
     "are_o_isomorphic",
     "automorphisms",
     "find_o_isomorphism",
+    "find_o_isomorphism_reference",
     "orbit_partition",
+    "refine_colours",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tupl
 
 from repro.errors import InstanceError
 from repro.schema.schema import Schema
+from repro.typesys.expressions import TypeExpr
 from repro.typesys.interpretation import member
 from repro.values.ovalues import (
     Oid,
@@ -56,6 +57,7 @@ class Instance:
         "_indexes",
         "_constants_cache",
         "_sorted_constants",
+        "_member_cache",
     )
 
     def __init__(
@@ -76,6 +78,7 @@ class Instance:
         self._indexes = None
         self._constants_cache: Optional[FrozenSet[OValue]] = None
         self._sorted_constants: Optional[List[OValue]] = None
+        self._member_cache: Dict[Tuple[TypeExpr, OValue], bool] = {}
         for name, values in (relations or {}).items():
             for v in values:
                 self.add_relation_member(name, ensure_ovalue(v))
@@ -124,6 +127,8 @@ class Instance:
         self._class_of[oid] = name
         if self._indexes is not None:
             self._indexes.on_add_class_member(name, oid)
+        if self._member_cache:
+            self._member_cache.clear()
         return True
 
     def assign(self, oid: Oid, value: OValue) -> bool:
@@ -233,6 +238,24 @@ class Instance:
             self._sorted_constants = sorted(self.constants(), key=sort_key)
         return self._sorted_constants
 
+    def member_of(self, value: OValue, t: TypeExpr) -> bool:
+        """``value ∈ ⟦t⟧π`` for this instance's π, memoized.
+
+        Body solving asks the same (type, value) membership questions
+        thousands of times per step — once per candidate binding of every
+        variable. Membership depends on the instance only through the
+        class extents π, so cached answers stay valid until
+        :meth:`add_class_member` grows π or :meth:`drop_indexes` clears
+        everything around a deletion. The cache holds strong references
+        to the queried values; it lives and dies with the instance.
+        """
+        cache = self._member_cache
+        key = (t, value)
+        cached = cache.get(key)
+        if cached is None:
+            cache[key] = cached = member(value, t, self.classes)
+        return cached
+
     def _note_constants(self, value: OValue) -> None:
         """Fold the constants of a freshly added value into the cache."""
         if self._constants_cache is None:
@@ -263,6 +286,7 @@ class Instance:
         self._indexes = None
         self._constants_cache = None
         self._sorted_constants = None
+        self._member_cache.clear()
 
     def ground_facts(self) -> FrozenSet[GroundFact]:
         """The ground-fact representation of the instance (Section 2.3).

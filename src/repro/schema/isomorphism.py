@@ -11,39 +11,68 @@ This module provides:
 * :func:`apply_o_isomorphism` / :func:`apply_do_isomorphism` — apply a
   given (partial) bijection to an instance,
 * :func:`find_o_isomorphism` — search for an O-isomorphism between two
-  instances (colour refinement to prune, backtracking to decide; exact),
+  instances (partition-refinement canonical colouring to prune,
+  backtracking inside genuinely symmetric colour classes to decide; exact),
 * :func:`are_o_isomorphic` — the Boolean convenience wrapper,
+* :func:`refine_colours` — the joint canonical colouring itself, usable
+  across any number of instances at once (copy elimination groups the
+  copies of Definition 4.2.3 this way),
 * :func:`automorphisms` — enumerate O-automorphisms of one instance, used
-  by the genericity check of the ``choose`` primitive (Section 4.4).
+  by the genericity check of the ``choose`` primitive (Section 4.4),
+* :func:`find_o_isomorphism_reference` — the original digest-recomputing
+  search, kept verbatim as the differential-testing oracle.
 
 Deciding O-isomorphism is graph-isomorphism-hard in general; the instances
 in the paper's constructions (and in our experiments) are small, and colour
 refinement makes typical cases near-linear.
+
+The refinement is a Weisfeiler–Leman-style iteration over the *interned*
+value DAG (:mod:`repro.values.intern`): per round, each oid's colour is
+rehashed from its class, the skeleton of ν(o), and the multiset of
+relation members it occurs in. Skeleton digests are memoized per
+(interned node, round) — shared subvalues are digested once — and
+oid-free subtrees reuse their precomputed structural hash outright, so a
+refinement round costs time proportional to the number of *distinct*
+oid-bearing nodes, not to the total tree size. Digest collisions can only
+merge colour classes (costing search time), never split them, so the
+backtracking search stays exact; the final candidate is verified against
+full instance equality.
 """
 
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.schema.instance import Instance
-from repro.values.ovalues import Oid, OSet, OTuple, OValue, is_constant, substitute_oids
+from repro.values.ovalues import (
+    Oid,
+    OSet,
+    OTuple,
+    OValue,
+    is_constant,
+    oids_of,
+    substitute_oids,
+)
 
 
 def apply_o_isomorphism(instance: Instance, mapping: Mapping[Oid, Oid]) -> Instance:
     """The image of ``instance`` under an oid bijection (constants fixed).
 
     Oids outside the mapping are left unchanged, so a partial renaming of
-    just-invented oids is expressible too.
+    just-invented oids is expressible too. One substitution memo is shared
+    across the whole instance: every distinct (interned) value node is
+    rewritten at most once.
     """
+    memo: Dict[int, OValue] = {}
     new = Instance(instance.schema)
     for name, members in instance.relations.items():
-        new.relations[name] = {substitute_oids(v, mapping) for v in members}
+        new.relations[name] = {substitute_oids(v, mapping, memo) for v in members}
     for name, oids in instance.classes.items():
         for o in oids:
             new.add_class_member(name, mapping.get(o, o))
     for o, v in instance.nu.items():
-        new.nu[mapping.get(o, o)] = substitute_oids(v, mapping)
+        new.nu[mapping.get(o, o)] = substitute_oids(v, mapping, memo)
     return new
 
 
@@ -76,81 +105,179 @@ def apply_do_isomorphism(
     return new
 
 
-# -- colour refinement ---------------------------------------------------------
+# -- partition refinement -------------------------------------------------------
 
 
-def _skeleton(value: OValue, colour: Mapping[Oid, int]):
-    """The shape of a value with oids replaced by their current colours."""
-    if isinstance(value, Oid):
-        return ("oid", colour.get(value, -1))
-    if isinstance(value, OTuple):
-        return ("tup", tuple((attr, _skeleton(v, colour)) for attr, v in value.items()))
-    if isinstance(value, OSet):
-        return ("set", tuple(sorted(repr(_skeleton(v, colour)) for v in value)))
-    return ("const", value)
+def _value_skeleton(value: OValue, colour: Dict[Oid, int], memo: Dict[int, int]) -> int:
+    """An integer digest of ``value`` with oids replaced by their colours.
 
-
-def _refine(instance: Instance) -> Dict[Oid, str]:
-    """Canonical colouring of the instance's class oids.
-
-    Initial colour: a digest of (class name, has-value?). Refinement: fold
-    in the skeleton of ν(o) and the multiset of relation members the oid
-    occurs in, until the induced partition stabilizes. Colours are
-    *canonical strings* (stable hashes of structural signatures), so two
-    O-isomorphic oids — even in different instances — receive the same
-    colour; the matching search below pairs colour classes by name.
+    Memoized per interned node for the current round (``memo``); oid-free
+    subtrees are round-invariant and reuse their precomputed hash. A
+    digest is a *function* of (structure, colours), so equal structures
+    under equal colours always digest equally — collisions can merge
+    colour classes but never split them, preserving exactness.
     """
-    import hashlib
-
-    def digest(payload: str) -> str:
-        return hashlib.md5(payload.encode()).hexdigest()
-
-    oids = sorted(instance._class_of, key=lambda o: o.serial)
-    colour: Dict[Oid, str] = {
-        o: digest(repr((instance.class_of(o), instance.value_of(o) is not None)))
-        for o in oids
-    }
-
-    # Precompute which relation members mention which oids.
-    from repro.values.ovalues import oids_of
-
-    occurrences: Dict[Oid, List[Tuple[str, OValue]]] = {o: [] for o in oids}
-    for name, members in instance.relations.items():
-        for v in members:
-            for o in oids_of(v):
-                if o in occurrences:
-                    occurrences[o].append((name, v))
-
-    def partition(c: Dict[Oid, str]):
-        groups: Dict[str, frozenset] = {}
-        for o, col in c.items():
-            groups.setdefault(col, set()).add(o)  # type: ignore[arg-type]
-        return frozenset(frozenset(g) for g in groups.values())
-
-    for _ in range(len(oids) + 1):
-        new_colour = {}
-        for o in oids:
-            v = instance.value_of(o)
-            occ = tuple(
-                sorted(
-                    repr((name, _skeleton(member, colour)))
-                    for name, member in occurrences[o]
-                )
+    if isinstance(value, Oid):
+        return hash((0xA1D, colour.get(value, -1)))
+    if isinstance(value, (OTuple, OSet)):
+        if not oids_of(value):
+            return hash(value)
+        key = id(value)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if isinstance(value, OTuple):
+            out = hash(
+                ("tup",)
+                + tuple((attr, _value_skeleton(v, colour, memo)) for attr, v in value._fields)
             )
-            new_colour[o] = digest(
-                repr(
-                    (
-                        colour[o],
-                        _skeleton(v, colour) if v is not None else None,
-                        occ,
+        else:
+            out = hash(
+                ("set", tuple(sorted(_value_skeleton(v, colour, memo) for v in value._elements)))
+            )
+        memo[key] = out
+        return out
+    return hash(value)
+
+
+#: Signature slot for an undefined ν(o); any hash collision with a real
+#: skeleton digest merely merges colour classes, which the exact final
+#: verification absorbs.
+_NO_VALUE = 0x7E0F_11ED
+
+
+def refine_colours(instances: Sequence[Instance]) -> List[Dict[Oid, int]]:
+    """Joint canonical colourings of the class oids of several instances.
+
+    All instances are refined together against one shared colour space, so
+    colour ids are directly comparable *across* instances: two oids —
+    possibly in different instances — receive the same colour exactly when
+    the refinement cannot tell them apart. Corresponding oids of
+    O-isomorphic instances therefore always share a colour, which is what
+    lets :func:`find_o_isomorphism` pair colour classes by id and what
+    lets copy elimination match any number of copies in a single pass.
+
+    The iteration is delta-driven: an oid's signature is recomputed only
+    when its own colour or the colour of an oid it depends on (through
+    ν(o) or a shared relation member) changed in the previous round, and a
+    colour class is renumbered only when it actually splits — the subgroup
+    with the canonically smallest signature keeps the old id. Long thin
+    structures (the E1b chains) therefore cost work proportional to the
+    colour *changes* they induce, not rounds × instance size.
+    """
+    colours: List[Dict[Oid, int]] = []
+    oid_lists: List[List[Oid]] = []
+    occurrence_lists: List[Dict[Oid, List[Tuple[str, OValue]]]] = []
+    value_maps: List[Dict[Oid, Optional[OValue]]] = []
+    rdeps: List[Dict[Oid, List[Oid]]] = []
+
+    init_groups: Dict[tuple, List[Tuple[int, Oid]]] = {}
+    for index, instance in enumerate(instances):
+        oids = sorted(instance._class_of, key=lambda o: o.serial)
+        oid_lists.append(oids)
+        for o in oids:
+            key = (instance.class_of(o), instance.value_of(o) is not None)
+            init_groups.setdefault(key, []).append((index, o))
+        occurrences: Dict[Oid, List[Tuple[str, OValue]]] = {o: [] for o in oids}
+        for name, members in instance.relations.items():
+            for v in members:
+                for o in oids_of(v):
+                    if o in occurrences:
+                        occurrences[o].append((name, v))
+        occurrence_lists.append(occurrences)
+        values = {o: instance.value_of(o) for o in oids}
+        value_maps.append(values)
+        # o depends on x when x occurs in ν(o) or in a relation member
+        # containing o: those are exactly the colours o's signature reads.
+        rdep: Dict[Oid, List[Oid]] = {o: [] for o in oids}
+        for o in oids:
+            deps: set = set()
+            v = values[o]
+            if v is not None:
+                deps |= oids_of(v)
+            for _, member in occurrences[o]:
+                deps |= oids_of(member)
+            for x in deps:
+                if x in rdep:
+                    rdep[x].append(o)
+        rdeps.append(rdep)
+        colours.append({})
+
+    # Initial colours: one id per (class, has-value) signature, assigned in
+    # sorted signature order so the numbering is canonical.
+    next_id = 0
+    members_of: Dict[int, List[Tuple[int, Oid]]] = {}
+    for key in sorted(init_groups):
+        group = init_groups[key]
+        for index, o in group:
+            colours[index][o] = next_id
+        members_of[next_id] = list(group)
+        next_id += 1
+
+    sig_store: Dict[Tuple[int, int], tuple] = {}
+    changed: List[Tuple[int, Oid]] = [
+        (index, o) for index, oids in enumerate(oid_lists) for o in oids
+    ]
+    total = len(changed)
+    rounds = 0
+    while changed and rounds <= total:
+        rounds += 1
+        # 1. Everything whose signature inputs moved gets recomputed.
+        to_update: set = set(changed)
+        for index, o in changed:
+            rdep = rdeps[index]
+            for dependent in rdep.get(o, ()):
+                to_update.add((index, dependent))
+        affected: Dict[int, None] = {}
+        memos: List[Dict[int, int]] = [{} for _ in instances]
+        for index, o in to_update:
+            colour = colours[index]
+            memo = memos[index]
+            v = value_maps[index][o]
+            occurrences = occurrence_lists[index][o]
+            occ = (
+                tuple(
+                    sorted(
+                        hash((name, _value_skeleton(member, colour, memo)))
+                        for name, member in occurrences
                     )
                 )
+                if occurrences
+                else ()
             )
-        if partition(new_colour) == partition(colour):
-            colour = new_colour
-            break
-        colour = new_colour
-    return colour
+            sig = (
+                _value_skeleton(v, colour, memo) if v is not None else _NO_VALUE,
+                occ,
+            )
+            key = (index, id(o))
+            if sig_store.get(key) != sig:
+                sig_store[key] = sig
+                affected[colour[o]] = None
+        # 2. Affected classes split where their members' signatures differ;
+        # the subgroup with the smallest signature keeps the old id, so a
+        # class that merely *recomputed* to the same partition stays put.
+        new_changed: List[Tuple[int, Oid]] = []
+        for colour_id in sorted(affected):
+            group = members_of[colour_id]
+            if len(group) == 1:
+                continue
+            by_sig: Dict[tuple, List[Tuple[int, Oid]]] = {}
+            for index, o in group:
+                by_sig.setdefault(sig_store[(index, id(o))], []).append((index, o))
+            if len(by_sig) == 1:
+                continue
+            ordered = sorted(by_sig)
+            members_of[colour_id] = by_sig[ordered[0]]
+            for sig in ordered[1:]:
+                fresh = next_id
+                next_id += 1
+                subgroup = by_sig[sig]
+                members_of[fresh] = subgroup
+                for index, o in subgroup:
+                    colours[index][o] = fresh
+                    new_changed.append((index, o))
+        changed = new_changed
+    return colours
 
 
 def _check_mapping(source: Instance, target: Instance, mapping: Mapping[Oid, Oid]) -> bool:
@@ -158,43 +285,36 @@ def _check_mapping(source: Instance, target: Instance, mapping: Mapping[Oid, Oid
     return apply_o_isomorphism(source, mapping) == target
 
 
-def find_o_isomorphism(source: Instance, target: Instance) -> Optional[Dict[Oid, Oid]]:
-    """An O-isomorphism from ``source`` onto ``target``, or None.
+def _groups(colour: Dict[Oid, int]) -> Dict[int, List[Oid]]:
+    keyed: Dict[int, List[Oid]] = {}
+    for o, c in colour.items():
+        keyed.setdefault(c, []).append(o)
+    return keyed
 
-    Exact: colour refinement partitions the oids; backtracking matches
-    colour classes; the final candidate is verified against the full
-    instance equality (so refinement is purely an optimization).
+
+def _match_with_colours(
+    source: Instance,
+    target: Instance,
+    src_colour: Dict[Oid, int],
+    tgt_colour: Dict[Oid, int],
+) -> Optional[Dict[Oid, Oid]]:
+    """Backtracking search for an O-isomorphism given joint colourings.
+
+    Colour ids come from one shared refinement, so classes pair directly
+    by id; the search permutes only inside classes the refinement could
+    not split — the genuinely symmetric ones. Smaller classes go first so
+    a doomed branch fails before the expensive permutations start. The
+    final candidate is verified against full instance equality, keeping
+    refinement (and any digest collisions in it) a pure optimization.
     """
-    if source.schema != target.schema:
-        return None
-    if source.constants() != target.constants():
-        return None
-    for name in source.classes:
-        if len(source.classes[name]) != len(target.classes[name]):
-            return None
-    for name in source.relations:
-        if len(source.relations[name]) != len(target.relations[name]):
-            return None
-
-    src_colour = _refine(source)
-    tgt_colour = _refine(target)
-
-    # Colours are canonical strings, so grouping by colour aligns the two
-    # instances directly.
-    def groups(colour: Dict[Oid, str]) -> Dict[str, List[Oid]]:
-        keyed: Dict[str, List[Oid]] = {}
-        for o, c in colour.items():
-            keyed.setdefault(c, []).append(o)
-        return keyed
-
-    src_groups = groups(src_colour)
-    tgt_groups = groups(tgt_colour)
+    src_groups = _groups(src_colour)
+    tgt_groups = _groups(tgt_colour)
     if set(src_groups) != set(tgt_groups):
         return None
     if any(len(src_groups[k]) != len(tgt_groups[k]) for k in src_groups):
         return None
 
-    ordered_keys = sorted(src_groups, key=repr)
+    ordered_keys = sorted(src_groups, key=lambda k: (len(src_groups[k]), k))
     src_lists = [sorted(src_groups[k], key=lambda o: o.serial) for k in ordered_keys]
     tgt_lists = [sorted(tgt_groups[k], key=lambda o: o.serial) for k in ordered_keys]
 
@@ -215,6 +335,29 @@ def find_o_isomorphism(source: Instance, target: Instance) -> Optional[Dict[Oid,
     return search(0, {})
 
 
+def find_o_isomorphism(source: Instance, target: Instance) -> Optional[Dict[Oid, Oid]]:
+    """An O-isomorphism from ``source`` onto ``target``, or None.
+
+    Exact: joint colour refinement partitions the oids of both instances
+    against one signature table; backtracking matches colour classes; the
+    final candidate is verified against the full instance equality (so
+    refinement is purely an optimization).
+    """
+    if source.schema != target.schema:
+        return None
+    if source.constants() != target.constants():
+        return None
+    for name in source.classes:
+        if len(source.classes[name]) != len(target.classes[name]):
+            return None
+    for name in source.relations:
+        if len(source.relations[name]) != len(target.relations[name]):
+            return None
+
+    src_colour, tgt_colour = refine_colours([source, target])
+    return _match_with_colours(source, target, src_colour, tgt_colour)
+
+
 def are_o_isomorphic(source: Instance, target: Instance) -> bool:
     """True iff the two instances are identical up to renaming of oids."""
     return find_o_isomorphism(source, target) is not None
@@ -230,10 +373,8 @@ def automorphisms(instance: Instance, limit: int = 10_000) -> Iterator[Dict[Oid,
     enumerate oid-only automorphisms, sufficient for the copy-elimination
     uses where constants are fixed.
     """
-    colour = _refine(instance)
-    by_colour: Dict[int, List[Oid]] = {}
-    for o, c in colour.items():
-        by_colour.setdefault(c, []).append(o)
+    (colour,) = refine_colours([instance])
+    by_colour = _groups(colour)
     lists = [sorted(v, key=lambda o: o.serial) for _, v in sorted(by_colour.items())]
 
     tried = 0
@@ -287,3 +428,137 @@ def orbit_partition(instance: Instance, oids: List[Oid]) -> List[FrozenSet[Oid]]
     for o in oids:
         groups.setdefault(find(o), set()).add(o)
     return [frozenset(g) for g in groups.values()]
+
+
+# -- the original search, kept as the differential-testing oracle ----------------
+#
+# PR 3 replaced the md5-digest colour refinement below with the memoized
+# partition refinement above. The original is retained verbatim (modulo
+# naming) so property tests can check the two searches agree on random
+# instance pairs — the same discipline PR 2 used for the join engine.
+
+
+def _skeleton_reference(value: OValue, colour: Mapping[Oid, str]):
+    """The shape of a value with oids replaced by their current colours."""
+    if isinstance(value, Oid):
+        return ("oid", colour.get(value, -1))
+    if isinstance(value, OTuple):
+        return (
+            "tup",
+            tuple((attr, _skeleton_reference(v, colour)) for attr, v in value.items()),
+        )
+    if isinstance(value, OSet):
+        return ("set", tuple(sorted(repr(_skeleton_reference(v, colour)) for v in value)))
+    return ("const", value)
+
+
+def _refine_reference(instance: Instance) -> Dict[Oid, str]:
+    """Canonical colouring of the instance's class oids (original version).
+
+    Initial colour: a digest of (class name, has-value?). Refinement: fold
+    in the skeleton of ν(o) and the multiset of relation members the oid
+    occurs in, until the induced partition stabilizes. Colours are
+    *canonical strings* (stable hashes of structural signatures), so two
+    O-isomorphic oids — even in different instances — receive the same
+    colour; the matching search below pairs colour classes by name.
+    """
+    import hashlib
+
+    def digest(payload: str) -> str:
+        return hashlib.md5(payload.encode()).hexdigest()
+
+    oids = sorted(instance._class_of, key=lambda o: o.serial)
+    colour: Dict[Oid, str] = {
+        o: digest(repr((instance.class_of(o), instance.value_of(o) is not None)))
+        for o in oids
+    }
+
+    occurrences: Dict[Oid, List[Tuple[str, OValue]]] = {o: [] for o in oids}
+    for name, members in instance.relations.items():
+        for v in members:
+            for o in oids_of(v):
+                if o in occurrences:
+                    occurrences[o].append((name, v))
+
+    def partition(c: Dict[Oid, str]):
+        groups: Dict[str, set] = {}
+        for o, col in c.items():
+            groups.setdefault(col, set()).add(o)
+        return frozenset(frozenset(g) for g in groups.values())
+
+    for _ in range(len(oids) + 1):
+        new_colour = {}
+        for o in oids:
+            v = instance.value_of(o)
+            occ = tuple(
+                sorted(
+                    repr((name, _skeleton_reference(member, colour)))
+                    for name, member in occurrences[o]
+                )
+            )
+            new_colour[o] = digest(
+                repr(
+                    (
+                        colour[o],
+                        _skeleton_reference(v, colour) if v is not None else None,
+                        occ,
+                    )
+                )
+            )
+        if partition(new_colour) == partition(colour):
+            colour = new_colour
+            break
+        colour = new_colour
+    return colour
+
+
+def find_o_isomorphism_reference(
+    source: Instance, target: Instance
+) -> Optional[Dict[Oid, Oid]]:
+    """The pre-PR-3 O-isomorphism search (digest-recomputing; exact)."""
+    if source.schema != target.schema:
+        return None
+    if source.constants() != target.constants():
+        return None
+    for name in source.classes:
+        if len(source.classes[name]) != len(target.classes[name]):
+            return None
+    for name in source.relations:
+        if len(source.relations[name]) != len(target.relations[name]):
+            return None
+
+    src_colour = _refine_reference(source)
+    tgt_colour = _refine_reference(target)
+
+    def groups(colour: Dict[Oid, str]) -> Dict[str, List[Oid]]:
+        keyed: Dict[str, List[Oid]] = {}
+        for o, c in colour.items():
+            keyed.setdefault(c, []).append(o)
+        return keyed
+
+    src_groups = groups(src_colour)
+    tgt_groups = groups(tgt_colour)
+    if set(src_groups) != set(tgt_groups):
+        return None
+    if any(len(src_groups[k]) != len(tgt_groups[k]) for k in src_groups):
+        return None
+
+    ordered_keys = sorted(src_groups, key=repr)
+    src_lists = [sorted(src_groups[k], key=lambda o: o.serial) for k in ordered_keys]
+    tgt_lists = [sorted(tgt_groups[k], key=lambda o: o.serial) for k in ordered_keys]
+
+    def search(index: int, mapping: Dict[Oid, Oid]) -> Optional[Dict[Oid, Oid]]:
+        if index == len(src_lists):
+            return dict(mapping) if _check_mapping(source, target, mapping) else None
+        src_list = src_lists[index]
+        for perm in permutations(tgt_lists[index]):
+            for s, t in zip(src_list, perm):
+                mapping[s] = t
+            result = search(index + 1, mapping)
+            if result is not None:
+                return result
+            for s in src_list:
+                del mapping[s]
+        return None
+
+    return search(0, {})

@@ -29,7 +29,11 @@ from typing import List, Optional, Tuple
 
 from repro.errors import InstanceError
 from repro.schema.instance import Instance
-from repro.schema.isomorphism import apply_o_isomorphism, are_o_isomorphic
+from repro.schema.isomorphism import (
+    _match_with_colours,
+    apply_o_isomorphism,
+    refine_colours,
+)
 from repro.schema.schema import Schema
 from repro.typesys.expressions import classref, set_of, union
 from repro.values.ovalues import Oid, OSet, oids_of
@@ -72,31 +76,72 @@ def make_instance_with_copies(instance: Instance, count: int) -> Instance:
 
 
 def extract_copies(instance_bar: Instance, base_schema: Schema) -> List[Instance]:
-    """Split Ī into its constituent copies, each over ``base_schema``."""
+    """Split Ī into its constituent copies, each over ``base_schema``.
+
+    Single pass: an oid→copy-index map routes every relation member, class
+    member and ν entry to its copy directly, instead of re-scanning Ī once
+    per copy. Constant-only members belong to every copy; members whose
+    oids straddle copies belong to none (``is_instance_with_copies``
+    rejects such instances separately).
+    """
     groups = [set(group) for group in instance_bar.relations.get(COPY_RELATION, ())]
-    copies = []
-    for group in groups:
-        copy = Instance(base_schema)
-        for name in base_schema.relations:
-            for v in instance_bar.relations[name]:
-                if oids_of(v) <= group or (not oids_of(v) and len(groups) == 1):
+    copies = [Instance(base_schema) for _ in groups]
+    owner = {o: index for index, group in enumerate(groups) for o in group}
+    for name in base_schema.relations:
+        for v in instance_bar.relations[name]:
+            touched = oids_of(v)
+            if not touched:
+                for copy in copies:
                     copy.add_relation_member(name, v)
-            if not oids_of_any(instance_bar.relations[name]):
-                # Pure-constant members belong to every copy.
-                for v in instance_bar.relations[name]:
-                    copy.add_relation_member(name, v)
-        for name in base_schema.classes:
-            for o in instance_bar.classes[name]:
-                if o in group:
-                    copy.add_class_member(name, o)
-                    if o in instance_bar.nu:
-                        copy.nu[o] = instance_bar.nu[o]
-        copies.append(copy)
+                continue
+            indices = {owner.get(o) for o in touched}
+            if len(indices) == 1:
+                (index,) = indices
+                if index is not None:
+                    copies[index].add_relation_member(name, v)
+    for name in base_schema.classes:
+        for o in instance_bar.classes[name]:
+            index = owner.get(o)
+            if index is not None:
+                copies[index].add_class_member(name, o)
+                if o in instance_bar.nu:
+                    copies[index].nu[o] = instance_bar.nu[o]
     return copies
 
 
-def oids_of_any(values) -> bool:
-    return any(oids_of(v) for v in values)
+def _first_mismatched_copy(copies: List[Instance]) -> Optional[int]:
+    """Index of the first copy not O-isomorphic to copy 0, or None.
+
+    One *joint* colour refinement over every copy replaces the k-1 pairwise
+    searches: the shared colour space makes colour ids comparable across
+    copies, so each copy is matched against copy 0 directly within the
+    already-computed classes (canonical-signature matching). Cheap
+    cardinality screens run before the refinement.
+    """
+    if len(copies) <= 1:
+        return None
+    first = copies[0]
+    for i, other in enumerate(copies[1:], start=1):
+        if any(
+            len(first.classes[name]) != len(other.classes[name])
+            for name in first.classes
+        ):
+            return i
+        if any(
+            len(first.relations[name]) != len(other.relations[name])
+            for name in first.relations
+        ):
+            return i
+        if first.constants() != other.constants():
+            return i
+    colourings = refine_colours(copies)
+    for i in range(1, len(copies)):
+        if (
+            _match_with_colours(first, copies[i], colourings[0], colourings[i])
+            is None
+        ):
+            return i
+    return None
 
 
 def is_instance_with_copies(
@@ -119,9 +164,9 @@ def is_instance_with_copies(
     if all_oids != seen:
         return False, "R̄ does not cover exactly the class oids"
     copies = extract_copies(instance_bar, base_schema)
-    for i in range(1, len(copies)):
-        if not are_o_isomorphic(copies[0], copies[i]):
-            return False, f"copies 0 and {i} are not O-isomorphic"
+    mismatch = _first_mismatched_copy(copies)
+    if mismatch is not None:
+        return False, f"copies 0 and {mismatch} are not O-isomorphic"
     # Condition (1): nothing outside the union of the copies.
     for name in base_schema.relations:
         for v in instance_bar.relations[name]:

@@ -115,15 +115,26 @@ def psi(instance: Instance, vschema: Optional[VSchema] = None) -> VInstance:
             system.declare(node_id)
             oid_node[oid] = node_id
 
+    # Memoized per interned node: a subvalue shared between several ν(o)
+    # (hash-consing makes sharing the common case) is embedded once. Oids
+    # stay out of the memo — their node ids are already unique via oid_node.
+    embed_memo: Dict[int, NodeId] = {}
+
     def embed(value: OValue) -> NodeId:
         if isinstance(value, Oid):
             if value not in oid_node:
                 raise RegularTreeError(f"dangling oid {value!r}")
             return oid_node[value]
-        if isinstance(value, OTuple):
-            return system.add_tuple({attr: embed(v) for attr, v in value.items()})
-        if isinstance(value, OSet):
-            return system.add_set(embed(v) for v in value)
+        if isinstance(value, (OTuple, OSet)):
+            hit = embed_memo.get(id(value))
+            if hit is not None:
+                return hit
+            if isinstance(value, OTuple):
+                node = system.add_tuple({attr: embed(v) for attr, v in value.items()})
+            else:
+                node = system.add_set(embed(v) for v in value)
+            embed_memo[id(value)] = node
+            return node
         if is_constant(value):
             return system.add_const(value)
         raise RegularTreeError(f"not an o-value: {value!r}")

@@ -1,5 +1,7 @@
 """The o-value universe (Section 2.1): constants, oids, tuples, sets."""
 
+from repro.values import intern
+from repro.values.intern import interning, interning_enabled, set_interning
 from repro.values.ovalues import (
     CONSTANT_TYPES,
     Oid,
@@ -14,6 +16,7 @@ from repro.values.ovalues import (
     oids_of,
     render,
     sort_key,
+    sorted_elements,
     substitute_oids,
     value_depth,
     value_size,
@@ -21,6 +24,11 @@ from repro.values.ovalues import (
 from repro.values.trees import LEAF, SET, TUPLE, ValueTree, from_ovalue, to_ovalue
 
 __all__ = [
+    "intern",
+    "interning",
+    "interning_enabled",
+    "set_interning",
+    "sorted_elements",
     "CONSTANT_TYPES",
     "Oid",
     "OSet",

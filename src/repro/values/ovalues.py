@@ -25,16 +25,31 @@ Representation choices
 
 All o-values are hashable, so they can themselves be set elements, relation
 members, or dictionary keys inside the evaluator.
+
+Hash-consing
+------------
+
+Tuples and sets are *interned* (see :mod:`repro.values.intern`): while
+interning is enabled — the default — constructing a structurally equal
+value returns the **same** Python object, so the value universe is a DAG
+of unique nodes. Equality then short-circuits on identity, set/dict
+membership never walks a tree, and the per-node metadata used by the
+hot paths — :func:`value_size`, :func:`value_depth`, :func:`oids_of`,
+:func:`constants_of`, :func:`sort_key`, :func:`sorted_elements` — is
+computed once per distinct value and cached on the node itself.
+Values built while interning is off (the ``--no-intern`` A/B hatch)
+still compare correctly through the structural fallback in ``__eq__``.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from functools import lru_cache as _lru_cache
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from weakref import ref as _weakref
 
 from repro.errors import OValueError
+from repro.values.intern import STORE as _STORE
 
 #: The Python types admitted as constants (the base domain D).
 CONSTANT_TYPES = (str, int, float, bool)
@@ -43,6 +58,20 @@ CONSTANT_TYPES = (str, int, float, bool)
 #: scalar leg because Python has no recursive union types; :func:`is_ovalue`
 #: is the runtime check.
 OValue = Union[str, int, float, bool, "Oid", "OTuple", "OSet"]
+
+_EMPTY_FROZENSET: FrozenSet = frozenset()
+
+#: Salts separating an OTuple/OSet hash from the raw hash of its canonical
+#: content (and from each other), so a tuple, its field list and a set of
+#: the same elements land in different buckets.
+_TUPLE_SALT = 0x5A1_7B1E
+_SET_SALT = 0x5A1_5E75
+
+#: Everything admissible as a tuple component / set element, as one tuple so
+#: construction-time validation is a single C-level isinstance. Equals
+#: ``(Oid, OTuple, OSet) + CONSTANT_TYPES`` — i.e. :func:`is_ovalue` —
+#: and is filled in after the classes are defined.
+_OVALUE_TYPES: tuple = ()
 
 
 class Oid:
@@ -56,7 +85,7 @@ class Oid:
     and the isomorphism certificates rely on.
     """
 
-    __slots__ = ("serial", "name")
+    __slots__ = ("serial", "name", "_hash", "__weakref__")
 
     _counter = itertools.count(1)
     _lock = threading.Lock()
@@ -65,6 +94,9 @@ class Oid:
         with Oid._lock:
             self.serial = next(Oid._counter)
         self.name = name
+        # Precomputed: oids are hashed on every table probe of every value
+        # containing them, so ``__hash__`` must be an attribute load.
+        self._hash = hash((Oid, self.serial))
 
     def __repr__(self) -> str:
         if self.name:
@@ -72,7 +104,7 @@ class Oid:
         return f"&o{self.serial}"
 
     def __hash__(self) -> int:
-        return hash((Oid, self.serial))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return self is other
@@ -89,53 +121,112 @@ class OTuple:
     Attribute names must be distinct strings; the empty tuple ``[]`` (k = 0)
     is permitted and is the unit value of the model. Tuples are immutable
     and hashable; attribute order is canonicalized by sorting, so equality
-    is structural.
+    is structural. Instances are interned (see module docstring): the
+    constructor may return an existing object.
     """
 
-    __slots__ = ("_fields", "_hash")
+    __slots__ = (
+        "_fields",
+        "_lookup",
+        "_hash",
+        "_attrs",
+        "_size",
+        "_depth",
+        "_oids",
+        "_consts",
+        "_sortkey",
+        "__weakref__",
+    )
 
-    def __init__(self, fields: Union[Mapping[str, OValue], Iterable[Tuple[str, OValue]], None] = None, **kwargs: OValue):
-        items: Dict[str, OValue] = {}
-        if fields is not None:
-            pairs = fields.items() if isinstance(fields, Mapping) else fields
-            for attr, value in pairs:
+    def __new__(
+        cls,
+        fields: Union[Mapping[str, OValue], Iterable[Tuple[str, OValue]], None] = None,
+        **kwargs: OValue,
+    ):
+        if fields is None:
+            # The keyword path owns ``kwargs`` outright (fresh dict, string
+            # keys, no duplicates possible) — use it as the lookup table.
+            items: Dict[str, OValue] = kwargs
+            for attr, value in items.items():
+                if not isinstance(value, _OVALUE_TYPES):
+                    raise OValueError(
+                        f"tuple component {attr}={value!r} is not an o-value"
+                    )
+        else:
+            if isinstance(fields, Mapping):
+                items = dict(fields)
+            else:
+                items = {}
+                for attr, value in fields:
+                    if attr in items:
+                        raise OValueError(f"duplicate attribute {attr!r} in tuple")
+                    items[attr] = value
+            for attr, value in kwargs.items():
                 if attr in items:
                     raise OValueError(f"duplicate attribute {attr!r} in tuple")
                 items[attr] = value
-        for attr, value in kwargs.items():
-            if attr in items:
-                raise OValueError(f"duplicate attribute {attr!r} in tuple")
-            items[attr] = value
-        for attr, value in items.items():
-            if not isinstance(attr, str):
-                raise OValueError(f"attribute names must be strings, got {attr!r}")
-            if not is_ovalue(value):
-                raise OValueError(f"tuple component {attr}={value!r} is not an o-value")
-        self._fields: Tuple[Tuple[str, OValue], ...] = tuple(sorted(items.items()))
-        self._hash = hash((OTuple, self._fields))
+            for attr, value in items.items():
+                if not isinstance(attr, str):
+                    raise OValueError(
+                        f"attribute names must be strings, got {attr!r}"
+                    )
+                if not isinstance(value, _OVALUE_TYPES):
+                    raise OValueError(
+                        f"tuple component {attr}={value!r} is not an o-value"
+                    )
+        canon: Tuple[Tuple[str, OValue], ...] = tuple(sorted(items.items()))
+        store = _STORE
+        if store.enabled:
+            # One dict probe on the hot path; a dead reference reads as a
+            # miss and is overwritten below (tombstones are only ever
+            # compacted by the amortized sweep).
+            ref = store.tuples.get(canon)
+            if ref is not None:
+                existing = ref()
+                if existing is not None:
+                    store.hits += 1
+                    return existing
+            store.misses += 1
+        self = object.__new__(cls)
+        self._fields = canon
+        self._lookup = items
+        self._hash = hash(canon) ^ _TUPLE_SALT
+        if store.enabled:
+            data = store.tuples
+            data[canon] = _weakref(self)
+            if len(data) >= store.tuples_mark:
+                # Amortized sweep: dead entries are left behind as
+                # tombstones (no removal callbacks — see intern.py).
+                store.tuples = {k: r for k, r in data.items() if r() is not None}
+                store.tuples_mark = max(
+                    _STORE.SWEEP_FLOOR, 2 * len(store.tuples)
+                )
+        return self
 
     @property
     def attributes(self) -> Tuple[str, ...]:
         """The attribute names, in canonical (sorted) order."""
-        return tuple(attr for attr, _ in self._fields)
+        try:
+            return self._attrs
+        except AttributeError:
+            cached = tuple(attr for attr, _ in self._fields)
+            self._attrs = cached
+            return cached
 
     def __getitem__(self, attr: str) -> OValue:
-        for name, value in self._fields:
-            if name == attr:
-                return value
-        raise KeyError(attr)
+        try:
+            return self._lookup[attr]
+        except KeyError:
+            raise KeyError(attr) from None
 
     def get(self, attr: str, default: OValue = None) -> OValue:
-        for name, value in self._fields:
-            if name == attr:
-                return value
-        return default
+        return self._lookup.get(attr, default)
 
     def items(self) -> Tuple[Tuple[str, OValue], ...]:
         return self._fields
 
     def __contains__(self, attr: str) -> bool:
-        return any(name == attr for name, _ in self._fields)
+        return attr in self._lookup
 
     def __len__(self) -> int:
         return len(self._fields)
@@ -153,7 +244,14 @@ class OTuple:
         return self._hash
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, OTuple) and self._fields == other._fields
+        if self is other:
+            _STORE.eq_fast_paths += 1
+            return True
+        return (
+            isinstance(other, OTuple)
+            and self._hash == other._hash
+            and self._fields == other._fields
+        )
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{attr}: {value!r}" for attr, value in self._fields)
@@ -167,18 +265,46 @@ class OSet:
     freshly invented set-valued oid (Section 3.2). Note the difference the
     paper stresses between the type ``{⊥}`` (whose only member is the empty
     set) and the type ``⊥`` (which has no members): ``OSet()`` is a value,
-    and a perfectly ordinary one.
+    and a perfectly ordinary one. Instances are interned (see module
+    docstring): the constructor may return an existing object.
     """
 
-    __slots__ = ("_elements", "_hash")
+    __slots__ = (
+        "_elements",
+        "_hash",
+        "_size",
+        "_depth",
+        "_oids",
+        "_consts",
+        "_sortkey",
+        "_sorted",
+        "__weakref__",
+    )
 
-    def __init__(self, elements: Iterable[OValue] = ()):
+    def __new__(cls, elements: Iterable[OValue] = ()):
         elems = frozenset(elements)
         for value in elems:
-            if not is_ovalue(value):
+            if not isinstance(value, _OVALUE_TYPES):
                 raise OValueError(f"set element {value!r} is not an o-value")
-        self._elements: FrozenSet[OValue] = elems
-        self._hash = hash((OSet, self._elements))
+        store = _STORE
+        if store.enabled:
+            ref = store.sets.get(elems)
+            if ref is not None:
+                existing = ref()
+                if existing is not None:
+                    store.hits += 1
+                    return existing
+            store.misses += 1
+        self = object.__new__(cls)
+        self._elements = elems
+        self._hash = hash(elems) ^ _SET_SALT
+        if store.enabled:
+            data = store.sets
+            data[elems] = _weakref(self)
+            if len(data) >= store.sets_mark:
+                store.sets = {k: r for k, r in data.items() if r() is not None}
+                store.sets_mark = max(_STORE.SWEEP_FLOOR, 2 * len(store.sets))
+        return self
 
     @property
     def elements(self) -> FrozenSet[OValue]:
@@ -206,11 +332,21 @@ class OSet:
         return self._hash
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, OSet) and self._elements == other._elements
+        if self is other:
+            _STORE.eq_fast_paths += 1
+            return True
+        return (
+            isinstance(other, OSet)
+            and self._hash == other._hash
+            and self._elements == other._elements
+        )
 
     def __repr__(self) -> str:
         inner = ", ".join(sorted(repr(v) for v in self._elements))
         return "{" + inner + "}"
+
+
+_OVALUE_TYPES = (Oid, OTuple, OSet) + CONSTANT_TYPES
 
 
 def is_constant(value: object) -> bool:
@@ -247,52 +383,131 @@ def ensure_ovalue(value: object) -> OValue:
 
 
 def constants_of(value: OValue) -> FrozenSet[OValue]:
-    """The set of constants occurring in ``value`` (used by ``constants(I)``)."""
-    out = set()
-    _walk(value, out, want_constants=True)
+    """The set of constants occurring in ``value`` (used by ``constants(I)``).
+
+    Cached per interned node: the DAG is walked once per distinct value.
+    """
+    if isinstance(value, (OTuple, OSet)):
+        try:
+            return value._consts
+        except AttributeError:
+            cached = _node_constants(value)
+            value._consts = cached
+            return cached
+    if isinstance(value, Oid):
+        return _EMPTY_FROZENSET
+    if is_constant(value):
+        return frozenset((value,))
+    raise OValueError(f"not an o-value: {value!r}")
+
+
+def _node_constants(value: OValue) -> FrozenSet[OValue]:
+    out: set = set()
+    children = (
+        (v for _, v in value._fields) if isinstance(value, OTuple) else iter(value._elements)
+    )
+    for child in children:
+        if isinstance(child, (OTuple, OSet)):
+            out |= constants_of(child)
+        elif not isinstance(child, Oid):
+            out.add(child)
     return frozenset(out)
 
 
 def oids_of(value: OValue) -> FrozenSet[Oid]:
-    """The set of oids occurring in ``value`` (used by ``objects(I)``)."""
-    out = set()
-    _walk(value, out, want_constants=False)
+    """The set of oids occurring in ``value`` (used by ``objects(I)``).
+
+    Cached per interned node, like :func:`constants_of`.
+    """
+    if isinstance(value, (OTuple, OSet)):
+        try:
+            return value._oids
+        except AttributeError:
+            cached = _node_oids(value)
+            value._oids = cached
+            return cached
+    if isinstance(value, Oid):
+        return frozenset((value,))
+    if is_constant(value):
+        return _EMPTY_FROZENSET
+    raise OValueError(f"not an o-value: {value!r}")
+
+
+def _node_oids(value: OValue) -> FrozenSet[Oid]:
+    out: set = set()
+    children = (
+        (v for _, v in value._fields) if isinstance(value, OTuple) else iter(value._elements)
+    )
+    for child in children:
+        if isinstance(child, Oid):
+            out.add(child)
+        elif isinstance(child, (OTuple, OSet)):
+            out |= oids_of(child)
     return frozenset(out)
 
 
-def _walk(value: OValue, out: set, want_constants: bool) -> None:
-    stack = [value]
-    while stack:
-        v = stack.pop()
-        if isinstance(v, Oid):
-            if not want_constants:
-                out.add(v)
-        elif isinstance(v, OTuple):
-            stack.extend(component for _, component in v.items())
-        elif isinstance(v, OSet):
-            stack.extend(v.elements)
-        elif is_constant(v):
-            if want_constants:
-                out.add(v)
-        else:  # pragma: no cover - construction validates components
-            raise OValueError(f"not an o-value: {v!r}")
-
-
-def substitute_oids(value: OValue, mapping: Mapping[Oid, OValue]) -> OValue:
+def substitute_oids(
+    value: OValue,
+    mapping: Mapping[Oid, OValue],
+    _memo: Optional[Dict[int, OValue]] = None,
+) -> OValue:
     """Simultaneously replace oids in ``value`` according to ``mapping``.
 
     Oids not in the mapping are left in place. This is the workhorse behind
     O-isomorphism application (Section 4.1) and the object→value translation
     ψ (Section 7.1), where every oid is replaced by its (possibly infinite)
     pure value.
+
+    Memoized by node identity (``_memo``; interned nodes shared across the
+    value — or across values, when the caller passes one memo for a whole
+    instance — are rewritten once), and subtrees whose cached oid set is
+    disjoint from the mapping are returned unchanged without a walk.
     """
     if isinstance(value, Oid):
         return mapping.get(value, value)
-    if isinstance(value, OTuple):
-        return OTuple({attr: substitute_oids(v, mapping) for attr, v in value.items()})
-    if isinstance(value, OSet):
-        return OSet(substitute_oids(v, mapping) for v in value)
+    if isinstance(value, (OTuple, OSet)):
+        if not mapping:
+            return value
+        return _substitute_node(value, mapping, {} if _memo is None else _memo)
     return value
+
+
+def _substitute_node(
+    value: OValue, mapping: Mapping[Oid, OValue], memo: Dict[int, OValue]
+) -> OValue:
+    # id() keys are stable here: the caller's root keeps every node alive
+    # for the duration of the walk.
+    key = id(value)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    if mapping.keys().isdisjoint(oids_of(value)):
+        memo[key] = value
+        return value
+    if isinstance(value, OTuple):
+        result: OValue = OTuple(
+            {
+                attr: (
+                    mapping.get(v, v)
+                    if isinstance(v, Oid)
+                    else _substitute_node(v, mapping, memo)
+                    if isinstance(v, (OTuple, OSet))
+                    else v
+                )
+                for attr, v in value._fields
+            }
+        )
+    else:
+        result = OSet(
+            mapping.get(v, v)
+            if isinstance(v, Oid)
+            else _substitute_node(v, mapping, memo)
+            if isinstance(v, (OTuple, OSet))
+            else v
+            for v in value._elements
+        )
+    memo[key] = result
+    return result
 
 
 def branching_factor(value: OValue) -> int:
@@ -316,30 +531,42 @@ def branching_factor(value: OValue) -> int:
 
 
 def value_depth(value: OValue) -> int:
-    """The depth of the finite tree representing ``value`` (leaves = 0)."""
-    if isinstance(value, OTuple):
-        if len(value) == 0:
-            return 1
-        return 1 + max(value_depth(v) for _, v in value.items())
-    if isinstance(value, OSet):
-        if len(value) == 0:
-            return 1
-        return 1 + max(value_depth(v) for v in value)
+    """The depth of the finite tree representing ``value`` (leaves = 0).
+
+    Cached per interned node.
+    """
+    if isinstance(value, (OTuple, OSet)):
+        try:
+            return value._depth
+        except AttributeError:
+            if isinstance(value, OTuple):
+                children = [v for _, v in value._fields]
+            else:
+                children = list(value._elements)
+            cached = 1 + max((value_depth(v) for v in children), default=0)
+            value._depth = cached
+            return cached
     return 0
 
 
 def value_size(value: OValue) -> int:
-    """The number of nodes in the tree representing ``value``."""
-    count = 0
-    stack = [value]
-    while stack:
-        v = stack.pop()
-        count += 1
-        if isinstance(v, OTuple):
-            stack.extend(component for _, component in v.items())
-        elif isinstance(v, OSet):
-            stack.extend(v.elements)
-    return count
+    """The number of nodes in the **tree** representing ``value``.
+
+    Shared (hash-consed) subvalues count once per occurrence, exactly as
+    before interning; the count itself is cached per distinct node.
+    """
+    if isinstance(value, (OTuple, OSet)):
+        try:
+            return value._size
+        except AttributeError:
+            if isinstance(value, OTuple):
+                children = (v for _, v in value._fields)
+            else:
+                children = iter(value._elements)
+            cached = 1 + sum(value_size(v) for v in children)
+            value._size = cached
+            return cached
+    return 1
 
 
 def sort_key(value: OValue):
@@ -349,7 +576,8 @@ def sort_key(value: OValue):
     so we build an explicit lexicographic key: kind tag first, then content.
     Oids order by serial — stable within a process run. Used for canonical
     printing and for deterministic iteration in the evaluator (which keeps
-    runs reproducible without affecting semantics).
+    runs reproducible without affecting semantics). Keys of tuples and
+    sets are cached per interned node.
     """
     if isinstance(value, (int, float)):
         # One numeric kind: Python (hence the model) has 0 == False == 0.0,
@@ -361,21 +589,35 @@ def sort_key(value: OValue):
     if isinstance(value, Oid):
         return (1, value.serial)
     if isinstance(value, OTuple):
-        return (2, tuple((attr, sort_key(v)) for attr, v in value.items()))
+        try:
+            return value._sortkey
+        except AttributeError:
+            cached = (2, tuple((attr, sort_key(v)) for attr, v in value._fields))
+            value._sortkey = cached
+            return cached
     if isinstance(value, OSet):
-        return (3, tuple(sorted(sort_key(v) for v in value)))
+        try:
+            return value._sortkey
+        except AttributeError:
+            cached = (3, tuple(sort_key(v) for v in sorted_elements(value)))
+            value._sortkey = cached
+            return cached
     raise OValueError(f"not an o-value: {value!r}")
 
 
-@_lru_cache(maxsize=4096)
 def sorted_elements(value: "OSet") -> Tuple[OValue, ...]:
     """The elements of an :class:`OSet` in canonical :func:`sort_key` order.
 
-    O-sets are immutable and hashable, so the ordering is cached (bounded
-    LRU): set-pattern matching in the evaluator visits the same container
-    values over and over and previously re-sorted them on every call.
+    Cached on the node: set-pattern matching in the evaluator visits the
+    same container values over and over and previously re-sorted them on
+    every call.
     """
-    return tuple(sorted(value, key=sort_key))
+    try:
+        return value._sorted
+    except AttributeError:
+        cached = tuple(sorted(value._elements, key=sort_key))
+        value._sorted = cached
+        return cached
 
 
 def render(value: OValue) -> str:
@@ -384,7 +626,7 @@ def render(value: OValue) -> str:
         inner = ", ".join(f"{attr}: {render(v)}" for attr, v in value.items())
         return f"[{inner}]"
     if isinstance(value, OSet):
-        inner = ", ".join(render(v) for v in sorted(value, key=sort_key))
+        inner = ", ".join(render(v) for v in sorted_elements(value))
         return "{" + inner + "}"
     if isinstance(value, Oid):
         return repr(value)

@@ -1,0 +1,319 @@
+"""The hash-consing layer (PR 3): interning, cached metadata, colour
+refinement, and the differential guarantees around ``--no-intern``.
+
+Three families of properties:
+
+* **Interning** — structurally equal values are the *same* object while
+  interning is on; values from different intern generations still compare
+  equal (structural fallback); cached per-node metadata agrees with a
+  plain recomputation.
+* **Colouring** — the joint partition refinement of
+  :func:`repro.schema.refine_colours` is invariant under random
+  O-isomorphisms, and the new :func:`find_o_isomorphism` agrees with the
+  retained pre-PR-3 search on random instance pairs.
+* **Differential** — the evaluator with ``interned=False`` produces the
+  same output (up to O-isomorphism for inventing programs) as the default,
+  on the same random-program corpus the engine differential tests use.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iql import Evaluator
+from repro.schema import (
+    Instance,
+    Schema,
+    apply_o_isomorphism,
+    are_o_isomorphic,
+    find_o_isomorphism,
+    find_o_isomorphism_reference,
+    refine_colours,
+)
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import (
+    Oid,
+    OSet,
+    OTuple,
+    constants_of,
+    intern,
+    interning,
+    oids_of,
+    sort_key,
+    sorted_elements,
+    substitute_oids,
+    value_depth,
+    value_size,
+)
+
+# -- strategies -----------------------------------------------------------------
+
+constants = st.one_of(st.text(max_size=4), st.integers(-50, 50), st.booleans())
+
+
+def ovalues():
+    return st.recursive(
+        constants,
+        lambda children: st.one_of(
+            st.lists(children, max_size=3).map(OSet),
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]), children, max_size=3
+            ).map(OTuple),
+        ),
+        max_leaves=8,
+    )
+
+
+# -- interning ------------------------------------------------------------------
+
+
+@given(ovalues())
+def test_equal_values_are_identical_when_interned(v):
+    with interning(True):
+        rebuilt = _rebuild(v)
+        if isinstance(v, (OTuple, OSet)):
+            assert rebuilt is _rebuild(v)
+
+
+def _rebuild(v):
+    """Reconstruct ``v`` bottom-up through the public constructors."""
+    if isinstance(v, OTuple):
+        return OTuple({attr: _rebuild(x) for attr, x in v.items()})
+    if isinstance(v, OSet):
+        return OSet(_rebuild(x) for x in v)
+    return v
+
+
+@given(ovalues())
+def test_cross_generation_equality(v):
+    """A value built with interning off equals (but need not be) the
+    interned build of the same content."""
+    with interning(True):
+        interned = _rebuild(v)
+    with interning(False):
+        plain = _rebuild(v)
+    assert interned == plain
+    assert plain == interned
+    assert hash(interned) == hash(plain)
+
+
+@given(ovalues())
+def test_interning_toggle_does_not_change_equality(v):
+    with interning(False):
+        a = _rebuild(v)
+        b = _rebuild(v)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_intern_counters_move():
+    h0, m0, _ = intern.counters()
+    with interning(True):
+        # Hold both builds: the table is weak, so an unreferenced value is
+        # evicted the moment it is collected.
+        first = OTuple(x=OSet([1, 2, "fresh-counter-probe"]))
+        second = OTuple(x=OSet([1, 2, "fresh-counter-probe"]))
+    h1, m1, _ = intern.counters()
+    assert m1 > m0  # at least the first build missed
+    assert h1 > h0  # and the rebuild hit
+    assert second is first
+
+
+def test_weak_table_evicts_dead_values():
+    with interning(True):
+        tuples0, _ = intern.table_sizes()
+        held = OTuple(k=OSet(["evict-probe", 7]))
+        assert intern.table_sizes()[0] > tuples0
+        del held
+    assert intern.table_sizes()[0] <= tuples0 + 1  # entry gone with the value
+
+
+# -- cached metadata ------------------------------------------------------------
+
+
+def _naive_size(v):
+    if isinstance(v, OTuple):
+        return 1 + sum(_naive_size(x) for _, x in v.items())
+    if isinstance(v, OSet):
+        return 1 + sum(_naive_size(x) for x in v)
+    return 1
+
+
+def _naive_depth(v):
+    if isinstance(v, OTuple):
+        return 1 + max((_naive_depth(x) for _, x in v.items()), default=0)
+    if isinstance(v, OSet):
+        return 1 + max((_naive_depth(x) for x in v), default=0)
+    return 0
+
+
+def _naive_oids(v):
+    if isinstance(v, Oid):
+        return frozenset((v,))
+    if isinstance(v, OTuple):
+        return frozenset().union(*(_naive_oids(x) for _, x in v.items()), frozenset())
+    if isinstance(v, OSet):
+        return frozenset().union(*(_naive_oids(x) for x in v), frozenset())
+    return frozenset()
+
+
+def _naive_constants(v):
+    if isinstance(v, Oid):
+        return frozenset()
+    if isinstance(v, OTuple):
+        return frozenset().union(
+            *(_naive_constants(x) for _, x in v.items()), frozenset()
+        )
+    if isinstance(v, OSet):
+        return frozenset().union(*(_naive_constants(x) for x in v), frozenset())
+    return frozenset((v,))
+
+
+@given(ovalues())
+def test_cached_metadata_matches_recomputation(v):
+    assert value_size(v) == _naive_size(v)
+    assert value_depth(v) == _naive_depth(v)
+    assert oids_of(v) == _naive_oids(v)
+    assert constants_of(v) == _naive_constants(v)
+    # Caches are per-node: a second query returns the same answers.
+    assert value_size(v) == _naive_size(v)
+    assert oids_of(v) == _naive_oids(v)
+
+
+def test_metadata_with_oids():
+    a, b = Oid("a"), Oid("b")
+    v = OTuple(x=OSet([a, OTuple(y=b, z="k")]), w=3)
+    assert oids_of(v) == {a, b}
+    assert constants_of(v) == {"k", 3}
+    assert value_size(v) == _naive_size(v)
+    assert value_depth(v) == 3
+
+
+@given(ovalues())
+def test_sorted_elements_cached_and_sorted(v):
+    if isinstance(v, OSet):
+        first = sorted_elements(v)
+        assert first == tuple(sorted(v.elements, key=sort_key))
+        assert sorted_elements(v) is first
+
+
+def test_tuple_lookup_is_dict_backed_and_agrees():
+    t = OTuple(b=2, a=1, c=OSet())
+    assert t["a"] == 1 and t["b"] == 2
+    assert t.get("missing") is None
+    assert "c" in t and "d" not in t
+    assert t.attributes == ("a", "b", "c")
+    scan = {attr: value for attr, value in t.items()}
+    assert all(t[attr] == value for attr, value in scan.items())
+
+
+# -- substitution ---------------------------------------------------------------
+
+
+def _naive_substitute(v, mapping):
+    if isinstance(v, Oid):
+        return mapping.get(v, v)
+    if isinstance(v, OTuple):
+        return OTuple({attr: _naive_substitute(x, mapping) for attr, x in v.items()})
+    if isinstance(v, OSet):
+        return OSet(_naive_substitute(x, mapping) for x in v)
+    return v
+
+
+@settings(max_examples=50)
+@given(ovalues(), st.randoms(use_true_random=False))
+def test_substitute_oids_matches_naive(v, rng):
+    oids = [Oid(f"s{i}") for i in range(4)]
+    v = OTuple(p=v, q=OSet(rng.sample(oids, rng.randint(0, 3))))
+    mapping = {o: Oid(f"t{i}") for i, o in enumerate(rng.sample(oids, 2))}
+    assert substitute_oids(v, mapping) == _naive_substitute(v, mapping)
+    assert substitute_oids(v, {}) is v
+
+
+# -- colouring ------------------------------------------------------------------
+
+
+def _random_instance(rng):
+    schema = Schema(
+        classes={"Node": tuple_of(tag=D, out=set_of(classref("Node")))},
+        relations={"R": set_of(classref("Node"))},
+    )
+    n = rng.randint(2, 8)
+    oids = [Oid(f"n{i}") for i in range(n)]
+    instance = Instance(schema, classes={"Node": oids})
+    for o in oids:
+        succ = rng.sample(oids, rng.randint(0, min(2, n)))
+        instance.assign(o, OTuple(tag=f"t{rng.randint(0, 2)}", out=OSet(succ)))
+    for _ in range(rng.randint(0, 2)):
+        instance.add_relation_member("R", OSet(rng.sample(oids, rng.randint(1, n))))
+    return instance
+
+
+def _random_renaming(instance):
+    return {o: Oid() for o in sorted(instance.objects())}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_colouring_invariant_under_o_isomorphism(seed):
+    rng = random.Random(seed)
+    instance = _random_instance(rng)
+    mapping = _random_renaming(instance)
+    image = apply_o_isomorphism(instance, mapping)
+    colour_a, colour_b = refine_colours([instance, image])
+    # Corresponding oids land in the same (shared-space) colour class.
+    assert {o: colour_b[mapping[o]] for o in colour_a} == colour_a
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_find_o_isomorphism_agrees_with_reference(seed):
+    rng = random.Random(seed)
+    source = _random_instance(rng)
+    if rng.random() < 0.5:
+        target = apply_o_isomorphism(source, _random_renaming(source))
+    else:
+        target = _random_instance(rng)  # usually not isomorphic
+    fast = find_o_isomorphism(source, target)
+    slow = find_o_isomorphism_reference(source, target)
+    assert (fast is None) == (slow is None), f"seed {seed}: searches disagree"
+    if fast is not None:
+        assert apply_o_isomorphism(source, fast) == target
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_found_isomorphism_is_valid(seed):
+    rng = random.Random(seed)
+    source = _random_instance(rng)
+    target = apply_o_isomorphism(source, _random_renaming(source))
+    mapping = find_o_isomorphism(source, target)
+    assert mapping is not None
+    assert apply_o_isomorphism(source, mapping) == target
+    assert are_o_isomorphic(target, source)
+
+
+# -- interned vs --no-intern differential ---------------------------------------
+
+
+def _run_intern_differential(seed):
+    from tests.test_differential import make_schema, random_instance, random_program
+
+    rng = random.Random(seed)
+    schema = make_schema()
+    allow_invention = seed % 5 == 0
+    program = random_program(schema, rng, allow_invention)
+    instance = random_instance(schema, rng)
+    interned = Evaluator(program, interned=True).run(instance.copy()).output
+    plain = Evaluator(program, interned=False).run(instance.copy()).output
+    if all(rule.is_invention_free() for rule in program.rules):
+        assert interned == plain, f"seed {seed}: exact disagreement"
+    else:
+        assert are_o_isomorphic(interned, plain), f"seed {seed}: not O-isomorphic"
+
+
+@pytest.mark.parametrize("seed", range(0, 120))
+def test_interned_engine_matches_no_intern(seed):
+    _run_intern_differential(seed)
