@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "E13": "bench_valuebased",
     "E14": "bench_types",
     "E16": "bench_algebra",
+    "E19": "bench_scheduling",
 }
 
 

@@ -4,14 +4,18 @@ Usage::
 
     python -m repro run PROGRAM.iql --input data.json [--output out.json]
     python -m repro check PROGRAM.iql [--json]   # type check + classify
-    python -m repro lint PROGRAM.iql [--format text|json]
+    python -m repro lint PROGRAM.iql [--format text|json] [--strict]
+    python -m repro analyze PROGRAM.iql [--format text|json|dot]
     python -m repro fmt PROGRAM.iql              # parse + pretty-print
     python -m repro validate data.json           # instance legality
     python -m repro demo                         # the Example 1.2 pipeline
 
 Programs are in the surface syntax (see repro.parser); instances in the
 JSON format of repro.io. ``lint`` runs the full repro.analysis pipeline
-and exits non-zero on error-severity diagnostics.
+and exits non-zero on error-severity diagnostics (``--strict`` promotes
+warnings to the same treatment, for CI gating). ``analyze`` renders the
+per-stage dependency graphs, SCC strata, effect summaries, and the
+certified schedule in text, JSON, or GraphViz DOT.
 """
 
 from __future__ import annotations
@@ -61,10 +65,54 @@ def cmd_lint(args: argparse.Namespace) -> int:
     with open(args.program, "r", encoding="utf-8") as handle:
         text = handle.read()
     report = analyze_source(text, filename=args.program)
+    strict_failed = args.strict and bool(report.warnings)
     if args.format == "json":
-        print(json.dumps(report.to_json(filename=args.program), indent=2))
+        doc = report.to_json(filename=args.program)
+        if args.strict:
+            doc["strict"] = True
+            doc["ok"] = doc["ok"] and not strict_failed
+        print(json.dumps(doc, indent=2))
     else:
         print(report.render_text(filename=args.program))
+        if strict_failed:
+            print(
+                f"strict mode: {len(report.warnings)} warning(s) treated as errors"
+            )
+    return 0 if report.ok and not strict_failed else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        analyze,
+        compute_schedule,
+        graphs_to_dot,
+        program_graphs,
+        render_graphs_text,
+    )
+
+    program = _load_program(args.program)
+    graphs = program_graphs(program)
+    schedule = compute_schedule(program)
+    report = analyze(program)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "file": args.program,
+                    "stages": [graph.to_json() for graph in graphs],
+                    "schedule": schedule.to_json(),
+                    "diagnostics": [d.to_json() for d in report.diagnostics],
+                },
+                indent=2,
+            )
+        )
+    elif args.format == "dot":
+        print(graphs_to_dot(graphs))
+    else:
+        print(render_graphs_text(graphs, schedule))
+        for diag in report.diagnostics:
+            if diag.code.startswith("IQL6"):
+                print(diag.render(args.program))
     return 0 if report.ok else 1
 
 
@@ -89,6 +137,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seminaive=not args.naive,
         indexed=not args.naive,
         interned=not args.no_intern,
+        schedule=args.schedule,
     )
     result = evaluator.run(instance)
     stats = result.stats
@@ -112,7 +161,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  plan cache           {stats.plan_cache_hits}/{plan_total} hits\n"
             f"  intern hits          {stats.intern_hits}\n"
             f"  intern misses        {stats.intern_misses}\n"
-            f"  eq fast paths        {stats.eq_fast_paths}",
+            f"  eq fast paths        {stats.eq_fast_paths}\n"
+            f"  strata               {stats.strata}\n"
+            f"  rules skipped clean  {stats.rules_skipped_clean}\n"
+            f"  schedule fallbacks   {stats.schedule_fallbacks}",
             file=sys.stderr,
         )
     text = io.dumps(result.output)
@@ -171,7 +223,22 @@ def main(argv=None) -> int:
     )
     p_lint.add_argument("program")
     p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warning-severity diagnostics as errors (non-zero exit)",
+    )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="render the per-stage dependency graphs, strata, and schedule",
+    )
+    p_analyze.add_argument("program")
+    p_analyze.add_argument(
+        "--format", choices=["text", "json", "dot"], default="text"
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_run = sub.add_parser("run", help="evaluate a program on an instance")
     p_run.add_argument("program")
@@ -202,6 +269,11 @@ def main(argv=None) -> int:
         "--no-intern",
         action="store_true",
         help="disable o-value hash-consing for this run (A/B escape hatch)",
+    )
+    p_run.add_argument(
+        "--schedule",
+        action="store_true",
+        help="run one fixpoint per certified dependency stratum (repro analyze)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -3,7 +3,10 @@
 One entry point, :func:`analyze` (or :func:`analyze_source` for raw
 text), runs every static check the repo knows about — well-typedness
 (Sections 3.1/3.3), binding hygiene, invention-cycle detection on G(Γ),
-dead-code lints — and Definition-5.3 certification, returning a
+dead-code lints, dataflow analysis on the per-stage dependency graph
+(:mod:`repro.analysis.depgraph`, built on the per-rule effect summaries
+of :mod:`repro.analysis.effects`) — and Definition-5.3 certification,
+returning a
 :class:`Report` of structured, source-spanned :class:`Diagnostic`
 objects with stable ``IQLxxx`` codes. ``repro lint`` is the CLI face of
 this package; the raising APIs in :mod:`repro.iql.typecheck` and
@@ -12,6 +15,18 @@ use.
 """
 
 from repro.analysis.certify import Certificate, certify
+from repro.analysis.depgraph import (
+    Schedule,
+    StageGraph,
+    StageSchedule,
+    compute_schedule,
+    depgraph_pass,
+    graphs_to_dot,
+    program_graphs,
+    render_graphs_text,
+    stage_graph,
+)
+from repro.analysis.effects import RuleEffects, delta_body, rule_effects
 from repro.analysis.passes import (
     binding_pass,
     certification_pass,
@@ -28,15 +43,27 @@ __all__ = [
     "Diagnostic",
     "PreflightWarning",
     "Report",
+    "RuleEffects",
+    "Schedule",
     "Span",
+    "StageGraph",
+    "StageSchedule",
     "analyze",
     "analyze_source",
     "binding_pass",
     "certification_pass",
     "certify",
+    "compute_schedule",
+    "delta_body",
+    "depgraph_pass",
     "diagnostic",
     "diagnostics_to_json",
+    "graphs_to_dot",
     "invention_cycle_pass",
+    "program_graphs",
+    "render_graphs_text",
+    "rule_effects",
+    "stage_graph",
     "typecheck_pass",
     "unused_pass",
 ]

@@ -25,16 +25,16 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from repro.analysis.certify import Certificate, certify
+from repro.analysis.effects import rule_effects
 from repro.diagnostics import Diagnostic, diagnostic
-from repro.iql.literals import Choose, Equality, Literal, Membership
+from repro.iql.literals import Choose
 from repro.iql.program import Program
-from repro.iql.rules import Rule
 from repro.iql.sublanguages import (
     classify,
     find_invention_cycle,
     ptime_restricted_vars,
 )
-from repro.iql.terms import Deref, NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.iql.terms import Var
 from repro.iql.typecheck import check_program_diagnostics
 from repro.schema.schema import Schema
 from repro.typesys.expressions import ClassRef
@@ -46,27 +46,6 @@ def typecheck_pass(program: Program, schema: Optional[Schema] = None) -> List[Di
 
 
 # -- binding hygiene ---------------------------------------------------------------
-
-
-def _terms_of(literal: Literal):
-    if isinstance(literal, Membership):
-        yield literal.container
-        yield literal.element
-    elif isinstance(literal, Equality):
-        yield literal.left
-        yield literal.right
-
-
-def _walk(term: Term):
-    yield term
-    if isinstance(term, SetTerm):
-        for sub in term.terms:
-            yield from _walk(sub)
-    elif isinstance(term, TupleTerm):
-        for _, sub in term.fields:
-            yield from _walk(sub)
-    elif isinstance(term, Deref):
-        yield term.var
 
 
 def binding_pass(program: Program) -> List[Diagnostic]:
@@ -164,58 +143,22 @@ def invention_cycle_pass(program: Program) -> List[Diagnostic]:
 # -- dead code ---------------------------------------------------------------------
 
 
-def _rule_reads(rule: Rule) -> Set[str]:
-    """Every schema name a rule consumes: names in its body, names read in
-    head terms, and the classes of its (non-invention) variable types."""
-    reads: Set[str] = set()
-    invention = rule.invention_variables()
-    for literal in rule.body:
-        for top in _terms_of(literal):
-            for term in _walk(top):
-                if isinstance(term, NameTerm):
-                    reads.add(term.name)
-                elif isinstance(term, Var):
-                    reads |= term.type.class_names()
-    head = rule.head
-    head_terms: List[Term] = []
-    if isinstance(head, Membership):
-        head_terms.append(head.element)
-        if isinstance(head.container, Deref):
-            head_terms.append(head.container)
-    elif isinstance(head, Equality):
-        head_terms.extend([head.left, head.right])
-    for top in head_terms:
-        for term in _walk(top):
-            if isinstance(term, NameTerm):
-                reads.add(term.name)
-            elif isinstance(term, Var) and term not in invention:
-                reads |= term.type.class_names()
-    return reads
-
-
 def unused_pass(program: Program) -> List[Diagnostic]:
     """Unused declarations (``IQL501``) and dead rules (``IQL502``).
 
     A relation or class that no rule mentions and that is neither input
     nor output is dead weight in the schema; a (non-delete) rule deriving
     into a name that no rule reads and that is not an output can never
-    influence the program's result.
+    influence the program's result. Read/mention sets come from the
+    shared :mod:`repro.analysis.effects` summaries.
     """
     out: List[Diagnostic] = []
     reads: Set[str] = set()
     mentioned: Set[str] = set()
     for rule in program.rules:
-        rule_reads = _rule_reads(rule)
-        reads |= rule_reads
-        mentioned |= rule_reads
-        name = rule.head_name()
-        if name is not None:
-            mentioned.add(name)
-        for var in rule.invention_variables():
-            mentioned |= var.type.class_names()
-        deref = rule.head_deref()
-        if deref is not None:
-            mentioned |= deref.var.type.class_names()
+        effects = rule_effects(rule, program.schema)
+        reads |= effects.schema_reads
+        mentioned |= effects.schema_reads | effects.mentions
     io_names = set(program.input_names) | set(program.output_names)
     for name in sorted(program.schema.names):
         if name not in mentioned and name not in io_names:

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.analysis.certify import Certificate
+from repro.analysis.depgraph import depgraph_pass
 from repro.analysis.passes import (
     binding_pass,
     certification_pass,
@@ -93,6 +94,7 @@ def analyze(program: Program, schema: Optional[Schema] = None) -> Report:
         diagnostics.extend(binding_pass(program))
         diagnostics.extend(invention_cycle_pass(program))
         diagnostics.extend(unused_pass(program))
+        diagnostics.extend(depgraph_pass(program, schema))
         certificate, notes = certification_pass(program)
         diagnostics.extend(notes)
     return Report(

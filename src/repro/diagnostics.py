@@ -14,7 +14,9 @@ Error-code conventions:
 * ``IQL2xx`` — binding hygiene (unsafe negation, unbound variables),
 * ``IQL3xx`` — termination (invention cycles on G(Γ), Section 5),
 * ``IQL4xx`` — certification stamps (informational),
-* ``IQL5xx`` — dead-code style lints (unused declarations and rules).
+* ``IQL5xx`` — dead-code style lints (unused declarations and rules),
+* ``IQL6xx`` — dataflow analysis on the per-stage dependency graph
+  (stratification, dead-at-entry rules, invention bounds).
 
 The catalogue with minimal triggering programs lives in
 ``docs/LANGUAGE.md`` ("Diagnostics and error codes").
@@ -88,6 +90,10 @@ CODES: Dict[str, Tuple[str, str]] = {
     "IQL401": (INFO, "sublanguage certification"),
     "IQL501": (WARNING, "unused relation or class"),
     "IQL502": (WARNING, "dead rule: derives into a name that is never read"),
+    "IQL601": (WARNING, "negation inside a recursive SCC: stage is not stratified"),
+    "IQL602": (WARNING, "rule can never fire: reads a symbol that is always empty"),
+    "IQL603": (WARNING, "oid invention inside a recursive SCC: creation may be unbounded"),
+    "IQL604": (INFO, "statically bounded invention: polynomial oid-creation bound"),
 }
 
 

@@ -42,7 +42,7 @@ from repro.iql.terms import Deref, NameTerm, Var
 from repro.iql.valuation import Bindings, eval_term, match, solve_body
 from repro.schema.instance import Instance
 from repro.schema.isomorphism import orbit_partition
-from repro.values.ovalues import Oid, OValue, sort_key
+from repro.values.ovalues import Oid, OSet, OValue, sort_key
 
 
 @dataclass
@@ -83,6 +83,12 @@ class EvaluationStats:
     intern_hits: int = 0
     intern_misses: int = 0
     eq_fast_paths: int = 0
+    # Certified scheduling (Evaluator(schedule=True)): strata solved,
+    # rule executions skipped because their whole read set was clean, and
+    # stages that ran monolithic because the analysis refused to certify.
+    strata: int = 0
+    rules_skipped_clean: int = 0
+    schedule_fallbacks: int = 0
 
 
 @dataclass
@@ -141,6 +147,7 @@ class Evaluator:
         indexed: bool = True,
         preflight: bool = False,
         interned: bool = True,
+        schedule: bool = False,
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
             raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
@@ -163,6 +170,28 @@ class Evaluator:
         # evaluates with plain structural values — the A/B escape hatch
         # behind ``repro run --no-intern``.
         self.interned = interned
+        # Certified SCC scheduling (repro.analysis.depgraph): one fixpoint
+        # per dependency stratum instead of one per stage, with rule-level
+        # clean-read skipping. Stages the analysis cannot certify fall back
+        # to the monolithic fixpoint; IQL601 fallbacks warn. Disabled under
+        # tracing like the other rewritings.
+        self.schedule = schedule and not trace
+        self._schedule = None
+        if self.schedule:
+            import warnings
+
+            from repro.analysis import PreflightWarning
+            from repro.analysis.depgraph import compute_schedule
+
+            self._schedule = compute_schedule(program)
+            for plan in self._schedule.stages:
+                if plan.fallback_reason and "IQL601" in plan.fallback_reason:
+                    warnings.warn(
+                        f"stage {plan.index + 1} falls back to the monolithic "
+                        f"fixpoint: {plan.fallback_reason}",
+                        PreflightWarning,
+                        stacklevel=3,
+                    )
         import random as _random
 
         self._rng = _random.Random(seed)
@@ -206,8 +235,14 @@ class Evaluator:
 
         hits0, misses0, fast0 = intern.counters()
         with intern.interning(self.interned):
-            for stage in self.program.stages:
-                self._run_stage(working, list(stage), stats)
+            for index, stage in enumerate(self.program.stages):
+                plan = self._schedule.stages[index] if self._schedule else None
+                if plan is not None and plan.scheduled:
+                    self._run_stage_scheduled(working, plan.strata, stats)
+                else:
+                    if plan is not None:
+                        stats.schedule_fallbacks += 1
+                    self._run_stage(working, list(stage), stats)
             output = working.project(self.program.output_schema)
         hits1, misses1, fast1 = intern.counters()
         stats.intern_hits = hits1 - hits0
@@ -266,6 +301,105 @@ class Evaluator:
             if not changed:
                 break
         stats.per_stage_steps.append(steps_here)
+
+    # -- the certified schedule (Evaluator(schedule=True)) ---------------------------
+
+    @staticmethod
+    def _fingerprint(instance: Instance, symbol: str):
+        """A cheap monotone measure of one dependency-graph symbol.
+
+        Within a certified stage every mutation grows the instance — no
+        deletes, and (★) only ever defines an undefined ν entry — so an
+        unchanged size proves unchanged content. ``^P`` planes measure how
+        many of P's oids have a ν entry plus the total element count of
+        the set-valued ones (weak assignment adds entries; ``x̂(t)`` heads
+        add elements).
+        """
+        schema = instance.schema
+        if symbol.startswith("^"):
+            class_name = symbol[1:]
+            defined = 0
+            elements = 0
+            for oid in instance.classes.get(class_name, ()):
+                value = instance.nu.get(oid)
+                if value is not None:
+                    defined += 1
+                    if isinstance(value, OSet):
+                        elements += len(value)
+            return (defined, elements)
+        if schema.is_relation(symbol):
+            return len(instance.relations.get(symbol, ()))
+        return len(instance.classes.get(symbol, ()))
+
+    def _run_stage_scheduled(
+        self,
+        instance: Instance,
+        strata: Tuple[Tuple[Rule, ...], ...],
+        stats: EvaluationStats,
+    ) -> None:
+        """One fixpoint per dependency stratum, in topological order.
+
+        Each stratum first tries the semi-naive rewriting over *its own*
+        rules — a stratum is often eligible when the whole stage is not
+        (e.g. a relation-only recursion scheduled after an invention
+        stratum). Otherwise it runs the naive loop with rule-level
+        dirtiness tracking: a rule re-executes only when some symbol of
+        its read set changed since its last execution; a clean rule can
+        only re-derive facts it already derived (reads are complete for
+        range-restricted rules, which certification guarantees), so
+        skipping it is sound.
+        """
+        from repro.analysis.effects import rule_effects
+        from repro.iql.seminaive import run_stage_seminaive, stage_eligible
+
+        steps_total = 0
+        for stratum in strata:
+            rules = list(stratum)
+            stats.strata += 1
+            if self.seminaive and stage_eligible(rules, instance):
+                steps_total += run_stage_seminaive(
+                    instance,
+                    rules,
+                    stats,
+                    self.limits.enumeration_budget,
+                    max_steps=self.limits.max_steps,
+                    use_indexes=self.indexed,
+                )
+                continue
+            effects = [rule_effects(rule, instance.schema) for rule in rules]
+            read_symbols = frozenset().union(*(eff.reads for eff in effects))
+            fingerprints = {
+                symbol: self._fingerprint(instance, symbol) for symbol in read_symbols
+            }
+            active = list(range(len(rules)))
+            while True:
+                if stats.steps >= self.limits.max_steps:
+                    raise NonTerminationError(
+                        f"no fixpoint within {self.limits.max_steps} steps; "
+                        f"recursion through invention can diverge (Example 3.4.2)"
+                    )
+                stats.rules_skipped_clean += len(rules) - len(active)
+                changed = self._one_step(
+                    instance, [rules[i] for i in active], stats
+                )
+                stats.steps += 1
+                steps_total += 1
+                if not changed:
+                    break
+                current = {
+                    symbol: self._fingerprint(instance, symbol)
+                    for symbol in read_symbols
+                }
+                dirty = {
+                    symbol
+                    for symbol in read_symbols
+                    if current[symbol] != fingerprints[symbol]
+                }
+                fingerprints = current
+                active = [i for i, eff in enumerate(effects) if eff.reads & dirty]
+                if not active:
+                    break
+        stats.per_stage_steps.append(steps_total)
 
     # -- the one-step operator γ1 ----------------------------------------------------
 

@@ -34,30 +34,15 @@ of :mod:`repro.iql.valuation` like every other body solve.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Sequence, Set
 
-from repro.iql.literals import Equality, Membership
+from repro.analysis.effects import DeltaBody, delta_body, mentions_name
+from repro.iql.literals import Membership
 from repro.iql.rules import Rule
-from repro.iql.terms import NameTerm, SetTerm, Term, TupleTerm, Var
+from repro.iql.terms import NameTerm, Var
 from repro.iql.valuation import eval_term, match, solve_body
 from repro.schema.instance import Instance
 from repro.values.ovalues import OValue
-
-
-def _mentions_name(term: Term) -> bool:
-    """Does ``term`` contain a relation/class name term at any depth?
-
-    A name term evaluates to the *current* extension, so any literal whose
-    truth depends on one through a value position is instance-dependent in
-    a way the delta rewriting cannot see.
-    """
-    if isinstance(term, NameTerm):
-        return True
-    if isinstance(term, SetTerm):
-        return any(_mentions_name(sub) for sub in term.terms)
-    if isinstance(term, TupleTerm):
-        return any(_mentions_name(sub) for _, sub in term.fields)
-    return False
 
 
 def _rule_eligible(rule: Rule, instance: Instance) -> bool:
@@ -69,54 +54,35 @@ def _rule_eligible(rule: Rule, instance: Instance) -> bool:
         isinstance(head, Membership)
         and isinstance(head.container, NameTerm)
         and schema.is_relation(head.container.name)
-        and not _mentions_name(head.element)
+        and not mentions_name(head.element)
     ):
         return False
     if not rule.body:
         return False  # unconditional facts: let the naive loop seed them
 
-    relation_generators: List[Membership] = []
-    constant_generators: List[Membership] = []  # class extents, deref containers
-    equalities: List[Equality] = []
-    for literal in rule.body:
-        if isinstance(literal, Membership):
-            if _mentions_name(literal.element):
-                return False  # e.g. R(S): the element is a growing extension
-            if isinstance(literal.container, NameTerm):
-                if literal.positive and schema.is_relation(literal.container.name):
-                    relation_generators.append(literal)
-                elif literal.positive:
-                    constant_generators.append(literal)  # class extent: constant
-                # negative name-container memberships: filters (see below)
-            else:
-                if _mentions_name(literal.container):
-                    return False
-                if literal.positive:
-                    constant_generators.append(literal)  # x̂(t): ν is constant
-        elif isinstance(literal, Equality):
-            if _mentions_name(literal.left) or _mentions_name(literal.right):
-                return False
-            if literal.positive:
-                equalities.append(literal)
-        else:
-            return False  # Choose (has_choose already bailed) or unknown
+    # The literal classification is shared with the analysis layer: a
+    # ``None`` body shape means a literal falls outside the delta fragment
+    # (name terms in value positions, choose, unknown literal kinds).
+    body = delta_body(rule, schema)
+    if body is None:
+        return False
 
     # Range check: every rule variable must be derivable from the
     # generators, closing over constant generators and equality binders, so
     # the enumeration fallback (whose search space constants(I) *grows*
     # with ρ) is never needed.
     derived: Set[Var] = set()
-    for literal in relation_generators:
+    for literal in body.relation_generators:
         derived |= literal.variables()
     changed = True
     while changed:
         changed = False
-        for literal in constant_generators:
+        for literal in body.constant_generators:
             if literal.container.variables() <= derived:
                 before = len(derived)
                 derived |= literal.element.variables()
                 changed = changed or len(derived) != before
-        for literal in equalities:
+        for literal in body.equalities:
             for known, pattern in (
                 (literal.left, literal.right),
                 (literal.right, literal.left),
@@ -130,18 +96,6 @@ def _rule_eligible(rule: Rule, instance: Instance) -> bool:
 def stage_eligible(rules: Sequence[Rule], instance: Instance) -> bool:
     """True iff the delta rewriting is sound for this stage."""
     return all(_rule_eligible(rule, instance) for rule in rules)
-
-
-def _delta_positions(rule: Rule, schema) -> List[int]:
-    """Body positions that the delta drives: positive relation memberships."""
-    return [
-        position
-        for position, literal in enumerate(rule.body)
-        if isinstance(literal, Membership)
-        and literal.positive
-        and isinstance(literal.container, NameTerm)
-        and schema.is_relation(literal.container.name)
-    ]
 
 
 def run_stage_seminaive(
@@ -161,6 +115,9 @@ def run_stage_seminaive(
     all the planning and indexing machinery is reused verbatim).
     """
     schema = instance.schema
+    shapes: Dict[int, DeltaBody] = {
+        index: delta_body(rule, schema) for index, rule in enumerate(rules)
+    }
     rounds = 0
     first = True
     delta: Dict[str, Set[OValue]] = {}
@@ -172,7 +129,7 @@ def run_stage_seminaive(
                 f"no fixpoint within {max_steps} steps (semi-naive stage)"
             )
         new: Dict[str, Set[OValue]] = {}
-        for rule in rules:
+        for rule_index, rule in enumerate(rules):
             head_name = rule.head.container.name
             head_term = rule.head.element
             existing = instance.relations[head_name]
@@ -196,7 +153,7 @@ def run_stage_seminaive(
                 continue
 
             body = list(rule.body)
-            for position in _delta_positions(rule, schema):
+            for position in shapes[rule_index].relation_positions:
                 literal = body[position]
                 source = delta.get(literal.container.name)
                 if not source:

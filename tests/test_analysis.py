@@ -368,7 +368,7 @@ class TestExamples:
         [
             ("transitive_closure", True, set()),
             ("graph_objects", True, set()),
-            ("divergent_invention", True, {"IQL301"}),
+            ("divergent_invention", True, {"IQL301", "IQL603"}),
         ],
     )
     def test_shipped_examples_lint(self, name, expect_ok, expect_codes):

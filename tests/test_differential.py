@@ -123,3 +123,86 @@ def run_differential(seed):
 @pytest.mark.parametrize("seed", range(220))
 def test_optimized_engine_matches_reference(seed):
     run_differential(seed)
+
+
+# -- the certified scheduler (Evaluator(schedule=True)) ------------------------------
+#
+# Same oracle, different engine: the SCC-stratified scheduler must agree
+# with the monolithic reference on every program — by running the
+# certified strata when the analysis proves the stage re-orderable, and
+# by falling back to the monolithic fixpoint (IQL601 and the other
+# uncertifiable shapes) otherwise. A quarter of the seeds additionally
+# inject a negation-through-recursion rule so the IQL601 fallback path
+# is exercised, and the rule lists are split into two stages half the
+# time so cross-stage liveness and per-stage scheduling both run.
+
+
+def random_scheduled_program(schema, rng, allow_invention, unstratified):
+    program = random_program(schema, rng, allow_invention)
+    rules = list(program.rules)
+    if unstratified:
+        x, y = Var("x0", D), Var("x1", D)
+        rules.append(
+            Rule(
+                atom(schema, "T", x, y),
+                [atom(schema, "E", x, y), atom(schema, "T", y, x, positive=False)],
+            )
+        )
+    if len(rules) > 1 and rng.random() < 0.5:
+        split = rng.randrange(1, len(rules))
+        stages = [rules[:split], rules[split:]]
+        return Program(
+            schema,
+            stages=stages,
+            input_names=program.input_names,
+            output_names=program.output_names,
+        )
+    return Program(
+        schema,
+        rules=rules,
+        input_names=program.input_names,
+        output_names=program.output_names,
+    )
+
+
+def run_scheduled_differential(seed):
+    import warnings
+
+    from repro.analysis import PreflightWarning
+
+    rng = random.Random(seed)
+    schema = make_schema()
+    allow_invention = seed % 5 == 0
+    unstratified = seed % 4 == 1
+    program = random_scheduled_program(schema, rng, allow_invention, unstratified)
+    instance = random_instance(schema, rng)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        scheduled_result = Evaluator(program, schedule=True).run(instance.copy())
+    scheduled = scheduled_result.output
+    reference = (
+        Evaluator(program, seminaive=False, indexed=False)
+        .run(instance.copy())
+        .output
+    )
+    if unstratified:
+        # The injected rule makes some stage IQL601-unstratifiable: the
+        # scheduler must fall back with a PreflightWarning, not schedule.
+        assert scheduled_result.stats.schedule_fallbacks >= 1, (
+            f"seed {seed}: expected an IQL601 fallback"
+        )
+        assert any(
+            issubclass(w.category, PreflightWarning) and "IQL601" in str(w.message)
+            for w in caught
+        ), f"seed {seed}: missing the IQL601 PreflightWarning"
+    if all(rule.is_invention_free() for rule in program.rules):
+        assert scheduled == reference, f"seed {seed}: exact disagreement"
+    else:
+        assert are_o_isomorphic(scheduled, reference), (
+            f"seed {seed}: not O-isomorphic"
+        )
+
+
+@pytest.mark.parametrize("seed", range(220))
+def test_scheduled_engine_matches_reference(seed):
+    run_scheduled_differential(seed)
