@@ -79,6 +79,10 @@ def run_scheduled(program, instance):
     return Evaluator(program, schedule=True).run(instance.copy())
 
 
+def run_scheduled_compiled(program, instance):
+    return Evaluator(program, schedule=True, compile=True).run(instance.copy())
+
+
 @pytest.mark.parametrize("n", [8, 16])
 def test_scheduled(benchmark, n):
     program, instance = setup(n)
@@ -86,6 +90,16 @@ def test_scheduled(benchmark, n):
         lambda: run_scheduled(program, instance), rounds=2, iterations=1
     )
     assert result.stats.strata == 3
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_scheduled_compiled(benchmark, n):
+    program, instance = setup(n)
+    result = benchmark.pedantic(
+        lambda: run_scheduled_compiled(program, instance), rounds=2, iterations=1
+    )
+    assert result.stats.strata == 3
+    assert result.stats.rules_compiled == 4
 
 
 SMOKE_SIZES = [6, 10]
@@ -98,24 +112,28 @@ def main(sizes=None):
         program, instance = setup(n)
         t_mono, mono = time_call(run_monolithic, program, instance)
         t_sched, sched = time_call(run_scheduled, program, instance)
-        agree = mono.output == sched.output
-        series[n] = t_sched
+        t_comp, comp = time_call(run_scheduled_compiled, program, instance)
+        agree = mono.output == sched.output == comp.output
+        series[n] = t_comp
         rows.append(
             (
                 n,
                 len(mono.output.relations["T"]),
                 ms(t_mono),
                 ms(t_sched),
-                f"{t_mono / t_sched:.1f}×",
-                sched.stats.strata,
-                sched.stats.rules_skipped_clean,
+                ms(t_comp),
+                f"{t_sched / t_comp:.1f}×",
+                f"{t_mono / t_comp:.1f}×",
+                comp.stats.strata,
+                comp.stats.rules_compiled,
                 "✓" if agree else "✗",
             )
         )
     print_series(
-        "E19: mixed closure + filter + assignment stage — monolithic vs scheduled",
-        ["n", "|T|", "monolithic", "scheduled", "speedup",
-         "strata", "skipped", "agree"],
+        "E19: mixed closure + filter + assignment stage — "
+        "monolithic vs scheduled vs scheduled+compiled",
+        ["n", "|T|", "monolithic", "scheduled", "sched+compile",
+         "compile speedup", "total speedup", "strata", "compiled", "agree"],
         rows,
     )
     print(
@@ -124,7 +142,11 @@ def main(sizes=None):
         "  rule; the certified schedule isolates the assignment in its own\n"
         "  stratum and restores semi-naive evaluation for the closure and the\n"
         "  filter — a speedup that grows with n, for the price of one\n"
-        "  dependency analysis per program."
+        "  dependency analysis per program. Compiling the planned bodies into\n"
+        "  closure kernels (--compile) multiplies in a further constant\n"
+        "  factor; the filter stratum F(x,y) :- T(x,y), T(y,x) gains most —\n"
+        "  its fully-bound membership check becomes one hash lookup against\n"
+        "  the captured T extension."
     )
     return series
 

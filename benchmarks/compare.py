@@ -5,8 +5,14 @@ The trajectory files are what ``run_all.py --json`` writes:
 point over the keys both files share::
 
     python benchmarks/compare.py BENCH_PR2.json BENCH_PR3.json
+    python benchmarks/compare.py BENCH_SMOKE.json            # auto baseline
     python benchmarks/compare.py OLD.json NEW.json --threshold 2.0
     python benchmarks/compare.py OLD.json NEW.json --warn-only   # CI guard
+
+With a single file argument the baseline is auto-selected: the
+``BENCH_PR<n>.json`` with the highest ``n`` next to the candidate (the
+candidate itself excluded), so CI never hardcodes the previous PR's
+filename. The chosen baseline is always printed.
 
 Speedup is old/new: >1 means the new run is faster. A point regresses when
 ``new > threshold * old``; any regression makes the exit status 1 unless
@@ -18,8 +24,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 def load_trajectory(path: str) -> Dict[str, Dict[str, float]]:
@@ -60,10 +68,39 @@ def compare(
     return rows, regressions
 
 
+_PR_FILE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def newest_baseline(candidate: str) -> Optional[str]:
+    """The ``BENCH_PR<n>.json`` with the highest n beside ``candidate``.
+
+    The candidate file itself is excluded, so comparing a freshly
+    regenerated ``BENCH_PR5.json`` auto-selects ``BENCH_PR4.json``.
+    """
+    directory = os.path.dirname(os.path.abspath(candidate))
+    best: Optional[Tuple[int, str]] = None
+    for entry in os.listdir(directory):
+        match = _PR_FILE.match(entry)
+        if not match:
+            continue
+        path = os.path.join(directory, entry)
+        if os.path.abspath(candidate) == path:
+            continue
+        key = (int(match.group(1)), path)
+        if best is None or key > best:
+            best = key
+    return best[1] if best else None
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("old", help="baseline trajectory json")
-    parser.add_argument("new", help="candidate trajectory json")
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="TRAJECTORY",
+        help="OLD.json NEW.json, or just NEW.json to auto-select the "
+        "newest BENCH_PR*.json beside it as the baseline",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -77,8 +114,24 @@ def main(argv) -> int:
     )
     args = parser.parse_args(argv)
 
-    old = load_trajectory(args.old)
-    new = load_trajectory(args.new)
+    if len(args.files) == 2:
+        old_path, new_path = args.files
+        print(f"baseline: {old_path}", file=sys.stderr)
+    elif len(args.files) == 1:
+        new_path = args.files[0]
+        old_path = newest_baseline(new_path)
+        if old_path is None:
+            print(
+                f"error: no BENCH_PR*.json baseline found beside {new_path}",
+                file=sys.stderr,
+            )
+            return 0 if args.warn_only else 1
+        print(f"baseline: {old_path} (auto-selected)", file=sys.stderr)
+    else:
+        parser.error("expected OLD.json NEW.json or just NEW.json")
+
+    old = load_trajectory(old_path)
+    new = load_trajectory(new_path)
     rows, regressions = compare(old, new, args.threshold)
     if not rows:
         print("no overlapping (experiment, size) points to compare", file=sys.stderr)

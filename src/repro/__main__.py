@@ -117,6 +117,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.naive and args.compile:
+        print(
+            "error: --naive and --compile are contradictory: --naive selects the "
+            "reference generate-and-test engine, --compile specializes the "
+            "planned/indexed one. Drop one of the two flags.",
+            file=sys.stderr,
+        )
+        return 2
     program = _load_program(args.program)
     errors = check_program(program)
     if errors:
@@ -138,6 +146,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         indexed=not args.naive,
         interned=not args.no_intern,
         schedule=args.schedule,
+        compile=args.compile,
     )
     result = evaluator.run(instance)
     stats = result.stats
@@ -147,7 +156,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if args.stats:
+        from repro.values import intern
+
         plan_total = stats.plan_cache_hits + stats.plan_cache_misses
+        live_tuples, live_sets = intern.table_sizes()
+        fallbacks = ""
+        if stats.compile_fallback_reasons:
+            inner = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in sorted(stats.compile_fallback_reasons.items())
+            )
+            fallbacks = f" ({inner})"
         print(
             "evaluation stats:\n"
             f"  steps                {stats.steps}\n"
@@ -158,9 +177,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  valuations           {stats.valuations_considered}\n"
             f"  index probes         {stats.index_probes}\n"
             f"  index scans avoided  {stats.index_scans_avoided}\n"
-            f"  plan cache           {stats.plan_cache_hits}/{plan_total} hits\n"
+            f"  plan cache           {stats.plan_cache_hits}/{plan_total} hits, "
+            f"{stats.plan_cache_entries} entries, "
+            f"{stats.plan_cache_evictions} evicted\n"
+            f"  rules compiled       {stats.rules_compiled}\n"
+            f"  rules interpreted    {stats.rules_interpreted}\n"
+            f"  compile fallbacks    {stats.compile_fallbacks}{fallbacks}\n"
+            f"  compile time         {stats.compile_time * 1000:.1f}ms\n"
+            f"  kernel cache         {stats.kernel_cache_entries} entries, "
+            f"{stats.kernel_cache_evictions} evicted\n"
             f"  intern hits          {stats.intern_hits}\n"
             f"  intern misses        {stats.intern_misses}\n"
+            f"  intern live nodes    {live_tuples} tuples, {live_sets} sets\n"
             f"  eq fast paths        {stats.eq_fast_paths}\n"
             f"  strata               {stats.strata}\n"
             f"  rules skipped clean  {stats.rules_skipped_clean}\n"
@@ -274,6 +302,12 @@ def main(argv=None) -> int:
         "--schedule",
         action="store_true",
         help="run one fixpoint per certified dependency stratum (repro analyze)",
+    )
+    p_run.add_argument(
+        "--compile",
+        action="store_true",
+        help="specialize planned rule bodies into closure kernels "
+        "(incompatible with --naive)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -1,0 +1,42 @@
+"""Small bounded mappings for per-rule evaluation caches.
+
+The body planner (``Rule.plan_cache``) and the rule compiler
+(``Rule.kernel_cache``) memoize per-rule artifacts keyed by body shape and
+bound-variable set. Both used to be plain dicts, which grow without limit
+when one process evaluates many programs (or many bound-set variants of
+the same rule, as the semi-naive rewriting produces). :class:`BoundedDict`
+caps them: insertion order is the eviction order (FIFO — the cheapest
+policy that is O(1) per operation and needs no access bookkeeping on the
+hot ``get`` path), and evictions are counted so ``repro run --stats`` can
+surface cache pressure.
+
+A FIFO bound is deliberately simple: evicting a live plan or kernel costs
+one recomputation, never correctness — plans are cost hints and kernels
+are recompiled on demand.
+"""
+
+from __future__ import annotations
+
+
+class BoundedDict(dict):
+    """A dict that evicts its oldest entry once ``maxsize`` is reached.
+
+    Reads are plain dict reads (no reordering); writes of *new* keys evict
+    the oldest insertion first when full. ``evictions`` counts how many
+    entries were dropped over the cache's lifetime.
+    """
+
+    __slots__ = ("maxsize", "evictions")
+
+    def __init__(self, maxsize: int):
+        super().__init__()
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.evictions = 0
+
+    def __setitem__(self, key, value):
+        if key not in self and len(self) >= self.maxsize:
+            del self[next(iter(self))]
+            self.evictions += 1
+        super().__setitem__(key, value)

@@ -89,6 +89,24 @@ class EvaluationStats:
     strata: int = 0
     rules_skipped_clean: int = 0
     schedule_fallbacks: int = 0
+    # Rule compilation (Evaluator(compile=True), repro.iql.compile):
+    # distinct rules that ran as compiled kernels vs fell back to the
+    # interpreter this run, fallback events by construct tag ("deletion",
+    # "choose", "unbound-dereference", "set-assignment"), and the wall
+    # time spent compiling (cache misses only). Note compiled kernels do
+    # NOT maintain index_probes / index_scans_avoided — the probe is a
+    # plain dict lookup resolved at compile time.
+    rules_compiled: int = 0
+    rules_interpreted: int = 0
+    compile_fallbacks: int = 0
+    compile_fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    compile_time: float = 0.0
+    # End-of-run sizes of the per-rule bounded caches (repro.caches),
+    # summed over the program's rules; evictions signal cache pressure.
+    plan_cache_entries: int = 0
+    plan_cache_evictions: int = 0
+    kernel_cache_entries: int = 0
+    kernel_cache_evictions: int = 0
 
 
 @dataclass
@@ -148,6 +166,7 @@ class Evaluator:
         preflight: bool = False,
         interned: bool = True,
         schedule: bool = False,
+        compile: bool = False,
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
             raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
@@ -192,6 +211,20 @@ class Evaluator:
                         PreflightWarning,
                         stacklevel=3,
                     )
+        # Rule compilation (repro.iql.compile): specialize planned bodies
+        # into closure kernels over slot lists, used by both the naive
+        # one-step operator and the semi-naive rounds; rules with an
+        # uncompilable construct fall back per rule. Disabled under
+        # tracing (kernels bypass the event emission points).
+        self.compile = compile and not trace
+        self._compiler = None
+        if self.compile:
+            from repro.iql.compile import RuleCompiler
+
+            self._compiler = RuleCompiler(
+                use_indexes=self.indexed,
+                enumeration_budget=self.limits.enumeration_budget,
+            )
         import random as _random
 
         self._rng = _random.Random(seed)
@@ -231,6 +264,8 @@ class Evaluator:
             )
         working = input_instance.with_schema(self.program.schema)
         stats = EvaluationStats()
+        if self._compiler is not None:
+            self._compiler.begin_run(stats)
         from repro.values import intern
 
         hits0, misses0, fast0 = intern.counters()
@@ -248,6 +283,13 @@ class Evaluator:
         stats.intern_hits = hits1 - hits0
         stats.intern_misses = misses1 - misses0
         stats.eq_fast_paths = fast1 - fast0
+        for rule in self.program.rules:
+            if rule._plan_cache is not None:
+                stats.plan_cache_entries += len(rule._plan_cache)
+                stats.plan_cache_evictions += rule._plan_cache.evictions
+            if rule._kernel_cache is not None:
+                stats.kernel_cache_entries += len(rule._kernel_cache)
+                stats.kernel_cache_evictions += rule._kernel_cache.evictions
         return EvaluationResult(
             full=working, output=output, stats=stats, trace=self._trace
         )
@@ -269,6 +311,7 @@ class Evaluator:
                     self.limits.enumeration_budget,
                     max_steps=self.limits.max_steps,
                     use_indexes=self.indexed,
+                    compiler=self._compiler,
                 )
                 stats.per_stage_steps.append(rounds)
                 return
@@ -364,6 +407,7 @@ class Evaluator:
                     self.limits.enumeration_budget,
                     max_steps=self.limits.max_steps,
                     use_indexes=self.indexed,
+                    compiler=self._compiler,
                 )
                 continue
             effects = [rule_effects(rule, instance.schema) for rule in rules]
@@ -404,10 +448,28 @@ class Evaluator:
     # -- the one-step operator γ1 ----------------------------------------------------
 
     def _one_step(self, instance: Instance, rules: List[Rule], stats: EvaluationStats) -> bool:
-        additions: List[Tuple[Rule, Bindings]] = []
+        # Each addition is (rule, bindings, kernel): bindings is a θ dict
+        # on the interpreted path, a slot list on the compiled one (with
+        # kernel the rule's CompiledRule).
+        additions: List[Tuple[Rule, object, object]] = []
         deletions: List[Tuple[Rule, Bindings]] = []
 
         for rule in rules:
+            kernel = (
+                self._compiler.compiled_rule(rule, instance)
+                if self._compiler is not None
+                else None
+            )
+            if kernel is not None:
+                blocked = kernel.blocked
+
+                def consume(slots, _rule=rule, _kernel=kernel, _blocked=blocked):
+                    stats.valuations_considered += 1
+                    if not _blocked(slots):
+                        additions.append((_rule, slots[:], _kernel))
+
+                kernel.solve(consume)
+                continue
             for theta in solve_body(
                 rule.body,
                 instance,
@@ -425,7 +487,7 @@ class Evaluator:
                     deletions.append((rule, theta))
                 else:
                     if not self._head_satisfiable(rule, theta, instance):
-                        additions.append((rule, theta))
+                        additions.append((rule, theta, None))
 
         if not additions and not deletions:
             return False
@@ -433,9 +495,21 @@ class Evaluator:
         changed = False
 
         # Invention / choose: extend each valuation on head-only variables.
-        extended: List[Tuple[Rule, Bindings]] = []
+        extended: List[Tuple[Rule, object, object]] = []
         invented: List[Tuple[str, Oid]] = []
-        for rule, theta in additions:
+        for rule, theta, kernel in additions:
+            if kernel is not None:
+                for class_name, slot in kernel.inv_slots:
+                    oid = self.oid_factory.invent(class_name)
+                    theta[slot] = oid
+                    invented.append((class_name, oid))
+                    stats.oids_invented += 1
+                    if stats.oids_invented > self.limits.max_invented_oids:
+                        raise NonTerminationError(
+                            f"invented more than {self.limits.max_invented_oids} oids"
+                        )
+                extended.append((rule, theta, kernel))
+                continue
             theta = dict(theta)
             inv_vars = sorted(rule.invention_variables(), key=lambda v: v.name)
             if rule.has_choose():
@@ -452,7 +526,7 @@ class Evaluator:
                         raise NonTerminationError(
                             f"invented more than {self.limits.max_invented_oids} oids"
                         )
-            extended.append((rule, theta))
+            extended.append((rule, theta, None))
 
         # Place invented oids in their classes first (their facts may refer
         # to one another within the same step).
@@ -464,7 +538,12 @@ class Evaluator:
         # Derive facts; group weak assignments for the (★) rule.
         weak: Dict[Oid, Set[OValue]] = {}
         weak_was_defined: Dict[Oid, bool] = {}
-        for rule, theta in extended:
+        for rule, theta, kernel in extended:
+            if kernel is not None:
+                if kernel.apply(theta, weak, weak_was_defined):
+                    changed = True
+                    stats.facts_added += 1
+                continue
             head = rule.head
             if isinstance(head, Membership):
                 container = head.container

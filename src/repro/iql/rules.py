@@ -19,11 +19,22 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Optional, Tuple
 
+from repro.caches import BoundedDict
 from repro.diagnostics import Span
 from repro.errors import TypeCheckError
 from repro.iql.literals import Choose, Equality, Literal, Membership
 from repro.iql.terms import Deref, NameTerm, Var
 from repro.typesys.expressions import ClassRef
+
+#: Bound on the per-rule body-plan memo: one entry per (sub-body,
+#: bound-set, indexes on/off) shape; the semi-naive rewriting produces at
+#: most a few per rule, so evictions mean pathological reuse, not normal
+#: operation.
+PLAN_CACHE_SIZE = 128
+
+#: Bound on the per-rule compiled-kernel cache (repro.iql.compile): at
+#: most a handful of shapes per rule ("rule"/"sn" × indexes on/off).
+KERNEL_CACHE_SIZE = 16
 
 
 class Rule:
@@ -35,7 +46,7 @@ class Rule:
     the Theorem 4.3.1 experiment.
     """
 
-    __slots__ = ("head", "body", "delete", "label", "span", "_plan_cache")
+    __slots__ = ("head", "body", "delete", "label", "span", "_plan_cache", "_kernel_cache")
 
     def __init__(
         self,
@@ -61,6 +72,7 @@ class Rule:
         self.label = label
         self.span = span if span is not None else head.span
         self._plan_cache = None
+        self._kernel_cache = None
 
     @property
     def plan_cache(self) -> dict:
@@ -68,12 +80,28 @@ class Rule:
 
         Keyed by (literal tuple, bound-variable set, use_indexes); the
         semi-naive delta rewriting solves many sub-bodies of the same rule,
-        so the cache lives here rather than per call. Excluded from
-        equality and hashing — it is an evaluation artifact, not syntax.
+        so the cache lives here rather than per call. Bounded (FIFO, see
+        :mod:`repro.caches`) so long-lived rules cannot accumulate plans
+        without limit. Excluded from equality and hashing — it is an
+        evaluation artifact, not syntax.
         """
         if self._plan_cache is None:
-            self._plan_cache = {}
+            self._plan_cache = BoundedDict(PLAN_CACHE_SIZE)
         return self._plan_cache
+
+    @property
+    def kernel_cache(self) -> dict:
+        """The rule compiler's kernel memo (repro.iql.compile).
+
+        Keyed by (shape, use_indexes); entries are revalidated against the
+        current instance on every fetch (compiled kernels capture one
+        instance's sets and index dicts), so a stale entry costs one
+        recompile, never a wrong answer. Bounded like :attr:`plan_cache`
+        and likewise excluded from equality and hashing.
+        """
+        if self._kernel_cache is None:
+            self._kernel_cache = BoundedDict(KERNEL_CACHE_SIZE)
+        return self._kernel_cache
 
     def display_label(self) -> str:
         """The rule's label, or a rendering of it, for diagnostics."""

@@ -105,6 +105,7 @@ def run_stage_seminaive(
     enumeration_budget: int,
     max_steps: int = 10_000,
     use_indexes: bool = True,
+    compiler=None,
 ) -> int:
     """Evaluate an eligible stage to fixpoint with delta rewriting.
 
@@ -113,11 +114,23 @@ def run_stage_seminaive(
     to match a fact from the previous round's delta — matched directly,
     with the remaining literals solved under the resulting bindings (so
     all the planning and indexing machinery is reused verbatim).
+
+    With a ``compiler`` (:class:`repro.iql.compile.RuleCompiler`) each
+    rule's round-0 body, per-position delta matchers and rest bodies run
+    as compiled closure kernels over slot lists; rules the compiler
+    cannot take (a fallback construct in the body) run the interpreted
+    path above, rule by rule.
     """
     schema = instance.schema
     shapes: Dict[int, DeltaBody] = {
         index: delta_body(rule, schema) for index, rule in enumerate(rules)
     }
+    kernels = {}
+    if compiler is not None:
+        for index, rule in enumerate(rules):
+            compiled = compiler.seminaive_kernels(rule, shapes[index], instance)
+            if compiled is not None:
+                kernels[index] = compiled
     rounds = 0
     first = True
     delta: Dict[str, Set[OValue]] = {}
@@ -133,6 +146,7 @@ def run_stage_seminaive(
             head_name = rule.head.container.name
             head_term = rule.head.element
             existing = instance.relations[head_name]
+            compiled = kernels.get(rule_index)
 
             def derive(theta):
                 value = eval_term(head_term, theta, instance)
@@ -141,6 +155,18 @@ def run_stage_seminaive(
                     stats.valuations_considered += 1
 
             if first:
+                if compiled is not None:
+                    bucket = new.setdefault(head_name, set())
+                    head_eval = compiled.head_full
+
+                    def consume(slots, _he=head_eval, _b=bucket, _ex=existing):
+                        value = _he(slots)
+                        if value is not None and value not in _ex:
+                            _b.add(value)
+                            stats.valuations_considered += 1
+
+                    compiled.full.execute((), consume)
+                    continue
                 for theta in solve_body(
                     rule.body,
                     instance,
@@ -157,6 +183,23 @@ def run_stage_seminaive(
                 literal = body[position]
                 source = delta.get(literal.container.name)
                 if not source:
+                    continue
+                if compiled is not None:
+                    matcher, rest_body, head_eval = compiled.per_position[position]
+                    bucket = new.setdefault(head_name, set())
+
+                    def consume(slots, _he=head_eval, _b=bucket, _ex=existing):
+                        value = _he(slots)
+                        if value is not None and value not in _ex:
+                            _b.add(value)
+                            stats.valuations_considered += 1
+
+                    slots = rest_body.new_slots()
+                    rest_body.sink_cell[0] = consume
+                    entry = rest_body.entry
+                    for fact in source:
+                        if matcher(fact, slots):
+                            entry(slots)
                     continue
                 rest = body[:position] + body[position + 1 :]
                 for fact in source:

@@ -371,6 +371,36 @@ def plan_body(
     return tuple(steps)
 
 
+def lookup_plan(
+    literals: Tuple[Literal, ...],
+    bound0: FrozenSet[Var],
+    instance: Instance,
+    use_indexes: bool = True,
+    plan_cache: Optional[Dict] = None,
+    stats=None,
+) -> Tuple[tuple, ...]:
+    """The memoized plan for ``literals`` with ``bound0`` pre-bound.
+
+    Shared by the interpreter (:func:`solve_body`) and the rule compiler
+    (:mod:`repro.iql.compile`) so both agree on join order; ``stats``
+    records the hit/miss per lookup.
+    """
+    plan: Optional[Tuple[tuple, ...]] = None
+    key = (literals, bound0, use_indexes)
+    if plan_cache is not None:
+        plan = plan_cache.get(key)
+        if stats is not None:
+            if plan is None:
+                stats.plan_cache_misses += 1
+            else:
+                stats.plan_cache_hits += 1
+    if plan is None:
+        plan = plan_body(literals, bound0, instance, use_indexes)
+        if plan_cache is not None:
+            plan_cache[key] = plan
+    return plan
+
+
 def solve_body(
     body: Sequence[Literal],
     instance: Instance,
@@ -394,19 +424,7 @@ def solve_body(
     literals = tuple(lit for lit in body if not isinstance(lit, Choose))
     bindings0 = dict(initial or {})
     bound0 = frozenset(bindings0)
-    plan: Optional[Tuple[tuple, ...]] = None
-    if plan_cache is not None:
-        key = (literals, bound0, use_indexes)
-        plan = plan_cache.get(key)
-        if stats is not None:
-            if plan is None:
-                stats.plan_cache_misses += 1
-            else:
-                stats.plan_cache_hits += 1
-    if plan is None:
-        plan = plan_body(literals, bound0, instance, use_indexes)
-        if plan_cache is not None:
-            plan_cache[key] = plan
+    plan = lookup_plan(literals, bound0, instance, use_indexes, plan_cache, stats)
 
     def run(step_index: int, bindings: Bindings) -> Iterator[Bindings]:
         if step_index == len(plan):

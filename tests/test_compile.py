@@ -1,0 +1,369 @@
+"""Tests for the rule compiler (repro.iql.compile).
+
+Three layers:
+
+* fallback constructs — each shape the compiler refuses (deletion
+  bodies, choose, unbound dereference, set-assignment patterns) must run
+  interpreted, produce the reference answer, and record its reason tag;
+* kernel invalidation — compiled kernels capture live extension sets and
+  index dicts by identity, so ``drop_indexes`` (IQL* deletions) and a
+  change of instance must force recompilation;
+* plumbing — the bounded caches, the surfaced statistics, and the CLI
+  flag validation.
+
+The 220-seed compiled-vs-reference sweep lives in test_differential.py.
+"""
+
+import pytest
+
+from repro.caches import BoundedDict
+from repro.iql import (
+    Choose,
+    Deref,
+    Evaluator,
+    Membership,
+    NameTerm,
+    Program,
+    Rule,
+    SetTerm,
+    TupleTerm,
+    Var,
+    atom,
+    columns,
+)
+from repro.iql.compile import RuleCompiler
+from repro.iql.evaluator import EvaluationStats
+from repro.parser.grammar import program_from_source
+from repro.schema import Instance, Schema, are_o_isomorphic
+from repro.typesys import D, classref, set_of, tuple_of
+from repro.values import Oid, OTuple, OSet
+
+
+def reference(program, instance):
+    return Evaluator(program, seminaive=False, indexed=False).run(instance.copy())
+
+
+def compiled(program, instance, **kwargs):
+    return Evaluator(program, compile=True, **kwargs).run(instance.copy())
+
+
+# -- fallback constructs -----------------------------------------------------------
+
+
+class TestFallbacks:
+    def test_deletion_rule_falls_back(self):
+        schema = Schema(
+            relations={"Src": columns(D), "Kill": columns(D), "Dst": columns(D)}
+        )
+        x = Var("x", D)
+        program = Program(
+            schema,
+            rules=[
+                Rule(atom(schema, "Dst", x), [atom(schema, "Src", x)]),
+                Rule(atom(schema, "Dst", x), [atom(schema, "Kill", x)], delete=True),
+            ],
+            input_names=["Src", "Kill"],
+            output_names=["Dst"],
+        )
+        instance = Instance(schema.project(["Src", "Kill"]))
+        for v in ("a", "b", "c"):
+            instance.add_relation_member("Src", OTuple(A01=v))
+        instance.add_relation_member("Kill", OTuple(A01="b"))
+        ref = reference(program, instance)
+        out = compiled(program, instance)
+        assert out.output == ref.output
+        assert out.output.relations["Dst"] == {OTuple(A01="a"), OTuple(A01="c")}
+        assert out.stats.compile_fallback_reasons.get("deletion", 0) >= 1
+        assert out.stats.rules_interpreted >= 1
+
+    def test_choose_rule_falls_back(self):
+        P = classref("P")
+        schema = Schema(
+            relations={"R_pick": tuple_of(M=P)},
+            classes={"P": tuple_of(tag=D)},
+        )
+        m = Var("m", P)
+        program = Program(
+            schema,
+            rules=[Rule(Membership(NameTerm("R_pick"), TupleTerm(M=m)), [Choose()])],
+            input_names=["P"],
+            output_names=["R_pick", "P"],
+        )
+        instance = Instance(schema.project(["P"]))
+        for i in range(3):
+            oid = Oid(f"s{i}")
+            instance.add_class_member("P", oid)
+            instance.assign(oid, OTuple(tag="same"))
+        ref = reference(program, instance)
+        out = compiled(program, instance)
+        assert out.output == ref.output
+        assert len(out.output.relations["R_pick"]) == 1
+        assert out.stats.compile_fallback_reasons.get("choose", 0) >= 1
+
+    def test_unbound_dereference_falls_back(self):
+        C = classref("C")
+        schema = Schema(
+            relations={"Val": columns(D), "Out": columns(C)},
+            classes={"C": D},
+        )
+        p = Var("p", C)
+        program = Program(
+            schema,
+            rules=[Rule(atom(schema, "Out", p), [atom(schema, "Val", Deref(p))])],
+            input_names=["Val", "C"],
+            output_names=["Out", "C"],
+        )
+        instance = Instance(schema.project(["Val", "C"]))
+        o1, o2 = Oid("o1"), Oid("o2")
+        for oid, value in ((o1, "a"), (o2, "b")):
+            instance.add_class_member("C", oid)
+            instance.assign(oid, value)
+        instance.add_relation_member("Val", OTuple(A01="a"))
+        ref = reference(program, instance)
+        out = compiled(program, instance)
+        assert out.output == ref.output
+        assert out.output.relations["Out"] == {OTuple(A01=o1)}
+        assert out.stats.compile_fallback_reasons.get("unbound-dereference", 0) >= 1
+
+    def test_set_assignment_pattern_falls_back(self):
+        schema = Schema(relations={"S": columns(set_of(D)), "U": columns(D)})
+        x = Var("x", D)
+        program = Program(
+            schema,
+            rules=[Rule(atom(schema, "U", x), [atom(schema, "S", SetTerm(x))])],
+            input_names=["S"],
+            output_names=["U"],
+        )
+        instance = Instance(schema.project(["S"]))
+        instance.add_relation_member("S", OTuple(A01=OSet(["a"])))
+        instance.add_relation_member("S", OTuple(A01=OSet(["b", "c"])))
+        ref = reference(program, instance)
+        out = compiled(program, instance)
+        assert out.output == ref.output
+        assert out.output.relations["U"] == {OTuple(A01="a")}
+        assert out.stats.compile_fallback_reasons.get("set-assignment", 0) >= 1
+
+    def test_compilable_program_has_no_fallbacks(self):
+        program, instance = _tc_setup()
+        out = compiled(program, instance)
+        assert out.stats.compile_fallbacks == 0
+        assert out.stats.rules_interpreted == 0
+        assert out.stats.rules_compiled == len(program.rules)
+
+
+# -- kernel invalidation -----------------------------------------------------------
+
+
+def _tc_setup(n=6):
+    schema = Schema(relations={"E": columns(D, D), "T": columns(D, D)})
+    x, y, z = Var("x", D), Var("y", D), Var("z", D)
+    program = Program(
+        schema,
+        rules=[
+            Rule(atom(schema, "T", x, y), [atom(schema, "E", x, y)]),
+            Rule(
+                atom(schema, "T", x, z),
+                [atom(schema, "T", x, y), atom(schema, "E", y, z)],
+            ),
+        ],
+        input_names=["E"],
+        output_names=["T"],
+    )
+    instance = Instance(schema.project(["E"]))
+    for i in range(n - 1):
+        instance.add_relation_member("E", OTuple(A01=f"n{i}", A02=f"n{i + 1}"))
+    return program, instance
+
+
+class TestInvalidation:
+    def test_kernel_cached_then_invalidated_by_drop_indexes(self):
+        program, working = _tc_setup()
+        instance = working.with_schema(program.schema)
+        rule = program.rules[1]  # the join rule: its plan probes an index
+        compiler = RuleCompiler(use_indexes=True)
+        compiler.begin_run(EvaluationStats())
+        k1 = compiler.compiled_rule(rule, instance)
+        assert k1 is not None
+        assert k1.body.indexes is not None  # captured probe dicts
+        assert compiler.compiled_rule(rule, instance) is k1  # cache hit
+        instance.drop_indexes()
+        assert not k1.valid_for(instance)
+        k2 = compiler.compiled_rule(rule, instance)
+        assert k2 is not None and k2 is not k1
+        assert k2.valid_for(instance)
+
+    def test_kernel_invalidated_by_instance_change(self):
+        program, working = _tc_setup()
+        instance = working.with_schema(program.schema)
+        rule = program.rules[0]
+        compiler = RuleCompiler(use_indexes=True)
+        compiler.begin_run(EvaluationStats())
+        k1 = compiler.compiled_rule(rule, instance)
+        other = instance.copy()
+        assert not k1.valid_for(other)
+        k2 = compiler.compiled_rule(rule, other)
+        assert k2 is not k1 and k2.valid_for(other)
+
+    def test_compiled_run_survives_deletion_recompile_cycle(self):
+        # A join rule (captures index dicts) plus a deletion rule: the
+        # deletions drop the indexes mid-fixpoint, so the next step must
+        # detect the stale kernel and recompile against fresh indexes.
+        schema = Schema(
+            relations={"E": columns(D, D), "T": columns(D, D), "Kill": columns(D, D)}
+        )
+        x, y, z = Var("x", D), Var("y", D), Var("z", D)
+        program = Program(
+            schema,
+            rules=[
+                Rule(atom(schema, "T", x, y), [atom(schema, "E", x, y)]),
+                Rule(
+                    atom(schema, "T", x, z),
+                    [atom(schema, "T", x, y), atom(schema, "E", y, z)],
+                ),
+                Rule(atom(schema, "T", x, y), [atom(schema, "Kill", x, y)], delete=True),
+            ],
+            input_names=["E", "Kill"],
+            output_names=["T"],
+        )
+        instance = Instance(schema.project(["E", "Kill"]))
+        for i in range(5):
+            instance.add_relation_member("E", OTuple(A01=f"n{i}", A02=f"n{i + 1}"))
+        instance.add_relation_member("Kill", OTuple(A01="n0", A02="n3"))
+        ref = reference(program, instance)
+        out = compiled(program, instance)
+        assert out.output == ref.output
+        assert out.stats.compile_fallback_reasons.get("deletion", 0) >= 1
+        assert out.stats.rules_compiled >= 2
+
+
+# -- invention, blocking, weak assignment ------------------------------------------
+
+
+MIXED_PROGRAM = """
+schema {
+  relation E: [A1: D, A2: D];
+  relation T: [A1: D, A2: D];
+  relation F: [A1: D, A2: D];
+  relation Seed: [A1: P];
+  class P: [];
+}
+var x, y, z: D
+var p: P
+input E, Seed, P
+output T, F, P
+rules {
+  T(x, y) :- E(x, y).
+  T(x, z) :- T(x, y), E(y, z).
+  F(x, y) :- T(x, y), T(y, x).
+  p^ = [] :- Seed(p).
+}
+"""
+
+
+def _mixed_setup(n=8, objects=4):
+    program = program_from_source(MIXED_PROGRAM)
+    instance = Instance(program.input_schema)
+    for i in range(n - 1):
+        instance.add_relation_member("E", OTuple(A1=f"n{i}", A2=f"n{i + 1}"))
+    instance.add_relation_member("E", OTuple(A1=f"n{n - 1}", A2="n0"))
+    for k in range(objects):
+        oid = Oid(f"p{k}")
+        instance.add_class_member("P", oid)
+        instance.add_relation_member("Seed", OTuple(A1=oid))
+    return program, instance
+
+
+class TestSemantics:
+    def test_compiled_weak_assignment(self):
+        program, instance = _mixed_setup()
+        ref = reference(program, instance)
+        out = compiled(program, instance)
+        assert out.output == ref.output
+        assert out.output.classes["P"]
+        assert all(
+            out.output.value_of(oid) == OTuple() for oid in out.output.classes["P"]
+        )
+        assert out.stats.rules_compiled == 4
+
+    def test_compiled_scheduled_agrees(self):
+        program, instance = _mixed_setup()
+        ref = reference(program, instance)
+        out = Evaluator(program, schedule=True, compile=True).run(instance.copy())
+        assert out.output == ref.output
+        assert out.stats.strata == 3
+
+    def test_compiled_invention_and_blocking(self):
+        C = classref("C")
+        schema = Schema(
+            relations={"U": columns(D), "R": columns(D, C)},
+            classes={"C": set_of(D)},
+        )
+        x = Var("x", D)
+        c = Var("c", C)
+        program = Program(
+            schema,
+            rules=[Rule(atom(schema, "R", x, c), [atom(schema, "U", x)])],
+            input_names=["U"],
+            output_names=["R", "C"],
+        )
+        instance = Instance(schema.project(["U"]))
+        for v in ("a", "b", "c"):
+            instance.add_relation_member("U", OTuple(A01=v))
+        ref = reference(program, instance)
+        out = compiled(program, instance)
+        assert are_o_isomorphic(out.output, ref.output)
+        # Blocking: exactly one invention per U-fact, then fixpoint.
+        assert out.stats.oids_invented == 3
+
+
+# -- cache plumbing and statistics -------------------------------------------------
+
+
+class TestPlumbing:
+    def test_bounded_dict_evicts_fifo(self):
+        cache = BoundedDict(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["c"] = 3
+        assert "a" not in cache and set(cache) == {"b", "c"}
+        assert cache.evictions == 1
+
+    def test_bounded_dict_overwrite_does_not_evict(self):
+        cache = BoundedDict(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 10
+        assert set(cache) == {"a", "b"} and cache["a"] == 10
+        assert cache.evictions == 0
+
+    def test_bounded_dict_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            BoundedDict(0)
+
+    def test_stats_surface_compile_and_caches(self):
+        program, instance = _tc_setup()
+        out = compiled(program, instance)
+        assert out.stats.rules_compiled >= 1
+        assert out.stats.compile_time >= 0.0
+        assert out.stats.kernel_cache_entries >= 1
+        assert out.stats.plan_cache_entries >= 1
+        assert out.stats.kernel_cache_evictions == 0
+
+    def test_compile_ignored_under_trace(self):
+        program, instance = _tc_setup()
+        evaluator = Evaluator(program, compile=True, trace=True)
+        assert not evaluator.compile
+        result = evaluator.run(instance.copy())
+        assert result.output == reference(program, instance).output
+
+
+class TestCli:
+    def test_naive_and_compile_rejected(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["run", "prog.iql", "--input", "in.json", "--naive", "--compile"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--naive" in err and "--compile" in err
