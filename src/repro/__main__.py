@@ -5,7 +5,8 @@ Usage::
     python -m repro run PROGRAM.iql --input data.json [--output out.json]
     python -m repro check PROGRAM.iql [--json]   # type check + classify
     python -m repro lint PROGRAM.iql [--format text|json] [--strict]
-    python -m repro analyze PROGRAM.iql [--format text|json|dot]
+    python -m repro analyze PROGRAM.iql [--format text|json|dot] [--stats]
+    python -m repro impact PROGRAM.iql [--symbol R] [--op insert|delete]
     python -m repro fmt PROGRAM.iql              # parse + pretty-print
     python -m repro validate data.json           # instance legality
     python -m repro demo                         # the Example 1.2 pipeline
@@ -15,7 +16,11 @@ JSON format of repro.io. ``lint`` runs the full repro.analysis pipeline
 and exits non-zero on error-severity diagnostics (``--strict`` promotes
 warnings to the same treatment, for CI gating). ``analyze`` renders the
 per-stage dependency graphs, SCC strata, effect summaries, and the
-certified schedule in text, JSON, or GraphViz DOT.
+certified schedule in text, JSON, or GraphViz DOT (``--stats`` adds
+per-pass analysis timings on stderr). ``impact`` renders the
+update-impact analysis: per updatable base symbol, the affected cone,
+the counting/DRed/recompute maintenance classification, and the
+machine-checkable maintenance certificates (IQL701–IQL704).
 """
 
 from __future__ import annotations
@@ -82,18 +87,45 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    import time
+
     from repro.analysis import (
         analyze,
         compute_schedule,
         graphs_to_dot,
+        impact_pass,
+        program_cones,
         program_graphs,
         render_graphs_text,
+        rule_effects,
     )
 
     program = _load_program(args.program)
+    timings = {}
+    t0 = time.perf_counter()
+    for rule in program.rules:
+        rule_effects(rule, program.schema)
+    timings["effects"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
     graphs = program_graphs(program)
     schedule = compute_schedule(program)
+    timings["depgraph"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
     report = analyze(program)
+    timings["lint"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cones = program_cones(program)
+    impact_diagnostics = impact_pass(program, cones=cones)
+    timings["impact"] = time.perf_counter() - t0
+    if args.stats:
+        print(
+            "analysis timings:\n"
+            + "\n".join(
+                f"  {name:<10} {seconds * 1000:8.2f}ms"
+                for name, seconds in timings.items()
+            ),
+            file=sys.stderr,
+        )
     if args.format == "json":
         print(
             json.dumps(
@@ -102,6 +134,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                     "stages": [graph.to_json() for graph in graphs],
                     "schedule": schedule.to_json(),
                     "diagnostics": [d.to_json() for d in report.diagnostics],
+                    "impact": {
+                        "cones": [cone.to_json() for cone in cones],
+                        "diagnostics": [
+                            d.to_json() for d in impact_diagnostics
+                        ],
+                    },
+                    "timings_ms": {
+                        name: seconds * 1000 for name, seconds in timings.items()
+                    },
                 },
                 indent=2,
             )
@@ -113,7 +154,55 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for diag in report.diagnostics:
             if diag.code.startswith("IQL6"):
                 print(diag.render(args.program))
+        for diag in impact_diagnostics:
+            print(diag.render(args.program))
     return 0 if report.ok else 1
+
+
+def cmd_impact(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        build_certificate,
+        impact_pass,
+        impact_to_dot,
+        program_cones,
+        program_graphs,
+        render_impact_text,
+    )
+    from repro.analysis.impact import UPDATE_OPS
+
+    program = _load_program(args.program)
+    if args.symbol is not None and args.symbol not in program.input_names:
+        print(
+            f"error: {args.symbol!r} is not an input symbol of the program "
+            f"(inputs: {', '.join(program.input_names) or 'none'})",
+            file=sys.stderr,
+        )
+        return 2
+    symbols = [args.symbol] if args.symbol is not None else None
+    cones = program_cones(program, symbols=symbols)
+    ops = [args.op] if args.op is not None else list(UPDATE_OPS)
+    certificates = [
+        build_certificate(program, cone, op) for cone in cones for op in ops
+    ]
+    diagnostics = impact_pass(program, cones=cones)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "file": args.program,
+                    "certificates": [c.to_json() for c in certificates],
+                    "diagnostics": [d.to_json() for d in diagnostics],
+                },
+                indent=2,
+            )
+        )
+    elif args.format == "dot":
+        print(impact_to_dot(cones, program_graphs(program)))
+    else:
+        print(render_impact_text(cones))
+        for diag in diagnostics:
+            print(diag.render(args.program))
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -266,7 +355,30 @@ def main(argv=None) -> int:
     p_analyze.add_argument(
         "--format", choices=["text", "json", "dot"], default="text"
     )
+    p_analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-pass analysis timings (lint, effects, depgraph, impact)",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_impact = sub.add_parser(
+        "impact",
+        help="update-impact analysis: affected cones and maintenance certificates",
+    )
+    p_impact.add_argument("program")
+    p_impact.add_argument(
+        "--symbol", help="restrict to one updatable base symbol (default: all inputs)"
+    )
+    p_impact.add_argument(
+        "--op",
+        choices=["insert", "delete"],
+        help="restrict certificates to one update class (default: both)",
+    )
+    p_impact.add_argument(
+        "--format", choices=["text", "json", "dot"], default="text"
+    )
+    p_impact.set_defaults(func=cmd_impact)
 
     p_run = sub.add_parser("run", help="evaluate a program on an instance")
     p_run.add_argument("program")

@@ -27,6 +27,29 @@ from repro.analysis.depgraph import (
     stage_graph,
 )
 from repro.analysis.effects import RuleEffects, delta_body, rule_effects
+from repro.analysis.impact import (
+    Hazard,
+    ImpactCone,
+    SymbolImpact,
+    impact_cone,
+    impact_pass,
+    impact_to_dot,
+    program_cones,
+    render_impact_text,
+)
+from repro.analysis.maintenance import (
+    COUNTING,
+    DRED,
+    NOOP,
+    RECOMPUTE,
+    MaintenanceCertificate,
+    build_certificate,
+    build_certificates,
+    check_certificate,
+    classify_cone,
+    overall_strategy,
+    replay_insert,
+)
 from repro.analysis.passes import (
     binding_pass,
     certification_pass,
@@ -39,29 +62,48 @@ from repro.diagnostics import CODES, Diagnostic, Span, diagnostic, diagnostics_t
 
 __all__ = [
     "CODES",
+    "COUNTING",
     "Certificate",
+    "DRED",
     "Diagnostic",
+    "Hazard",
+    "ImpactCone",
+    "MaintenanceCertificate",
+    "NOOP",
     "PreflightWarning",
+    "RECOMPUTE",
     "Report",
     "RuleEffects",
     "Schedule",
     "Span",
     "StageGraph",
     "StageSchedule",
+    "SymbolImpact",
     "analyze",
     "analyze_source",
     "binding_pass",
+    "build_certificate",
+    "build_certificates",
     "certification_pass",
     "certify",
+    "check_certificate",
+    "classify_cone",
     "compute_schedule",
     "delta_body",
     "depgraph_pass",
     "diagnostic",
     "diagnostics_to_json",
     "graphs_to_dot",
+    "impact_cone",
+    "impact_pass",
+    "impact_to_dot",
     "invention_cycle_pass",
+    "overall_strategy",
+    "program_cones",
     "program_graphs",
     "render_graphs_text",
+    "render_impact_text",
+    "replay_insert",
     "rule_effects",
     "stage_graph",
     "typecheck_pass",

@@ -13,7 +13,7 @@ and may diverge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.iql.program import Program
 from repro.iql.sublanguages import SublanguageReport, classify
@@ -73,7 +73,7 @@ class Certificate:
         }
 
 
-def certify(program: Program, report: SublanguageReport = None) -> Certificate:
+def certify(program: Program, report: Optional[SublanguageReport] = None) -> Certificate:
     """Stamp ``program``; ``report`` reuses an existing classification."""
     if report is None:
         report = classify(program)

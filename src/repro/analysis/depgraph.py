@@ -399,7 +399,7 @@ class StageSchedule:
         return self.strata is not None
 
     def to_json(self) -> dict:
-        if self.scheduled:
+        if self.strata is not None:
             return {
                 "stage": self.index + 1,
                 "strata": [len(stratum) for stratum in self.strata],
@@ -419,7 +419,7 @@ class Schedule:
 
     @property
     def stratum_count(self) -> int:
-        return sum(len(s.strata) for s in self.stages if s.scheduled)
+        return sum(len(s.strata) for s in self.stages if s.strata is not None)
 
     def to_json(self) -> List[dict]:
         return [stage.to_json() for stage in self.stages]
@@ -541,7 +541,7 @@ def render_graphs_text(
             lines.append(f"    {eff.summary()}")
         if schedule is not None:
             stage_schedule = schedule.stages[graph.index]
-            if stage_schedule.scheduled:
+            if stage_schedule.strata is not None:
                 lines.append(
                     f"  schedule: {len(stage_schedule.strata)} "
                     f"stratum/strata (certified)"

@@ -1,0 +1,662 @@
+"""Update-impact analysis: what one base-fact update can reach (IQL7xx).
+
+The serving-era question behind incremental view maintenance is static:
+when a tuple is inserted into (or deleted from) a base relation or a
+class extent, *which* derived symbols can change, and through what kind
+of dependency?  This module answers it on the polarity-labelled
+dependency graphs of :mod:`repro.analysis.depgraph`: for every updatable
+base symbol it computes the **affected cone** — the forward closure of
+the update under the per-rule read/write summaries of
+:mod:`repro.analysis.effects` — tracking, per reached symbol,
+
+* whether some path crosses a *non-monotone* read (negation or a
+  whole-extension snapshot): the delta arriving there is sign-flipped,
+  so an insert can retract derived facts,
+* whether the symbol is written inside a *recursive* SCC: its deltas
+  feed back into its own derivation,
+* and every **maintenance hazard** on the way: oid invention, weak
+  assignment (★), IQL* deletion, ``choose``, a stage the schedule
+  analysis refuses to certify, a write into a non-relation symbol or
+  into an input symbol, or a non-range-restricted rule anywhere in the
+  program (its enumeration over ``constants(I)`` observes *every*
+  insert, so no cone is closed).
+
+The cone is a symbol-level over-approximation (stage boundaries are
+ignored, so a symbol read in stage 1 but written in stage 2 still lands
+in the cone); over-approximation is sound for everything built on top —
+a larger cone only ever means re-running more strata.
+
+:mod:`repro.analysis.maintenance` classifies each cone symbol into the
+counting/DRed/recompute trichotomy and packages the result as a
+:class:`~repro.analysis.maintenance.MaintenanceCertificate`;
+:func:`impact_pass` turns the certificates into the ``IQL701``–``IQL704``
+diagnostics; ``repro impact`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.depgraph import (
+    Schedule,
+    StageGraph,
+    compute_schedule,
+    program_graphs,
+)
+from repro.analysis.effects import RuleEffects, is_plane, plane
+from repro.diagnostics import Diagnostic, Span, diagnostic
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.iql.sublanguages import is_range_restricted
+from repro.schema.schema import Schema
+
+#: The two update classes of a base symbol.
+UPDATE_OPS: Tuple[str, str] = ("insert", "delete")
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One non-maintainable construct on a path from the update.
+
+    ``tag`` is a stable machine identifier; ``detail`` the human-readable
+    form; ``rule_label``/``span`` locate a witness rule when one exists.
+    """
+
+    tag: str
+    detail: str
+    rule_label: Optional[str] = None
+    span: Optional[Span] = None
+
+    def to_json(self) -> dict:
+        doc: dict = {"tag": self.tag, "detail": self.detail}
+        if self.rule_label is not None:
+            doc["rule"] = self.rule_label
+        return doc
+
+
+@dataclass(frozen=True)
+class SymbolImpact:
+    """How one symbol is affected by updates to the cone's base symbol."""
+
+    symbol: str
+    is_seed: bool
+    written: bool
+    via_negation: bool
+    recursive: bool
+    hazards: Tuple[Hazard, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "symbol": self.symbol,
+            "seed": self.is_seed,
+            "written": self.written,
+            "via_negation": self.via_negation,
+            "recursive": self.recursive,
+            "hazards": [h.to_json() for h in self.hazards],
+        }
+
+
+@dataclass(frozen=True)
+class StratumRef:
+    """One schedule unit of the maintenance slice: stage ``stage`` (0-based),
+    stratum ordinal ``stratum`` within that stage's certified strata."""
+
+    stage: int
+    stratum: int
+    rules: Tuple[str, ...]  # display labels
+
+    def to_json(self) -> dict:
+        return {
+            "stage": self.stage + 1,
+            "stratum": self.stratum + 1,
+            "rules": list(self.rules),
+        }
+
+
+@dataclass(frozen=True)
+class ImpactCone:
+    """The affected cone of one updatable base symbol (op-independent:
+    insert and delete reach the same symbols; only the classification of
+    :mod:`repro.analysis.maintenance` distinguishes the two)."""
+
+    base: str
+    seeds: Tuple[str, ...]
+    impacts: Dict[str, SymbolImpact]  # every reached symbol, seeds included
+    derived: Tuple[str, ...]  # reached symbols some rule writes, sorted
+    triggered_rules: Tuple[Tuple[int, int], ...]  # (stage index, rule index)
+    slice: Tuple[StratumRef, ...]  # strata writing into the cone, in order
+    slice_rules: Tuple[Tuple[Rule, ...], ...]  # the same strata, as rules
+
+    @property
+    def hazards(self) -> Tuple[Hazard, ...]:
+        """Every distinct hazard anywhere in the cone, deterministic order."""
+        seen: Set[Tuple[str, str]] = set()
+        out: List[Hazard] = []
+        for symbol in sorted(self.impacts):
+            for hazard in self.impacts[symbol].hazards:
+                key = (hazard.tag, hazard.detail)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(hazard)
+        return tuple(out)
+
+    @property
+    def via_negation(self) -> Tuple[str, ...]:
+        """The derived symbols reached through a non-monotone read."""
+        return tuple(
+            s for s in self.derived if self.impacts[s].via_negation
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "base": self.base,
+            "seeds": list(self.seeds),
+            "symbols": [self.impacts[s].to_json() for s in sorted(self.impacts)],
+            "derived": list(self.derived),
+            "slice": [ref.to_json() for ref in self.slice],
+        }
+
+
+def updatable_symbols(program: Program, schema: Optional[Schema] = None) -> Tuple[str, ...]:
+    """The base symbols an update class can target: the program's inputs."""
+    return tuple(program.input_names)
+
+
+def _rule_hazards(eff: RuleEffects, rule: Rule) -> List[Hazard]:
+    """The hazards a single rule contributes to everything it writes."""
+    out: List[Hazard] = []
+    label, span = rule.display_label(), rule.span
+    if eff.invention_classes:
+        out.append(
+            Hazard(
+                "invention",
+                f"oid invention into {', '.join(sorted(eff.invention_classes))}",
+                label,
+                span,
+            )
+        )
+    if eff.is_assignment:
+        out.append(Hazard("weak-assignment", "weak assignment (★) head", label, span))
+    if eff.is_delete:
+        out.append(Hazard("deletion", "IQL* deletion rule", label, span))
+    if eff.has_choose:
+        out.append(Hazard("choose", "IQL+ choose rule", label, span))
+    return out
+
+
+def _write_hazards(
+    symbol: str, program: Program, schema: Schema, rule: Rule
+) -> List[Hazard]:
+    """Hazards attached to the *written symbol* itself: the maintenance
+    replay clears and re-derives relation extents only, and it must not
+    clear a symbol that also carries base facts."""
+    out: List[Hazard] = []
+    label, span = rule.display_label(), rule.span
+    if is_plane(symbol) or not schema.is_relation(symbol):
+        kind = "value plane" if is_plane(symbol) else "class extent"
+        out.append(
+            Hazard(
+                "non-relational-write",
+                f"derives into the {kind} {symbol}, which cannot be cleared "
+                f"and re-derived like a relation",
+                label,
+                span,
+            )
+        )
+    if symbol in program.input_names:
+        out.append(
+            Hazard(
+                "writes-input",
+                f"derives into the input symbol {symbol}: base facts and "
+                f"derived facts are indistinguishable without counts",
+                label,
+                span,
+            )
+        )
+    return out
+
+
+def impact_cone(
+    program: Program,
+    base: str,
+    schema: Optional[Schema] = None,
+    graphs: Optional[List[StageGraph]] = None,
+    schedule: Optional[Schedule] = None,
+) -> ImpactCone:
+    """The affected cone of updates to base symbol ``base``.
+
+    ``base`` must be an input relation or class name; a class update
+    seeds both the extent ``P`` and its value plane ``^P`` (a fresh oid
+    arrives with its ν entry).
+    """
+    schema = schema if schema is not None else program.schema
+    if base not in schema.names:
+        raise ValueError(f"unknown base symbol {base!r}")
+    if graphs is None:
+        graphs = program_graphs(program, schema)
+    if schedule is None:
+        schedule = compute_schedule(program, schema)
+
+    seeds: Tuple[str, ...] = (base,)
+    if schema.is_class(base):
+        seeds = (base, plane(base))
+
+    # One program-wide hazard: a non-range-restricted rule enumerates
+    # constants(I), which every insert grows — no cone is closed.
+    global_hazards: List[Hazard] = []
+    for rule in program.rules:
+        if not is_range_restricted(rule):
+            global_hazards.append(
+                Hazard(
+                    "enumeration",
+                    "a rule is not range-restricted: it enumerates type "
+                    "interpretations over constants(I), which any insert grows",
+                    rule.display_label(),
+                    rule.span,
+                )
+            )
+            break
+
+    # Mutable propagation state, frozen into SymbolImpact at the end.
+    reached: Dict[str, dict] = {
+        seed: {"neg": False, "rec": False, "hazards": [], "written": False}
+        for seed in seeds
+    }
+
+    changed = True
+    triggered: Set[Tuple[int, int]] = set()
+    while changed:
+        changed = False
+        for graph in graphs:
+            fallback = schedule.stages[graph.index].fallback_reason
+            for r, eff in enumerate(graph.effects):
+                trig = eff.reads & reached.keys()
+                if not trig:
+                    continue
+                triggered.add((graph.index, r))
+                rule = graph.rules[r]
+                neg = any(
+                    reached[s]["neg"] or s in eff.nonmonotone_reads for s in trig
+                )
+                hazards: List[Hazard] = []
+                for s in trig:
+                    hazards.extend(reached[s]["hazards"])
+                hazards.extend(_rule_hazards(eff, rule))
+                if fallback is not None:
+                    hazards.append(
+                        Hazard(
+                            "uncertified-stage",
+                            f"stage {graph.index + 1} is not certifiable for "
+                            f"stratified re-execution ({fallback})",
+                            rule.display_label(),
+                            rule.span,
+                        )
+                    )
+                recursive = graph.recursive[graph.rule_scc[r]]
+                for symbol in eff.writes:
+                    node = reached.setdefault(
+                        symbol,
+                        {"neg": False, "rec": False, "hazards": [], "written": False},
+                    )
+                    before = (
+                        node["neg"],
+                        node["rec"],
+                        len(node["hazards"]),
+                        node["written"],
+                    )
+                    node["neg"] = node["neg"] or neg
+                    node["rec"] = node["rec"] or recursive
+                    node["written"] = True
+                    known = {(h.tag, h.detail) for h in node["hazards"]}
+                    for hazard in hazards + _write_hazards(
+                        symbol, program, schema, rule
+                    ):
+                        if (hazard.tag, hazard.detail) not in known:
+                            known.add((hazard.tag, hazard.detail))
+                            node["hazards"].append(hazard)
+                    if before != (
+                        node["neg"],
+                        node["rec"],
+                        len(node["hazards"]),
+                        node["written"],
+                    ):
+                        changed = True
+
+    derived = tuple(sorted(s for s, node in reached.items() if node["written"]))
+    derived_set = set(derived)
+
+    # Post-fixpoint hazards over the *slice* rules — every rule writing a
+    # cone symbol re-runs during maintenance replay, whether or not the
+    # update triggers it:
+    #
+    # * its own constructs (invention, ★, deletion, choose) fire again,
+    # * a write straddling the cone boundary would double-derive into the
+    #   uncleared outside symbol,
+    # * replay runs against the *final* state of every out-of-cone
+    #   symbol, so a stage-k slice rule reading one that a later stage
+    #   still grows would observe more than the original stage-k
+    #   fixpoint did.
+    stage_writes: List[Set[str]] = [set() for _ in graphs]
+    for graph in graphs:
+        for eff in graph.effects:
+            stage_writes[graph.index] |= eff.writes
+    for graph in graphs:
+        later: Set[str] = set()
+        for j in range(graph.index + 1, len(graphs)):
+            later |= stage_writes[j]
+        for r, eff in enumerate(graph.effects):
+            inside = eff.writes & derived_set
+            if not inside:
+                continue
+            rule = graph.rules[r]
+            extra: List[Hazard] = _rule_hazards(eff, rule)
+            outside = eff.writes - derived_set
+            if outside:
+                extra.append(
+                    Hazard(
+                        "partial-cone-write",
+                        f"writes both into the cone and into "
+                        f"{', '.join(sorted(outside))} outside it: re-running "
+                        f"it would double-derive into the uncleared symbol",
+                        rule.display_label(),
+                        rule.span,
+                    )
+                )
+            crossing = (eff.reads - reached.keys()) & later
+            if crossing:
+                extra.append(
+                    Hazard(
+                        "stage-crossing-read",
+                        f"stage {graph.index + 1} reads "
+                        f"{', '.join(sorted(crossing))}, which a later stage "
+                        f"still writes: replay would observe post-stage growth",
+                        rule.display_label(),
+                        rule.span,
+                    )
+                )
+            for symbol in inside:
+                node = reached[symbol]
+                known = {(h.tag, h.detail) for h in node["hazards"]}
+                for hazard in extra + _write_hazards(symbol, program, schema, rule):
+                    if (hazard.tag, hazard.detail) not in known:
+                        known.add((hazard.tag, hazard.detail))
+                        node["hazards"].append(hazard)
+
+    if derived and global_hazards:
+        for node in reached.values():
+            if node["written"]:
+                known = {(h.tag, h.detail) for h in node["hazards"]}
+                for hazard in global_hazards:
+                    if (hazard.tag, hazard.detail) not in known:
+                        node["hazards"].append(hazard)
+
+    impacts = {
+        symbol: SymbolImpact(
+            symbol=symbol,
+            is_seed=symbol in seeds,
+            written=node["written"],
+            via_negation=node["neg"],
+            recursive=node["rec"],
+            hazards=tuple(node["hazards"]),
+        )
+        for symbol, node in reached.items()
+    }
+
+    # The maintenance slice: every stratum (in stage, then topological
+    # order) containing a rule that writes into the cone. Rules outside
+    # the cone's trigger set are included too — clearing a derived symbol
+    # obligates *every* writer of it to re-run.
+    slice_refs: List[StratumRef] = []
+    slice_rules: List[Tuple[Rule, ...]] = []
+    for graph in graphs:
+        for k, stratum in enumerate(graph.strata):
+            members = [graph.rules[i] for i in stratum]
+            if any(
+                graph.effects[i].writes & derived_set for i in stratum
+            ):
+                slice_refs.append(
+                    StratumRef(
+                        stage=graph.index,
+                        stratum=k,
+                        rules=tuple(r.display_label() for r in members),
+                    )
+                )
+                slice_rules.append(tuple(members))
+
+    return ImpactCone(
+        base=base,
+        seeds=seeds,
+        impacts=impacts,
+        derived=derived,
+        triggered_rules=tuple(sorted(triggered)),
+        slice=tuple(slice_refs),
+        slice_rules=tuple(slice_rules),
+    )
+
+
+def program_cones(
+    program: Program,
+    schema: Optional[Schema] = None,
+    symbols: Optional[Sequence[str]] = None,
+) -> List[ImpactCone]:
+    """One :class:`ImpactCone` per updatable base symbol."""
+    schema = schema if schema is not None else program.schema
+    graphs = program_graphs(program, schema)
+    schedule = compute_schedule(program, schema)
+    names = tuple(symbols) if symbols is not None else updatable_symbols(program, schema)
+    return [
+        impact_cone(program, name, schema, graphs, schedule) for name in names
+    ]
+
+
+# -- the IQL7xx diagnostics pass -----------------------------------------------------
+
+
+def impact_pass(
+    program: Program,
+    schema: Optional[Schema] = None,
+    cones: Optional[Sequence[ImpactCone]] = None,
+) -> List[Diagnostic]:
+    """Update-impact diagnostics over the per-base affected cones.
+
+    * ``IQL701`` — an update reaches a non-maintainable construct
+      (invention, ★, IQL* deletion, choose, an uncertifiable stage, a
+      non-relational or input write): only a full recompute is sound,
+    * ``IQL702`` — a *delete* reaches derived symbols through negation:
+      maintenance needs DRed's over-delete/re-derive phases,
+    * ``IQL703`` — the cone is empty: no rule reads the symbol, so it is
+      static and updates never invalidate derived state (info),
+    * ``IQL704`` — the cone is bounded and hazard-free: incremental
+      maintenance is possible and only the listed strata re-run (info).
+    """
+    from repro.analysis.maintenance import DRED, RECOMPUTE, classify_cone
+
+    schema = schema if schema is not None else program.schema
+    if cones is None:
+        cones = program_cones(program, schema)
+    out: List[Diagnostic] = []
+    for cone in cones:
+        if not cone.derived:
+            out.append(
+                diagnostic(
+                    "IQL703",
+                    f"updates to {cone.base!r} reach no derived symbol: the "
+                    f"symbol is static and no strata need re-running",
+                )
+            )
+            continue
+        strategies = classify_cone(cone)
+        if any(s == RECOMPUTE for s in strategies.values()):
+            witness = next(
+                (h for h in cone.hazards if h.span is not None), cone.hazards[0]
+            )
+            hit = sorted(
+                s for s, strat in strategies.items() if strat == RECOMPUTE
+            )
+            out.append(
+                diagnostic(
+                    "IQL701",
+                    f"an update to {cone.base!r} reaches "
+                    f"{{{', '.join(hit)}}} through a non-maintainable "
+                    f"construct ({witness.detail}); incremental maintenance "
+                    f"is impossible — full recompute required",
+                    span=witness.span,
+                    rule_label=witness.rule_label,
+                )
+            )
+            continue
+        negated = cone.via_negation
+        if negated:
+            witness_rule = _negation_witness(program, schema, cone)
+            out.append(
+                diagnostic(
+                    "IQL702",
+                    f"deleting from {cone.base!r} reaches "
+                    f"{{{', '.join(negated)}}} through negation; derived "
+                    f"facts may need retraction — maintenance requires "
+                    f"DRed's over-delete/re-derive phases",
+                    span=witness_rule.span if witness_rule is not None else None,
+                    rule_label=(
+                        witness_rule.display_label()
+                        if witness_rule is not None
+                        else None
+                    ),
+                )
+            )
+        strata_list = ", ".join(
+            f"stage {ref.stage + 1} stratum {ref.stratum + 1}" for ref in cone.slice
+        )
+        by_strategy: Dict[str, List[str]] = {}
+        for symbol, strategy in sorted(strategies.items()):
+            by_strategy.setdefault(strategy, []).append(symbol)
+        summary = "; ".join(
+            f"{strategy}: {{{', '.join(symbols)}}}"
+            for strategy, symbols in sorted(by_strategy.items())
+        )
+        out.append(
+            diagnostic(
+                "IQL704",
+                f"updates to {cone.base!r} affect only "
+                f"{{{', '.join(cone.derived)}}} ({summary}); re-running "
+                f"{strata_list} maintains the fixpoint"
+                + (
+                    " (DRed strata need over-delete/re-derive on deletes)"
+                    if any(s == DRED for s in strategies.values())
+                    else ""
+                ),
+            )
+        )
+    return out
+
+
+def _negation_witness(
+    program: Program, schema: Schema, cone: ImpactCone
+) -> Optional[Rule]:
+    """A rule whose non-monotone read observes the cone (for IQL702 spans)."""
+    from repro.analysis.effects import rule_effects
+
+    members: FrozenSet[str] = frozenset(cone.impacts)
+    for rule in program.rules:
+        eff = rule_effects(rule, schema)
+        if eff.nonmonotone_reads & members and eff.writes & set(cone.derived):
+            return rule
+    return None
+
+
+# -- renderings ----------------------------------------------------------------------
+
+
+def render_impact_text(cones: Sequence[ImpactCone]) -> str:
+    """The ``repro impact`` text listing: per base symbol, the cone, the
+    per-symbol classification, and the maintenance slice."""
+    from repro.analysis.maintenance import classify_cone, overall_strategy
+
+    lines: List[str] = []
+    for cone in cones:
+        strategies = classify_cone(cone)
+        lines.append(
+            f"update {cone.base} (insert|delete) — "
+            f"strategy: {overall_strategy(cone)}"
+        )
+        if not cone.derived:
+            lines.append("  cone: empty (symbol is static)")
+            continue
+        for symbol in cone.derived:
+            impact = cone.impacts[symbol]
+            notes = []
+            if impact.recursive:
+                notes.append("recursive")
+            if impact.via_negation:
+                notes.append("via negation")
+            for hazard in impact.hazards:
+                notes.append(hazard.tag)
+            suffix = f"  [{', '.join(notes)}]" if notes else ""
+            lines.append(f"  {symbol}: {strategies[symbol]}{suffix}")
+        if cone.slice:
+            for ref in cone.slice:
+                lines.append(
+                    f"  re-run stage {ref.stage + 1} stratum {ref.stratum + 1}: "
+                    f"{'; '.join(ref.rules)}"
+                )
+    return "\n".join(lines)
+
+
+def impact_to_dot(cones: Sequence[ImpactCone], graphs: Sequence[StageGraph]) -> str:
+    """GraphViz DOT of the affected cones: one cluster per base symbol,
+    nodes coloured by maintenance strategy (counting: solid, DRed:
+    orange, recompute: red), dependency edges restricted to the cone."""
+    from repro.analysis.maintenance import COUNTING, DRED, classify_cone
+
+    lines = ["digraph impact {", "  rankdir=LR;", "  node [shape=box];"]
+    for index, cone in enumerate(cones):
+        strategies = classify_cone(cone)
+        prefix = f"u{index}_"
+
+        def node_id(symbol: str, prefix: str = prefix) -> str:
+            return prefix + symbol.replace("^", "hat_")
+
+        lines.append(f"  subgraph cluster_update{index} {{")
+        lines.append(f'    label="update {cone.base}";')
+        members = set(cone.impacts)
+        if not members:
+            lines.append(f'    {prefix}empty [label="(empty cone)", style=dashed];')
+        for symbol in sorted(members):
+            attrs = [f'"{symbol}"']
+            if symbol in cone.seeds:
+                lines.append(
+                    f"    {node_id(symbol)} [label={attrs[0]}, peripheries=2];"
+                )
+                continue
+            strategy = strategies.get(symbol)
+            if strategy == COUNTING:
+                lines.append(f"    {node_id(symbol)} [label={attrs[0]}];")
+            elif strategy == DRED:
+                lines.append(
+                    f"    {node_id(symbol)} [label={attrs[0]}, color=orange];"
+                )
+            elif strategy is not None:
+                lines.append(
+                    f"    {node_id(symbol)} [label={attrs[0]}, color=red];"
+                )
+            else:  # read-only member of the cone
+                lines.append(
+                    f"    {node_id(symbol)} [label={attrs[0]}, style=rounded];"
+                )
+        emitted: Set[Tuple[str, str, bool]] = set()
+        for graph in graphs:
+            for edge in graph.edges:
+                if edge.coupling:
+                    continue
+                if edge.src in members and edge.dst in members:
+                    key = (edge.src, edge.dst, edge.positive)
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    suffix = "" if edge.positive else " [style=dashed, color=red]"
+                    lines.append(
+                        f"    {node_id(edge.src)} -> {node_id(edge.dst)}{suffix};"
+                    )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -16,7 +16,10 @@ Error-code conventions:
 * ``IQL4xx`` — certification stamps (informational),
 * ``IQL5xx`` — dead-code style lints (unused declarations and rules),
 * ``IQL6xx`` — dataflow analysis on the per-stage dependency graph
-  (stratification, dead-at-entry rules, invention bounds).
+  (stratification, dead-at-entry rules, invention bounds),
+* ``IQL7xx`` — update-impact and incremental-maintainability analysis
+  (which derived symbols a base-fact update reaches, and whether the
+  affected cone can be maintained incrementally).
 
 The catalogue with minimal triggering programs lives in
 ``docs/LANGUAGE.md`` ("Diagnostics and error codes").
@@ -94,6 +97,10 @@ CODES: Dict[str, Tuple[str, str]] = {
     "IQL602": (WARNING, "rule can never fire: reads a symbol that is always empty"),
     "IQL603": (WARNING, "oid invention inside a recursive SCC: creation may be unbounded"),
     "IQL604": (INFO, "statically bounded invention: polynomial oid-creation bound"),
+    "IQL701": (WARNING, "update reaches a non-maintainable construct: full recompute"),
+    "IQL702": (WARNING, "delete through negation requires over-delete/re-derive (DRed)"),
+    "IQL703": (INFO, "update cone is empty: the symbol is static"),
+    "IQL704": (INFO, "bounded update cone: only the listed strata need re-running"),
 }
 
 

@@ -31,7 +31,7 @@ Extensions handled here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError, GenericityError, NonTerminationError
 from repro.iql.invention import CountingOidFactory, OidFactory
@@ -298,6 +298,30 @@ class Evaluator:
         return self.run(input_instance).output
 
     # -- stage fixpoint -------------------------------------------------------------
+
+    def solve_stratum(
+        self,
+        instance: Instance,
+        rules: Sequence[Rule],
+        stats: Optional[EvaluationStats] = None,
+    ) -> EvaluationStats:
+        """Run one rule set to its inflationary fixpoint on ``instance``,
+        in place, and return the stats.
+
+        This is the maintenance-replay entry point: a
+        :class:`~repro.analysis.maintenance.MaintenanceCertificate` names
+        a slice of strata to re-run after a base-fact update, and each
+        slice entry is exactly one such fixpoint. ``instance`` must be an
+        instance over the program's *full* schema (not just Sin): replay
+        starts from a previous evaluation's state, not from an input.
+        """
+        if stats is None:
+            stats = EvaluationStats()
+        from repro.values import intern
+
+        with intern.interning(self.interned):
+            self._run_stage(instance, list(rules), stats)
+        return stats
 
     def _run_stage(self, instance: Instance, rules: List[Rule], stats: EvaluationStats) -> None:
         if self.seminaive:

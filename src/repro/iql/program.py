@@ -38,10 +38,15 @@ class Program:
         if (rules is None) == (stages is None):
             raise TypeCheckError("provide exactly one of rules= (single stage) or stages=")
         if rules is not None:
-            stage_list: List[Tuple[Rule, ...]] = [tuple(rules)]
+            rule_list = tuple(rules)
+            # No rules means no stages: the identity program (legal to
+            # build programmatically; the surface syntax still rejects an
+            # empty rules block). A present stage must be non-empty — an
+            # empty stage in a sequence is always a construction bug.
+            stage_list: List[Tuple[Rule, ...]] = [rule_list] if rule_list else []
         else:
             stage_list = [tuple(stage) for stage in stages]
-        if not stage_list or any(len(stage) == 0 for stage in stage_list):
+        if any(len(stage) == 0 for stage in stage_list):
             raise TypeCheckError("every stage must contain at least one rule")
         self.schema = schema
         self.stages: Tuple[Tuple[Rule, ...], ...] = tuple(stage_list)
