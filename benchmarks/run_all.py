@@ -41,6 +41,7 @@ EXPERIMENTS = {
     "E14": "bench_types",
     "E16": "bench_algebra",
     "E19": "bench_scheduling",
+    "E20": "bench_ivm",
 }
 
 

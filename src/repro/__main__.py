@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro run PROGRAM.iql --input data.json [--output out.json]
+    python -m repro maintain PROGRAM.iql --input data.json  # live IVM REPL
     python -m repro check PROGRAM.iql [--json]   # type check + classify
     python -m repro lint PROGRAM.iql [--format text|json] [--strict]
     python -m repro analyze PROGRAM.iql [--format text|json|dot] [--stats]
@@ -21,6 +22,15 @@ per-pass analysis timings on stderr). ``impact`` renders the
 update-impact analysis: per updatable base symbol, the affected cone,
 the counting/DRed/recompute maintenance classification, and the
 machine-checkable maintenance certificates (IQL701–IQL704).
+
+``maintain`` keeps a fixpoint *live*: it loads the instance, evaluates
+once, then reads update commands from stdin — ``+R <value>`` stages an
+insert, ``-R <value>`` a delete (several ``;``-separated ops on one
+line form one batch), ``?R`` prints an extent, ``stats`` the IVM
+counters, ``certs`` the per-update-class strategies, ``output`` the
+output instance as JSON. Values use the JSON value syntax of repro.io;
+for class extents a bare string names an oid (an existing one, or a
+fresh one on insert).
 """
 
 from __future__ import annotations
@@ -293,6 +303,126 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_maintain(args: argparse.Namespace) -> int:
+    """The live-fixpoint REPL over :class:`repro.iql.ivm.MaterializedProgram`."""
+    import time
+
+    from repro.io import _oid_names, value_from_json, value_to_json
+    from repro.iql.ivm import MaterializedProgram
+    from repro.values.ovalues import Oid
+
+    program = _load_program(args.program)
+    errors = check_program(program)
+    if errors:
+        for error in errors:
+            print(f"type error: {error}", file=sys.stderr)
+        return 1
+    instance = io.load(args.input).project(program.input_schema)
+    evaluator = Evaluator(
+        program,
+        limits=EvaluatorLimits(max_steps=args.max_steps),
+        schedule=True,
+        compile=not args.no_compile,
+    )
+    started = time.perf_counter()
+    mp = MaterializedProgram(program, instance, evaluator=evaluator)
+    print(
+        f"materialized in {(time.perf_counter() - started) * 1000:.1f}ms: "
+        f"{mp.instance.fact_count()} facts; strategies: "
+        + ", ".join(
+            f"{base}:{mp.certificates[(base, 'insert')].strategy}"
+            for base in program.input_names
+        ),
+        file=sys.stderr,
+    )
+    schema = program.schema
+
+    def parse_value(symbol: str, text: str):
+        doc = json.loads(text)
+        names = {name: oid for oid, name in _oid_names(mp.instance).items()}
+        if schema.is_class(symbol) and isinstance(doc, str):
+            return names.get(doc, Oid(doc))
+        if isinstance(doc, dict) and set(doc) not in ({"oid"}, {"tuple"}, {"set"}):
+            doc = {"tuple": doc}  # REPL shorthand: a bare attribute map
+        return value_from_json(doc, names)
+
+    def show_extent(symbol: str) -> None:
+        names = _oid_names(mp.instance)
+        try:
+            extent = mp.extent(symbol)
+        except ReproError as exc:
+            print(f"error: {exc}")
+            return
+        docs = [value_to_json(v, names) for v in extent]
+        print(json.dumps(sorted(docs, key=json.dumps), default=str))
+
+    source = open(args.script, "r", encoding="utf-8") if args.script else sys.stdin
+    try:
+        for line in source:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line in ("quit", "exit"):
+                break
+            if line == "stats":
+                s = mp.stats
+                print(
+                    f"deltas applied       {s.deltas_applied}\n"
+                    f"supports adjusted    {s.supports_adjusted}\n"
+                    f"overdeleted          {s.overdeleted}\n"
+                    f"rederived            {s.rederived}\n"
+                    f"fallbacks            {s.maintenance_fallbacks}\n"
+                    f"facts +{s.facts_added} -{s.facts_deleted}"
+                )
+                continue
+            if line == "certs":
+                for (base, op), cert in sorted(mp.certificates.items()):
+                    print(f"{base} {op}: {cert.strategy}")
+                continue
+            if line == "output":
+                print(io.dumps(mp.output()))
+                continue
+            if line.startswith("?"):
+                show_extent(line[1:].strip())
+                continue
+            inserts, deletes = [], []
+            try:
+                for op in line.split(";"):
+                    op = op.strip()
+                    if not op or op[0] not in "+-":
+                        raise ValueError(
+                            f"unknown command {op!r} (try +R <value>, -R <value>, "
+                            f"?R, stats, certs, output, quit)"
+                        )
+                    symbol, _, text = op[1:].strip().partition(" ")
+                    value = parse_value(symbol, text)
+                    (inserts if op[0] == "+" else deletes).append((symbol, value))
+                before = (
+                    mp.stats.supports_adjusted,
+                    mp.stats.overdeleted,
+                    mp.stats.rederived,
+                    mp.stats.maintenance_fallbacks,
+                    mp.stats.deltas_applied,
+                )
+                t0 = time.perf_counter()
+                mp.apply_delta(inserts=inserts, deletes=deletes)
+                elapsed = (time.perf_counter() - t0) * 1000
+                s = mp.stats
+                print(
+                    f"ok: {s.deltas_applied - before[4]} net update(s) in "
+                    f"{elapsed:.2f}ms (supports {s.supports_adjusted - before[0]:+d}, "
+                    f"overdeleted {s.overdeleted - before[1]}, "
+                    f"rederived {s.rederived - before[2]}, "
+                    f"fallbacks {s.maintenance_fallbacks - before[3]})"
+                )
+            except (ReproError, ValueError, json.JSONDecodeError) as exc:
+                print(f"error: {exc}")
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    return 0
+
+
 def cmd_fmt(args: argparse.Namespace) -> int:
     from repro.parser.unparse import program_to_source
 
@@ -422,6 +552,24 @@ def main(argv=None) -> int:
         "(incompatible with --naive)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_maintain = sub.add_parser(
+        "maintain",
+        help="incremental view maintenance: evaluate once, stream updates",
+    )
+    p_maintain.add_argument("program")
+    p_maintain.add_argument("--input", required=True, help="JSON instance document")
+    p_maintain.add_argument("--max-steps", type=int, default=10_000)
+    p_maintain.add_argument(
+        "--script",
+        help="read update commands from this file instead of stdin",
+    )
+    p_maintain.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="run the maintenance joins interpreted (no closure kernels)",
+    )
+    p_maintain.set_defaults(func=cmd_maintain)
 
     p_fmt = sub.add_parser("fmt", help="parse and pretty-print a program")
     p_fmt.add_argument("program")

@@ -49,6 +49,7 @@ from repro.analysis.maintenance import (
     classify_cone,
     overall_strategy,
     replay_insert,
+    validate_certificate,
 )
 from repro.analysis.passes import (
     binding_pass,
@@ -108,4 +109,5 @@ __all__ = [
     "stage_graph",
     "typecheck_pass",
     "unused_pass",
+    "validate_certificate",
 ]

@@ -26,17 +26,21 @@ form the future IVM runtime will consume. Two consumers exist today:
 
 * :func:`check_certificate` re-validates a certificate against the
   program — cone closure, slice completeness and ordering, hazard
-  freedom — returning the list of violations (empty = sound),
+  freedom — returning the list of violations (empty = sound);
+  :func:`validate_certificate` is its memoized front (one static-
+  analysis pass per certificate, not one per replay),
 * :func:`replay_insert` executes a certificate's maintenance plan for a
-  single-fact insert: apply the fact, clear the cone's derived relation
-  extents, and re-run exactly the slice strata via
+  single-fact insert: validate, apply the fact, clear the cone's derived
+  relation extents, and re-run exactly the slice strata via
   :meth:`repro.iql.evaluator.Evaluator.solve_stratum`. For a sound
   certificate the result equals a full re-evaluation (up to
   O-isomorphism), which is what the differential property tests check.
 
 The replay is deliberately the *semantics* of a certificate, not its
-cheapest implementation — counting and DRed runtimes refine it without
-changing what it must produce.
+cheapest implementation — it is the differential oracle that the real
+IVM runtime (:class:`repro.iql.ivm.MaterializedProgram`, with its
+counting and DRed fast paths) is tested against without changing what
+both must produce.
 """
 
 from __future__ import annotations
@@ -299,6 +303,28 @@ def check_certificate(
     return violations
 
 
+def validate_certificate(
+    program: Program,
+    certificate: MaintenanceCertificate,
+    schema: Optional[Schema] = None,
+) -> List[str]:
+    """:func:`check_certificate`, memoized on the certificate.
+
+    Certificate validation is a static-analysis pass over the whole
+    program; executing it once per *replay* (or per IVM batch) would
+    dominate small-delta maintenance. The result is cached on the
+    certificate itself, keyed by the program identity — certificates are
+    frozen (and unhashable: the cone holds a dict), so the memo rides on
+    ``object.__setattr__`` rather than an external table.
+    """
+    cached = getattr(certificate, "_validation", None)
+    if cached is not None and cached[0] is program:
+        return list(cached[1])
+    violations = check_certificate(program, certificate, schema)
+    object.__setattr__(certificate, "_validation", (program, tuple(violations)))
+    return violations
+
+
 def replay_insert(
     program: Program,
     previous_full: Instance,
@@ -321,6 +347,12 @@ def replay_insert(
         raise ValueError(
             f"certificate for {certificate.base!r} is not certified "
             f"(strategy {certificate.strategy}): full recompute required"
+        )
+    violations = validate_certificate(program, certificate)
+    if violations:
+        raise ValueError(
+            f"certificate for {certificate.base!r} fails validation: "
+            f"{'; '.join(violations)}"
         )
     schema = program.schema
     working = previous_full.copy()

@@ -107,6 +107,15 @@ class EvaluationStats:
     plan_cache_evictions: int = 0
     kernel_cache_entries: int = 0
     kernel_cache_evictions: int = 0
+    # Incremental view maintenance (repro.iql.ivm.MaterializedProgram):
+    # net base-fact deltas applied, support-count adjustments (counting
+    # strategy), facts conservatively over-deleted and then re-derived
+    # (DRed), and batches that fell back to a slice or full recompute.
+    deltas_applied: int = 0
+    supports_adjusted: int = 0
+    overdeleted: int = 0
+    rederived: int = 0
+    maintenance_fallbacks: int = 0
 
 
 @dataclass
@@ -304,24 +313,88 @@ class Evaluator:
         instance: Instance,
         rules: Sequence[Rule],
         stats: Optional[EvaluationStats] = None,
+        initial_delta: Optional[Dict[str, Set[OValue]]] = None,
+        added: Optional[Dict[str, Set[OValue]]] = None,
     ) -> EvaluationStats:
         """Run one rule set to its inflationary fixpoint on ``instance``,
         in place, and return the stats.
 
-        This is the maintenance-replay entry point: a
+        This is the maintenance entry point: a
         :class:`~repro.analysis.maintenance.MaintenanceCertificate` names
         a slice of strata to re-run after a base-fact update, and each
         slice entry is exactly one such fixpoint. ``instance`` must be an
         instance over the program's *full* schema (not just Sin): replay
         starts from a previous evaluation's state, not from an input.
+
+        With ``initial_delta`` — per-relation sets of facts *already
+        present* in ``instance`` but new since its last fixpoint — the
+        stratum runs in the delta-seeded mode the IVM runtime uses:
+        instead of the round-0 full solve, the semi-naive rounds start
+        directly from the given delta, so work is proportional to the
+        change, not the instance. Sound only when every new derivation
+        must use at least one delta fact positively (true for insert
+        propagation into a previously-converged fixpoint); when the
+        stratum's rules fall outside the semi-naive fragment the stratum
+        runs to an ordinary full fixpoint instead, which is sound for the
+        same reason. ``added`` (if given) collects the facts each relation
+        actually gained, for downstream delta propagation.
         """
         if stats is None:
             stats = EvaluationStats()
         from repro.values import intern
 
         with intern.interning(self.interned):
-            self._run_stage(instance, list(rules), stats)
+            if initial_delta is not None:
+                self._run_stage_delta_seeded(
+                    instance, list(rules), stats, initial_delta, added
+                )
+            else:
+                self._run_stage(instance, list(rules), stats)
         return stats
+
+    def _run_stage_delta_seeded(
+        self,
+        instance: Instance,
+        rules: List[Rule],
+        stats: EvaluationStats,
+        initial_delta: Dict[str, Set[OValue]],
+        added: Optional[Dict[str, Set[OValue]]],
+    ) -> None:
+        from repro.iql.seminaive import run_stage_seminaive, stage_eligible
+
+        if self.seminaive and stage_eligible(rules, instance):
+            rounds = run_stage_seminaive(
+                instance,
+                rules,
+                stats,
+                self.limits.enumeration_budget,
+                max_steps=self.limits.max_steps,
+                use_indexes=self.indexed,
+                compiler=self._compiler,
+                initial_delta=initial_delta,
+                added=added,
+            )
+            stats.per_stage_steps.append(rounds)
+            return
+        # Outside the semi-naive fragment the delta seed is only a hint:
+        # re-running the stratum to its inflationary fixpoint from the
+        # current state derives everything the delta could have enabled.
+        # Diff the written relation extents so the caller still learns
+        # what changed.
+        from repro.analysis.effects import head_symbol
+
+        written = {
+            symbol
+            for symbol in (head_symbol(rule) for rule in rules)
+            if instance.schema.is_relation(symbol)
+        }
+        before = {name: set(instance.relations[name]) for name in written}
+        self._run_stage(instance, rules, stats)
+        if added is not None:
+            for name in written:
+                fresh = instance.relations[name] - before[name]
+                if fresh:
+                    added.setdefault(name, set()).update(fresh)
 
     def _run_stage(self, instance: Instance, rules: List[Rule], stats: EvaluationStats) -> None:
         if self.seminaive:
@@ -742,9 +815,9 @@ class Evaluator:
         stats: EvaluationStats,
     ) -> bool:
         changed = False
-        # Deletions mutate relations and ν behind the mutators' backs;
-        # indexes are rebuilt lazily from post-deletion state.
-        instance.drop_indexes()
+        # Deletions go through the removal mutators, which retract the
+        # affected index entries in place — indexes (and the compiled
+        # kernels capturing their buckets) stay warm across IQL* steps.
         doomed_oids: Set[Oid] = set()
         for rule, theta in deletions:
             head = rule.head
@@ -756,8 +829,7 @@ class Evaluator:
                 if isinstance(container, NameTerm):
                     name = container.name
                     if instance.schema.is_relation(name):
-                        if element in instance.relations[name]:
-                            instance.relations[name].discard(element)
+                        if instance.remove_relation_member(name, element):
                             changed = True
                             stats.facts_deleted += 1
                     else:
@@ -765,25 +837,30 @@ class Evaluator:
                             doomed_oids.add(element)
                 elif isinstance(container, Deref):
                     oid = theta[container.var]
-                    current = instance.value_of(oid)
-                    if current is not None and element in current:
-                        instance.nu[oid] = type(current)(
-                            v for v in current if v != element
-                        )
-                        changed = True
-                        stats.facts_deleted += 1
+                    if instance.is_set_valued(oid):
+                        if instance.remove_set_element(oid, element):
+                            changed = True
+                            stats.facts_deleted += 1
+                    else:  # pragma: no cover - rejected by the type checker
+                        current = instance.value_of(oid)
+                        if current is not None and element in current:
+                            instance.nu[oid] = type(current)(
+                                v for v in current if v != element
+                            )
+                            instance.drop_indexes()
+                            changed = True
+                            stats.facts_deleted += 1
             elif isinstance(head, Equality):
                 oid = theta[head.left.var]
                 value = eval_term(head.right, theta, instance)
                 if value is not None and instance.nu.get(oid) == value:
-                    del instance.nu[oid]
+                    instance.unassign(oid)
                     changed = True
                     stats.facts_deleted += 1
         if doomed_oids:
             changed = True
             stats.facts_deleted += len(doomed_oids)
             self._cascade_delete(instance, doomed_oids, stats)
-        instance.drop_indexes()
         return changed
 
     def _cascade_delete(
@@ -807,14 +884,14 @@ class Evaluator:
             for oid in batch:
                 name = instance.class_of(oid)
                 if name is not None:
-                    instance.classes[name].discard(oid)
-                    instance._class_of.pop(oid, None)
-                instance.nu.pop(oid, None)
+                    instance.remove_class_member(name, oid)
+                else:
+                    instance.unassign(oid)
             for name, members in instance.relations.items():
                 stale = {v for v in members if oids_of(v) & removed}
-                if stale:
-                    members -= stale
-                    stats.facts_deleted += len(stale)
+                for value in stale:
+                    instance.remove_relation_member(name, value)
+                stats.facts_deleted += len(stale)
             for oid, value in list(instance.nu.items()):
                 if oid in removed:
                     continue

@@ -17,13 +17,18 @@ half of that claim. Three index families back the join planner in
   defines the shared statistics protocol those layers report into.
 
 Indexes are built lazily — the first probe of a (relation, attribute) or
-class pays one scan — and then maintained *incrementally* by the four
-instance mutators (``add_relation_member``, ``add_class_member``,
-``assign``, ``add_set_element``). Deletions (IQL*) are rare and
-non-monotone, so the evaluator simply drops the whole index set around a
-deletion step and lets the next probe rebuild. A property test asserts
-that incrementally-maintained contents equal a from-scratch rebuild after
-arbitrary mutation sequences.
+class pays one scan — and then maintained *incrementally* by the instance
+mutators: the four growth mutators (``add_relation_member``,
+``add_class_member``, ``assign``, ``add_set_element``) and their removal
+counterparts (``remove_relation_member``, ``remove_class_member``,
+``unassign``, ``remove_set_element``). Retraction happens *in place* —
+entries are discarded from the affected buckets, never by dropping the
+whole index set — so the IVM runtime (:mod:`repro.iql.ivm`) and the IQL*
+deletion step keep warm indexes (and, because the
+:class:`InstanceIndexes` object identity is preserved, warm compiled
+kernels) across deletions. A property test asserts that
+incrementally-maintained contents equal a from-scratch rebuild after
+arbitrary mixed add/remove mutation sequences.
 """
 
 from __future__ import annotations
@@ -111,19 +116,61 @@ class InstanceIndexes:
     def on_assign(self, oid: Oid, old: Optional[OValue], new: OValue) -> None:
         """ν(oid) changed from ``old`` (None = undefined) to ``new``.
 
-        Covers both raw ``assign`` and ``add_set_element`` (whose old value
-        is the previous set, possibly the default { })."""
+        Covers raw ``assign``, ``add_set_element`` and ``remove_set_element``
+        (whose old value is the previous set, possibly the default { })."""
         class_name = self.instance.class_of(oid)
         index = self._deref.get(class_name)
         if index is None:
             return
         if old is not None:
-            bucket = index.get(old)
-            if bucket is not None:
-                bucket.discard(oid)
-                if not bucket:
-                    del index[old]
+            self._discard_deref(index, old, oid)
         index.setdefault(new, set()).add(oid)
+
+    # -- in-place retraction (called by the removal mutators) ---------------------
+
+    @staticmethod
+    def _discard_deref(index: Dict[OValue, Set[Oid]], value: OValue, oid: Oid) -> None:
+        bucket = index.get(value)
+        if bucket is not None:
+            bucket.discard(oid)
+            if not bucket:
+                del index[value]
+
+    def on_remove_relation_member(self, name: str, value: OValue) -> None:
+        if isinstance(value, OTuple):
+            for (rname, attr), index in self._relation_attr.items():
+                if rname == name and attr in value:
+                    bucket = index.get(value[attr])
+                    if bucket is not None:
+                        bucket.discard(value)
+                        if not bucket:
+                            del index[value[attr]]
+
+    def on_remove_class_member(
+        self, name: str, oid: Oid, old: Optional[OValue]
+    ) -> None:
+        """``oid`` left π(name); ``old`` is the ν-value it was indexed under
+        (already including the { } default for set-valued classes)."""
+        index = self._deref.get(name)
+        if index is not None and old is not None:
+            self._discard_deref(index, old, oid)
+
+    def on_unassign(self, oid: Oid, old: OValue) -> None:
+        """ν(oid) reverted from ``old`` to undefined.
+
+        Set-valued oids fall back to the default { } — which the reverse
+        index *does* record — so they are re-indexed under the empty set,
+        exactly as a from-scratch rebuild would."""
+        class_name = self.instance.class_of(oid)
+        if class_name is None:
+            return
+        index = self._deref.get(class_name)
+        if index is None:
+            return
+        self._discard_deref(index, old, oid)
+        fallback = self.instance.value_of(oid)
+        if fallback is not None:
+            index.setdefault(fallback, set()).add(oid)
 
     # -- verification (property tests) -------------------------------------------
 

@@ -34,7 +34,7 @@ of :mod:`repro.iql.valuation` like every other body solve.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.analysis.effects import DeltaBody, delta_body, mentions_name
 from repro.iql.literals import Membership
@@ -106,6 +106,8 @@ def run_stage_seminaive(
     max_steps: int = 10_000,
     use_indexes: bool = True,
     compiler=None,
+    initial_delta: Optional[Dict[str, Set[OValue]]] = None,
+    added: Optional[Dict[str, Set[OValue]]] = None,
 ) -> int:
     """Evaluate an eligible stage to fixpoint with delta rewriting.
 
@@ -114,6 +116,16 @@ def run_stage_seminaive(
     to match a fact from the previous round's delta — matched directly,
     with the remaining literals solved under the resulting bindings (so
     all the planning and indexing machinery is reused verbatim).
+
+    With ``initial_delta`` (the IVM runtime's delta-seeded mode) round 0
+    is skipped entirely: the given per-relation fact sets — already
+    present in ``instance``, new since its last fixpoint — play the role
+    of the previous round's delta, so the cost is proportional to the
+    delta, not the instance. Sound whenever every derivation new since
+    that fixpoint must use at least one delta fact in a positive relation
+    position, which insert propagation into a converged stratum
+    guarantees. ``added`` (if given) collects the facts each relation
+    actually gained, for downstream propagation.
 
     With a ``compiler`` (:class:`repro.iql.compile.RuleCompiler`) each
     rule's round-0 body, per-position delta matchers and rest bodies run
@@ -132,8 +144,14 @@ def run_stage_seminaive(
             if compiled is not None:
                 kernels[index] = compiled
     rounds = 0
-    first = True
-    delta: Dict[str, Set[OValue]] = {}
+    first = initial_delta is None
+    delta: Dict[str, Set[OValue]] = (
+        {name: set(values) for name, values in initial_delta.items() if values}
+        if initial_delta is not None
+        else {}
+    )
+    if not first and not delta:
+        return 0
     while True:
         if stats.steps >= max_steps:
             from repro.errors import NonTerminationError
@@ -226,4 +244,6 @@ def run_stage_seminaive(
             for value in values:
                 if instance.add_relation_member(name, value):
                     stats.facts_added += 1
+                    if added is not None:
+                        added.setdefault(name, set()).add(value)
         delta = new

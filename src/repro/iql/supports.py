@@ -1,0 +1,115 @@
+"""Support tables: derivation counts for counting-maintained symbols.
+
+The counting strategy of incremental view maintenance (GMS93-style, the
+:data:`~repro.analysis.maintenance.COUNTING` leg of the PR-6 trichotomy)
+keeps, for every fact of a counting-certified derived relation, the
+number of *distinct derivations* — pairs ``(rule, θ)`` with ``θ(body)``
+true in the current state and ``θ(head)`` equal to the fact. The
+invariant the IVM runtime (:mod:`repro.iql.ivm`) maintains is::
+
+    fact ∈ ρ(S)  ⟺  count(S, fact) ≥ 1
+
+which holds at the initial fixpoint because counting-certified symbols
+live in certified (topologically scheduled, negation-stratified) strata:
+by the time their stratum converges every symbol they read is final, so
+every present fact has at least one final-state derivation. Updates then
+adjust counts exactly — one increment per *born* valuation (valid in the
+new state, using at least one inserted fact), one decrement per *dying*
+valuation (valid in the old state, using at least one deleted fact) — and
+a fact is physically inserted or retracted exactly when its count crosses
+zero.
+
+This module is just the table; the valuation enumeration lives in
+:mod:`repro.iql.ivm`. Counts must never go negative — a negative count
+means the runtime's exactness argument was violated somewhere, and
+:meth:`SupportTable.negative_symbols` lets the runtime detect that and
+fall back to a recompute instead of serving wrong answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from repro.values.ovalues import OValue
+
+
+class SupportTable:
+    """Per-symbol ``fact → derivation count`` maps.
+
+    Zero-count entries are pruned on decrement, so ``counts[symbol]``
+    enumerates exactly the supported facts; negative counts are *kept*
+    (not pruned) so :meth:`negative_symbols` can surface the corruption.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, Dict[OValue, int]] = {}
+
+    def table(self, symbol: str) -> Dict[OValue, int]:
+        """The (created-on-demand) count map of ``symbol``."""
+        return self.counts.setdefault(symbol, {})
+
+    def get(self, symbol: str, fact: OValue) -> int:
+        table = self.counts.get(symbol)
+        if table is None:
+            return 0
+        return table.get(fact, 0)
+
+    def add(self, symbol: str, fact: OValue, n: int = 1) -> int:
+        """Increment ``fact``'s count by ``n``; returns the new count."""
+        table = self.table(symbol)
+        count = table.get(fact, 0) + n
+        table[fact] = count
+        return count
+
+    def sub(self, symbol: str, fact: OValue, n: int = 1) -> int:
+        """Decrement ``fact``'s count by ``n``; returns the new count.
+
+        A count reaching exactly zero is pruned (the fact is no longer
+        derivable and the caller retracts it); a count going *below* zero
+        is kept so the corruption is observable.
+        """
+        table = self.table(symbol)
+        count = table.get(fact, 0) - n
+        if count == 0:
+            table.pop(fact, None)
+        else:
+            table[fact] = count
+        return count
+
+    def set_counts(self, symbol: str, counts: Mapping[OValue, int]) -> None:
+        """Replace ``symbol``'s whole table (a rebuild after a DRed pass)."""
+        self.counts[symbol] = {
+            fact: count for fact, count in counts.items() if count != 0
+        }
+
+    def drop(self, symbol: str) -> None:
+        self.counts.pop(symbol, None)
+
+    def facts(self, symbol: str) -> Iterator[Tuple[OValue, int]]:
+        """The supported facts of ``symbol`` with their counts."""
+        return iter(self.counts.get(symbol, {}).items())
+
+    def supported(self, symbol: str) -> int:
+        """How many facts of ``symbol`` currently have a nonzero count."""
+        return len(self.counts.get(symbol, {}))
+
+    def total(self) -> int:
+        """Total derivation count over all symbols (an observability sum)."""
+        return sum(sum(t.values()) for t in self.counts.values())
+
+    def negative_symbols(self) -> List[str]:
+        """Symbols holding a negative count — the runtime's tilt sensor."""
+        return sorted(
+            symbol
+            for symbol, table in self.counts.items()
+            if any(count < 0 for count in table.values())
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{symbol}: {self.supported(symbol)} facts"
+            for symbol in sorted(self.counts)
+        )
+        return f"SupportTable({parts})"

@@ -176,6 +176,84 @@ class Instance:
         self._note_constants(element)
         return True
 
+    # -- removal (the deletion path: IQL* and the IVM runtime) -----------------
+
+    def remove_relation_member(self, name: str, value: OValue) -> bool:
+        """Remove ``value`` from ρ(name); returns True if it was present.
+
+        Retracts the affected index entries *in place* (instead of
+        dropping all indexes wholesale) so hot probes — and the compiled
+        kernels capturing the index buckets — survive deletions.
+        """
+        if name not in self.relations:
+            raise InstanceError(f"unknown relation {name!r}")
+        members = self.relations[name]
+        if value not in members:
+            return False
+        members.discard(value)
+        if self._indexes is not None:
+            self._indexes.on_remove_relation_member(name, value)
+        self._forget_constants()
+        return True
+
+    def remove_class_member(self, name: str, oid: Oid) -> bool:
+        """Remove ``oid`` from π(name), dropping its ν entry with it."""
+        if name not in self.classes:
+            raise InstanceError(f"unknown class {name!r}")
+        if oid not in self.classes[name]:
+            return False
+        old = self.value_of(oid)
+        self.classes[name].discard(oid)
+        self._class_of.pop(oid, None)
+        self.nu.pop(oid, None)
+        if self._indexes is not None:
+            self._indexes.on_remove_class_member(name, oid, old)
+        if self._member_cache:
+            self._member_cache.clear()
+        self._forget_constants()
+        return True
+
+    def unassign(self, oid: Oid) -> bool:
+        """Make ν(oid) undefined again; returns True if it had a value."""
+        if oid not in self.nu:
+            return False
+        old = self.nu[oid]
+        del self.nu[oid]
+        if self._indexes is not None:
+            self._indexes.on_unassign(oid, old)
+        self._forget_constants()
+        return True
+
+    def remove_set_element(self, oid: Oid, element: OValue) -> bool:
+        """Remove ``element`` from the set value of ``oid``; True if present."""
+        name = self._class_of.get(oid)
+        if name is None:
+            raise InstanceError(f"oid {oid!r} does not belong to any class of this instance")
+        if not self.schema.is_set_valued_class(name):
+            raise InstanceError(
+                f"ô(v) facts apply to set-valued oids only; {oid!r} is in class {name!r}"
+            )
+        current = self.nu.get(oid, OSet())
+        if element not in current:
+            return False
+        updated = OSet(v for v in current if v != element)
+        self.nu[oid] = updated
+        if self._indexes is not None:
+            self._indexes.on_assign(oid, current, updated)
+        self._forget_constants()
+        return True
+
+    def _forget_constants(self) -> None:
+        """Invalidate the constants(I) caches after a removal.
+
+        Removal can shrink constants(I), so unlike :meth:`_note_constants`
+        there is no sound incremental update — the next call recomputes.
+        The member-type cache and the hash indexes are unaffected by
+        relation/ν removals (membership depends only on π, and the
+        indexes are retracted in place by the callers)."""
+        self._constants_cache = None
+        self._sorted_constants = None
+
     # -- observation -----------------------------------------------------------
 
     def class_of(self, oid: Oid) -> Optional[str]:
@@ -214,9 +292,9 @@ class Instance:
     def constants(self) -> FrozenSet[OValue]:
         """constants(I): all constants occurring in the instance.
 
-        Cached: the first call computes the set, the four mutators keep it
-        current incrementally (additions can only add constants), and the
-        evaluator's deletion paths drop it via :meth:`drop_indexes`.
+        Cached: the first call computes the set, the growth mutators keep
+        it current incrementally (additions can only add constants), and
+        the removal mutators invalidate it via :meth:`_forget_constants`.
         """
         if self._constants_cache is None:
             out: Set[OValue] = set()
@@ -277,11 +355,12 @@ class Instance:
         return self._indexes
 
     def drop_indexes(self) -> None:
-        """Discard all indexes and caches (used around non-monotone mutation).
+        """Discard all indexes and caches (full invalidation).
 
-        IQL* deletions and the cascade remove facts behind the mutators'
-        backs; rather than maintain indexes under removal we drop them and
-        let the next probe rebuild from current state.
+        The deletion paths (IQL* and the IVM runtime) now retract index
+        entries in place through the removal mutators, so this is only
+        needed when relations or ν are edited behind the mutators' backs
+        — e.g. the certificate replay clearing whole derived extents.
         """
         self._indexes = None
         self._constants_cache = None

@@ -164,8 +164,15 @@ OPS = st.lists(
         st.tuples(st.just("new_q"), CONSTS),
         st.tuples(st.just("reassign"), st.integers(0, 7), CONSTS),
         st.tuples(st.just("grow_q"), st.integers(0, 7), CONSTS),
+        # in-place retraction: the removal mutators must discard exactly
+        # the affected bucket entries (never by dropping the index set)
+        st.tuples(st.just("rel_del"), CONSTS, CONSTS),
+        st.tuples(st.just("del_p"), st.integers(0, 7)),
+        st.tuples(st.just("del_q"), st.integers(0, 7)),
+        st.tuples(st.just("unassign"), st.integers(0, 7)),
+        st.tuples(st.just("shrink_q"), st.integers(0, 7), CONSTS),
     ),
-    max_size=30,
+    max_size=40,
 )
 
 
@@ -179,6 +186,7 @@ def test_indexes_match_rebuild_after_arbitrary_mutations(ops):
     instance.indexes.relation_index("R", "A02")
     instance.indexes.deref_index("P")
     instance.indexes.deref_index("Q")
+    indexes_before = instance.indexes
     p_oids, q_oids = [], []
     for op in ops:
         if op[0] == "rel":
@@ -197,6 +205,18 @@ def test_indexes_match_rebuild_after_arbitrary_mutations(ops):
             instance.assign(p_oids[op[1] % len(p_oids)], OTuple(a=op[2]))
         elif op[0] == "grow_q" and q_oids:
             instance.add_set_element(q_oids[op[1] % len(q_oids)], op[2])
+        elif op[0] == "rel_del":
+            instance.remove_relation_member("R", OTuple(A01=op[1], A02=op[2]))
+        elif op[0] == "del_p" and p_oids:
+            instance.remove_class_member("P", p_oids.pop(op[1] % len(p_oids)))
+        elif op[0] == "del_q" and q_oids:
+            instance.remove_class_member("Q", q_oids.pop(op[1] % len(q_oids)))
+        elif op[0] == "unassign" and p_oids:
+            instance.unassign(p_oids[op[1] % len(p_oids)])
+        elif op[0] == "shrink_q" and q_oids:
+            instance.remove_set_element(q_oids[op[1] % len(q_oids)], op[2])
+    # Retraction is in place: the index object identity survived every op.
+    assert instance.indexes is indexes_before
     assert instance.indexes.equals_rebuild()
     # The constants cache must agree with a cold recount too.
     cached = instance.constants()

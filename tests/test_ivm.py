@@ -1,0 +1,372 @@
+"""Tests for the live IVM runtime (repro.iql.ivm / repro.iql.supports).
+
+Three layers, mirroring the other engine test files:
+
+* unit tests over the E19 acceptance shape — the counting path (exact
+  support adjustments, zero fallbacks), the DRed path (over-delete then
+  re-derive), the slice-recompute path (class-extent updates), net-delta
+  normalization, error reporting, and the ``repro maintain`` CLI,
+* the :class:`~repro.iql.supports.SupportTable` storage layer and the
+  memoized :func:`~repro.analysis.maintenance.validate_certificate`
+  front door,
+* a differential property test over the same 220-seed corpus as
+  ``test_differential``: after every update batch the maintained
+  instance must equal a fresh full evaluation of the maintained base
+  (exactly when invention-free, up to O-isomorphism otherwise), with
+  the PR-6 ``replay_insert`` oracle cross-checked on certified inserts
+  and the index/support invariants re-verified at the end.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.analysis import build_certificates, replay_insert, validate_certificate
+from repro.errors import EvaluationError
+from repro.iql import Evaluator, MaterializedProgram
+from repro.iql.supports import SupportTable
+from repro.parser import program_from_source
+from repro.schema import Instance, are_o_isomorphic
+from repro.values import Oid, OTuple
+from repro.__main__ import main
+
+from tests.test_differential import (
+    make_schema,
+    random_instance,
+    random_scheduled_program,
+)
+from tests.test_impact import E19_PROGRAM, random_new_fact
+
+
+def materialize(program, instance, **kwargs):
+    """Build a MaterializedProgram with preflight warnings silenced."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return MaterializedProgram(program, instance, **kwargs)
+
+
+def edge(a, b):
+    return OTuple(A1=a, A2=b)
+
+
+def e19_setup(n=5):
+    """The E19 program over an acyclic n-edge chain."""
+    program = program_from_source(E19_PROGRAM)
+    instance = Instance(program.input_schema)
+    for i in range(n):
+        instance.add_relation_member("E", edge(f"n{i}", f"n{i + 1}"))
+    return program, materialize(program, instance)
+
+
+def assert_matches_fresh(mp):
+    """The maintained instance equals a fresh run over the maintained base."""
+    fresh = Evaluator(mp.program).run(mp.base.copy()).full
+    assert mp.instance.ground_facts() == fresh.ground_facts()
+
+
+class TestE19Paths:
+    def test_initial_fixpoint_and_strategies(self):
+        program, mp = e19_setup()
+        # T is recursive (DRed); F is a non-recursive join over T (counting).
+        cert = mp.certificates[("E", "insert")]
+        strategies = dict(cert.classification)
+        assert strategies["T"] == "dred"
+        assert strategies["F"] == "counting"
+        assert mp.supports.supported("F") == len(mp.extent("F"))
+        assert mp._support_exact["F"]
+        assert_matches_fresh(mp)
+
+    def test_insert_only_no_fallback(self):
+        program, mp = e19_setup()
+        mp.apply_delta(inserts=[("E", edge("n5", "n0"))])  # close the cycle
+        assert mp.stats.deltas_applied == 1
+        assert mp.stats.maintenance_fallbacks == 0
+        assert mp.stats.supports_adjusted > 0  # F counts grew exactly
+        assert_matches_fresh(mp)
+        assert mp.instance.indexes.equals_rebuild()
+
+    def test_delete_overdeletes_and_rederives(self):
+        program, mp = e19_setup()
+        mp.apply_delta(inserts=[("E", edge("n5", "n0"))])
+        before_over = mp.stats.overdeleted
+        # Deleting one cycle edge kills all F facts but only part of T:
+        # DRed must over-delete T conservatively and re-derive survivors.
+        mp.apply_delta(deletes=[("E", edge("n5", "n0"))])
+        assert mp.stats.maintenance_fallbacks == 0
+        assert mp.stats.overdeleted > before_over
+        assert mp.stats.rederived > 0
+        assert mp.extent("F") == set()
+        assert_matches_fresh(mp)
+        assert mp.supports.negative_symbols() == []
+        assert mp.instance.indexes.equals_rebuild()
+
+    def test_mixed_batch(self):
+        program, mp = e19_setup()
+        mp.apply_delta(
+            inserts=[("E", edge("n9", "n0")), ("E", edge("n5", "n9"))],
+            deletes=[("E", edge("n2", "n3"))],
+        )
+        assert mp.stats.deltas_applied == 3
+        assert_matches_fresh(mp)
+
+    def test_class_insert_takes_slice_recompute(self):
+        program, mp = e19_setup()
+        o = Oid("p0")
+        mp.apply_delta(inserts=[("P", o), ("Seed", OTuple(A1=o))])
+        assert mp.stats.maintenance_fallbacks == 1
+        assert o in mp.instance.classes["P"]
+        assert mp.instance.nu[o] == OTuple()
+        assert_matches_fresh(mp)
+
+    def test_noop_batch_is_normalized_away(self):
+        program, mp = e19_setup()
+        snapshot = mp.instance.ground_facts()
+        # Deletes-then-inserts: deleting and re-inserting a *present*
+        # fact in one batch nets to nothing.
+        fact = edge("n1", "n2")
+        mp.apply_delta(inserts=[("E", fact)], deletes=[("E", fact)])
+        # Re-inserting a present fact and deleting an absent one: same.
+        mp.apply_delta(
+            inserts=[("E", edge("n0", "n1"))], deletes=[("E", edge("q", "q"))]
+        )
+        assert mp.stats.deltas_applied == 0
+        assert mp.stats.maintenance_fallbacks == 0
+        assert mp.instance.ground_facts() == snapshot
+
+    def test_delete_then_reinsert_round_trips(self):
+        program, mp = e19_setup()
+        snapshot = mp.instance.ground_facts()
+        mp.apply_delta(deletes=[("E", edge("n2", "n3"))])
+        assert_matches_fresh(mp)
+        mp.apply_delta(inserts=[("E", edge("n2", "n3"))])
+        assert mp.instance.ground_facts() == snapshot
+
+    def test_output_projection_and_extent_queries(self):
+        program, mp = e19_setup(n=2)
+        out = mp.output()
+        assert set(out.relations) == {"T", "F"}
+        assert mp.extent("T") == set(mp.instance.relations["T"])
+        assert mp.extent("P") == set()
+        with pytest.raises(EvaluationError):
+            mp.extent("nope")
+
+    def test_update_validation_errors(self):
+        program, mp = e19_setup(n=1)
+        with pytest.raises(EvaluationError):
+            mp.apply_delta(inserts=[("T", edge("a", "b"))])  # derived, not base
+        with pytest.raises(EvaluationError):
+            mp.apply_delta(inserts=[("P", OTuple())])  # class needs an oid
+
+    def test_foreign_evaluator_rejected(self):
+        program = program_from_source(E19_PROGRAM)
+        other = program_from_source(E19_PROGRAM)
+        with pytest.raises(EvaluationError):
+            MaterializedProgram(
+                program, Instance(program.input_schema), evaluator=Evaluator(other)
+            )
+
+    def test_uncompiled_uncheduled_evaluator_still_correct(self):
+        # An unscheduled evaluator breaks the counting invariant; the
+        # runtime must detect the inexact supports and demote, not corrupt.
+        program = program_from_source(E19_PROGRAM)
+        instance = Instance(program.input_schema)
+        for i in range(4):
+            instance.add_relation_member("E", edge(f"n{i}", f"n{i + 1}"))
+        mp = materialize(
+            program, instance, evaluator=Evaluator(program, seminaive=False)
+        )
+        mp.apply_delta(inserts=[("E", edge("n4", "n0"))])
+        mp.apply_delta(deletes=[("E", edge("n1", "n2"))])
+        assert_matches_fresh(mp)
+        assert mp.supports.negative_symbols() == []
+
+
+class TestSupportTable:
+    def test_add_sub_and_pruning(self):
+        t = SupportTable()
+        fact = OTuple(A1="a")
+        assert t.add("S", fact) == 1
+        assert t.add("S", fact) == 2
+        assert t.get("S", fact) == 2
+        assert t.sub("S", fact) == 1
+        assert t.sub("S", fact) == 0
+        assert t.get("S", fact) == 0  # pruned at exactly zero
+        assert t.supported("S") == 0
+
+    def test_negative_counts_are_kept_and_reported(self):
+        t = SupportTable()
+        fact = OTuple(A1="a")
+        assert t.sub("S", fact) == -1
+        assert t.get("S", fact) == -1
+        assert t.negative_symbols() == ["S"]
+
+    def test_set_counts_drops_zeros(self):
+        t = SupportTable()
+        a, b = OTuple(A1="a"), OTuple(A1="b")
+        t.set_counts("S", {a: 2, b: 0})
+        assert dict(t.facts("S")) == {a: 2}
+        assert t.total() == 2
+        t.drop("S")
+        assert t.supported("S") == 0
+        assert "SupportTable" in repr(t)
+
+
+class TestCertificateValidationMemo:
+    def test_validation_is_cached_per_program(self):
+        program = program_from_source(E19_PROGRAM)
+        cert = next(
+            c for c in build_certificates(program) if (c.base, c.op) == ("E", "insert")
+        )
+        assert validate_certificate(program, cert) == []
+        assert getattr(cert, "_validation")[0] is program
+        # Prove the memo is served: tamper with the cache entry.
+        object.__setattr__(cert, "_validation", (program, ("IQL999 sentinel",)))
+        assert validate_certificate(program, cert) == ["IQL999 sentinel"]
+        # A different program object misses the memo and revalidates
+        # (its rules are different objects, so violations are real ones,
+        # not the sentinel).
+        other = program_from_source(E19_PROGRAM)
+        assert validate_certificate(other, cert) != ["IQL999 sentinel"]
+        assert getattr(cert, "_validation")[0] is other
+
+    def test_replay_insert_refuses_invalid_certificate(self):
+        program = program_from_source(E19_PROGRAM)
+        cert = next(
+            c for c in build_certificates(program) if (c.base, c.op) == ("E", "insert")
+        )
+        instance = Instance(program.input_schema)
+        instance.add_relation_member("E", edge("a", "b"))
+        full = Evaluator(program).run(instance).full
+        object.__setattr__(cert, "_validation", (program, ("IQL999 sentinel",)))
+        with pytest.raises(ValueError, match="fails validation"):
+            replay_insert(program, full, cert, edge("b", "c"))
+
+
+class TestMaintainCLI:
+    def test_script_session(self, tmp_path, capsys):
+        from repro import io
+
+        prog = tmp_path / "e19.iql"
+        prog.write_text(E19_PROGRAM)
+        program = program_from_source(E19_PROGRAM)
+        instance = Instance(program.input_schema)
+        for i in range(4):
+            instance.add_relation_member("E", edge(f"n{i}", f"n{i + 1}"))
+        data = tmp_path / "in.json"
+        io.dump(instance, str(data))
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "# close the cycle, inspect, reopen it\n"
+            '+E {"A1": "n4", "A2": "n0"}\n'
+            "?F\n"
+            "stats\n"
+            "certs\n"
+            '-E {"A1": "n4", "A2": "n0"}; +E {"A1": "n4", "A2": "n5"}\n'
+            "?nope\n"
+            "bogus line\n"
+            "output\n"
+            "quit\n"
+        )
+        rc = main(
+            ["maintain", str(prog), "--input", str(data), "--script", str(script)]
+        )
+        out = capsys.readouterr()
+        assert rc == 0
+        assert "materialized in" in out.err
+        assert "E:counting" in out.err or "E:dred" in out.err
+        lines = out.out.splitlines()
+        assert lines[0].startswith("ok: 1 net update(s)")
+        assert any(line.startswith("deltas applied") for line in lines)
+        assert any("E insert:" in line for line in lines)
+        assert sum(1 for line in lines if line.startswith("error:")) == 2
+        assert any('"T"' in line for line in lines)  # the output dump
+
+    def test_class_oid_updates_from_script(self, tmp_path, capsys):
+        from repro import io
+
+        prog = tmp_path / "e19.iql"
+        prog.write_text(E19_PROGRAM)
+        program = program_from_source(E19_PROGRAM)
+        instance = Instance(program.input_schema)
+        instance.add_relation_member("E", edge("a", "b"))
+        data = tmp_path / "in.json"
+        io.dump(instance, str(data))
+        script = tmp_path / "session.txt"
+        script.write_text('+P "p0"\n?P\nquit\n')
+        rc = main(
+            ["maintain", str(prog), "--input", str(data), "--script", str(script)]
+        )
+        out = capsys.readouterr()
+        assert rc == 0
+        assert out.out.splitlines()[0].startswith("ok: 1 net update(s)")
+
+
+# -- the 220-seed differential ------------------------------------------------------
+#
+# Same corpus and conventions as test_differential / test_impact: a fifth
+# of the seeds invent oids, a quarter inject negation-through-recursion
+# (forcing the scheduler fallback, inexact supports, and the DRed/demoted
+# paths). The oracle after every batch is a fresh full evaluation of the
+# maintained base input; certified single-fact inserts are additionally
+# cross-checked against the PR-6 replay_insert oracle.
+
+
+def random_batch(mp, rng):
+    inserts, deletes = [], []
+    for _ in range(rng.randint(1, 3)):
+        base = rng.choice(["E", "U"])
+        extent = sorted(mp.base.relations[base], key=repr)
+        if extent and rng.random() < 0.4:
+            deletes.append((base, rng.choice(extent)))
+        else:
+            inserts.append((base, random_new_fact(base, rng)))
+    return inserts, deletes
+
+
+def run_ivm_differential(seed):
+    rng = random.Random(seed)
+    schema = make_schema()
+    allow_invention = seed % 5 == 0
+    unstratified = seed % 4 == 1
+    program = random_scheduled_program(schema, rng, allow_invention, unstratified)
+    instance = random_instance(schema, rng)
+    invention_free = all(rule.is_invention_free() for rule in program.rules)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        mp = MaterializedProgram(program, instance)
+
+        cert = mp.certificates[("E", "insert")]
+        if cert.certified and ("E", "insert") not in mp._violations:
+            fact = random_new_fact("E", rng)
+            if fact not in mp.instance.relations["E"]:
+                expected = replay_insert(program, mp.instance, cert, fact)
+                mp.apply_delta(inserts=[("E", fact)])
+                if invention_free:
+                    assert (
+                        mp.instance.ground_facts() == expected.ground_facts()
+                    ), f"seed {seed}: apply_delta diverges from replay_insert"
+                else:
+                    assert are_o_isomorphic(mp.instance, expected), (
+                        f"seed {seed}: apply_delta not O-isomorphic to replay"
+                    )
+
+        for batch in range(3):
+            inserts, deletes = random_batch(mp, rng)
+            mp.apply_delta(inserts=inserts, deletes=deletes)
+            fresh = Evaluator(program).run(mp.base.copy()).full
+            if invention_free:
+                assert mp.instance.ground_facts() == fresh.ground_facts(), (
+                    f"seed {seed}, batch {batch}: exact disagreement"
+                )
+            else:
+                assert are_o_isomorphic(mp.instance, fresh), (
+                    f"seed {seed}, batch {batch}: not O-isomorphic"
+                )
+        assert mp.supports.negative_symbols() == [], f"seed {seed}: negative support"
+        assert mp.instance.indexes.equals_rebuild(), f"seed {seed}: stale indexes"
+
+
+@pytest.mark.parametrize("seed", range(220))
+def test_ivm_matches_full_reevaluation(seed):
+    run_ivm_differential(seed)
