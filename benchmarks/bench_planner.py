@@ -1,0 +1,141 @@
+"""E21 — cost-based planning: the skewed join the static heuristic loses.
+
+The workload is the canonical optimizer trap::
+
+    J(x, y) :- A(x), B(x, y), C(y).
+
+with |A| = 10, |C| = 50, and |B| = 250·n rows whose first attribute is
+*skewed* onto A's ten values (NDV(B.A1) = 10) while the second is unique
+(NDV(B.A2) = |B|). The static ranks (index probe < small scan < large
+scan, probes costed at full relation size) order this A → probe B on A1
+→ filter C: every A row drags in a |B|/10-row skew bucket, so the join
+does O(|B|) work however few rows survive the C filter. The cost model
+prices the B probe at its estimated bucket (size/NDV = |B|/10 per probed
+attribute) and the C scan at 50·est rows, orders A → C → probe B on
+*both* attributes (the A2 side has bucket size 1), and does O(|A|·|C|)
+work — independent of |B|.
+
+Claims measured: identical outputs; the cost-based plan wins by a factor
+that grows linearly with |B| (≥5× by n = 16 at 250 rows per n); the
+planning overhead (a handful of NDV lookups per body) is invisible.
+
+Run standalone:  python benchmarks/bench_planner.py
+"""
+
+import pytest
+
+from repro.iql import Evaluator
+from repro.parser.grammar import program_from_source
+from repro.schema import Instance
+from repro.values import OTuple
+
+from helpers import ms, print_series, time_call
+
+PROGRAM = """
+schema {
+  relation A: [A1: D];
+  relation B: [A1: D, A2: D];
+  relation C: [A1: D];
+  relation J: [A1: D, A2: D];
+}
+var x, y: D
+input A, B, C
+output J
+rules {
+  J(x, y) :- A(x), B(x, y), C(y).
+}
+"""
+
+SKEW = 10  # distinct B.A1 values (= |A|)
+SELECTIVE = 50  # |C|: B.A2 values that survive the join
+ROWS_PER_N = 250  # |B| per unit of n
+
+
+def setup(n):
+    """10 A-rows, 250·n skewed B-rows, 50 selective C-rows."""
+    program = program_from_source(PROGRAM)
+    instance = Instance(program.input_schema)
+    for i in range(SKEW):
+        instance.add_relation_member("A", OTuple(A1=f"s{i}"))
+    for i in range(ROWS_PER_N * n):
+        instance.add_relation_member("B", OTuple(A1=f"s{i % SKEW}", A2=f"v{i}"))
+    for j in range(SELECTIVE):
+        instance.add_relation_member("C", OTuple(A1=f"v{j}"))
+    return program, instance
+
+
+def run_static(program, instance):
+    return Evaluator(program, cost_planning=False).run(instance.copy())
+
+
+def run_costed(program, instance):
+    return Evaluator(program).run(instance.copy())
+
+
+def run_costed_compiled(program, instance):
+    return Evaluator(program, compile=True).run(instance.copy())
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_costed(benchmark, n):
+    program, instance = setup(n)
+    result = benchmark.pedantic(
+        lambda: run_costed(program, instance), rounds=2, iterations=1
+    )
+    assert result.stats.plans_costed >= 1
+    assert len(result.output.relations["J"]) == SELECTIVE
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_static(benchmark, n):
+    program, instance = setup(n)
+    result = benchmark.pedantic(
+        lambda: run_static(program, instance), rounds=2, iterations=1
+    )
+    assert result.stats.plans_costed == 0
+    assert len(result.output.relations["J"]) == SELECTIVE
+
+
+SMOKE_SIZES = [2, 4]
+
+
+def main(sizes=None):
+    rows = []
+    series = {}
+    for n in sizes or [8, 16, 24, 32]:
+        program, instance = setup(n)
+        t_static, static = time_call(run_static, program, instance)
+        t_costed, costed = time_call(run_costed, program, instance)
+        t_comp, comp = time_call(run_costed_compiled, program, instance)
+        agree = static.output == costed.output == comp.output
+        series[n] = t_costed
+        rows.append(
+            (
+                n,
+                ROWS_PER_N * n,
+                len(costed.output.relations["J"]),
+                ms(t_static),
+                ms(t_costed),
+                ms(t_comp),
+                f"{t_static / t_costed:.1f}×",
+                "✓" if agree else "✗",
+            )
+        )
+    print_series(
+        "E21: skewed join A ⋈ B ⋈ C — static ranks vs the cost model",
+        ["n", "|B|", "|J|", "static", "cost-based", "cost+compile",
+         "speedup", "agree"],
+        rows,
+    )
+    print(
+        "  shape: the static ranks probe B on its skewed attribute (bucket\n"
+        "  |B|/10) before looking at the 50-row C, so their work grows with\n"
+        "  |B|; the cost model sees NDV(B.A1) = 10 vs NDV(B.A2) = |B|, joins\n"
+        "  C first, and probes B fully bound (bucket 1) — flat in |B|. Same\n"
+        "  answers either way: join order never changes the solution set."
+    )
+    return series
+
+
+if __name__ == "__main__":
+    main()

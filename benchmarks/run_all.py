@@ -42,6 +42,7 @@ EXPERIMENTS = {
     "E16": "bench_algebra",
     "E19": "bench_scheduling",
     "E20": "bench_ivm",
+    "E21": "bench_planner",
 }
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro check PROGRAM.iql [--json]   # type check + classify
     python -m repro lint PROGRAM.iql [--format text|json] [--strict]
     python -m repro analyze PROGRAM.iql [--format text|json|dot] [--stats]
+    python -m repro analyze PROGRAM.iql --plans [--input data.json]
     python -m repro impact PROGRAM.iql [--symbol R] [--op insert|delete]
     python -m repro fmt PROGRAM.iql              # parse + pretty-print
     python -m repro validate data.json           # instance legality
@@ -111,6 +112,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     )
 
     program = _load_program(args.program)
+    if args.plans:
+        return _dump_plans(program, args)
     timings = {}
     t0 = time.perf_counter()
     for rule in program.rules:
@@ -167,6 +170,39 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for diag in impact_diagnostics:
             print(diag.render(args.program))
     return 0 if report.ok else 1
+
+
+def _dump_plans(program, args: argparse.Namespace) -> int:
+    """``repro analyze --plans``: each rule's cost-based body plan.
+
+    Plans are computed against the ``--input`` instance when given (the
+    cardinalities the evaluator would see at stage start), else against
+    an empty instance — estimates then reflect sizes of zero, which is
+    exactly what the optimizer knows before any facts exist.
+    """
+    from repro.iql.literals import Choose
+    from repro.iql.stats import describe_plan
+    from repro.iql.valuation import plan_body
+    from repro.schema.instance import Instance
+
+    if args.input:
+        instance = io.load(args.input).project(program.input_schema).with_schema(
+            program.schema
+        )
+        source = args.input
+    else:
+        instance = Instance(program.schema)
+        source = "(empty instance)"
+    print(f"body plans against {source}, cost-based:")
+    for rule in program.rules:
+        literals = tuple(
+            lit for lit in rule.body if not isinstance(lit, Choose)
+        )
+        plan = plan_body(literals, frozenset(), instance, use_indexes=True, costed=True)
+        print(f"\n{rule.display_label()}")
+        for line in describe_plan(plan):
+            print(f"  {line}")
+    return 0
 
 
 def cmd_impact(args: argparse.Namespace) -> int:
@@ -246,6 +282,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         interned=not args.no_intern,
         schedule=args.schedule,
         compile=args.compile,
+        cost_planning=not args.static_plans,
     )
     result = evaluator.run(instance)
     stats = result.stats
@@ -279,6 +316,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  plan cache           {stats.plan_cache_hits}/{plan_total} hits, "
             f"{stats.plan_cache_entries} entries, "
             f"{stats.plan_cache_evictions} evicted\n"
+            f"  plans costed         {stats.plans_costed}\n"
+            f"  estimate drifts      {stats.estimate_drifts}\n"
+            f"  plan replans         {stats.plan_replans}\n"
             f"  rules compiled       {stats.rules_compiled}\n"
             f"  rules interpreted    {stats.rules_interpreted}\n"
             f"  compile fallbacks    {stats.compile_fallbacks}{fallbacks}\n"
@@ -490,6 +530,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="print per-pass analysis timings (lint, effects, depgraph, impact)",
     )
+    p_analyze.add_argument(
+        "--plans",
+        action="store_true",
+        help="dump each rule's cost-based body plan with cardinality estimates",
+    )
+    p_analyze.add_argument(
+        "--input",
+        help="with --plans: estimate against this JSON instance's cardinalities",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_impact = sub.add_parser(
@@ -550,6 +599,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="specialize planned rule bodies into closure kernels "
         "(incompatible with --naive)",
+    )
+    p_run.add_argument(
+        "--static-plans",
+        action="store_true",
+        help="order body literals by the static rank heuristic instead of "
+        "the cost model (A/B baseline; disables drift replanning)",
     )
     p_run.set_defaults(func=cmd_run)
 

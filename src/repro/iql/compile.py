@@ -359,9 +359,15 @@ def _compile_steps(plan, layout, bound, instance, budget, state):
     bound-set evolves exactly as in plan_body. Backward fold: chain the
     steps so each calls the next directly; the innermost calls through
     ``sink_cell[0]``, which the kernel swaps per execution.
+
+    Row counting for the drift check mirrors the interpreter: one list
+    increment per row entering a generator step (inside the generator's
+    own run function — no extra call frame) and one per final solution
+    (in the sink), writing the shared ``plan.counts`` array.
     """
+    counts = plan.counts
     makers = []
-    for step in plan:
+    for step_i, step in enumerate(plan):
         kind = step[0]
         if kind == "filter":
             predicate = _compile_filter(step[1], layout, instance)
@@ -376,7 +382,9 @@ def _compile_steps(plan, layout, bound, instance, budget, state):
             makers.append(make_filter)
         elif kind == "member":
             makers.append(
-                _compile_member(step[1], step[2], layout, bound, instance, state)
+                _compile_member(
+                    step[1], step[2], layout, bound, instance, state, counts, step_i
+                )
             )
         elif kind == "equal":
             lit, left_known = step[1], step[2]
@@ -386,8 +394,9 @@ def _compile_steps(plan, layout, bound, instance, budget, state):
             known_eval = _compile_eval(known, layout, instance)
             matcher = _compile_match(pattern, layout, bound, instance)
 
-            def make_equal(nxt, known_eval=known_eval, matcher=matcher):
-                def run_equal(slots):
+            def make_equal(nxt, known_eval=known_eval, matcher=matcher, _i=step_i):
+                def run_equal(slots, _c=counts, _i=_i):
+                    _c[_i] += 1
                     value = known_eval(slots)
                     if value is not None and matcher(value, slots):
                         nxt(slots)
@@ -418,7 +427,8 @@ def _compile_steps(plan, layout, bound, instance, budget, state):
 
     sink_cell: List[Optional[Consumer]] = [None]
 
-    def sink(slots):
+    def sink(slots, _c=counts, _n=len(plan)):
+        _c[_n] += 1
         sink_cell[0](slots)
 
     entry = sink
@@ -427,7 +437,7 @@ def _compile_steps(plan, layout, bound, instance, budget, state):
     return entry, sink_cell
 
 
-def _compile_member(lit, probes, layout, bound, instance, state):
+def _compile_member(lit, probes, layout, bound, instance, state, counts, step_i):
     """A ("member", lit, probes) step: probe or scan, then match."""
     container = lit.container
     probe_list = ()
@@ -449,7 +459,8 @@ def _compile_member(lit, probes, layout, bound, instance, state):
             value_eval = probe_list[0][1]
 
             def make_probe1(nxt, index_get=index_get, value_eval=value_eval, matcher=matcher):
-                def run_probe1(slots):
+                def run_probe1(slots, _c=counts, _i=step_i):
+                    _c[_i] += 1
                     value = value_eval(slots)
                     if value is None:
                         return  # undefined dereference: no member can match
@@ -464,7 +475,8 @@ def _compile_member(lit, probes, layout, bound, instance, state):
             return make_probe1
 
         def make_probe(nxt, probe_list=probe_list, matcher=matcher):
-            def run_probe(slots):
+            def run_probe(slots, _c=counts, _i=step_i):
+                _c[_i] += 1
                 members = None
                 for index, value_eval in probe_list:
                     value = value_eval(slots)
@@ -490,7 +502,8 @@ def _compile_member(lit, probes, layout, bound, instance, state):
             src = instance.classes[name]
 
         def make_scan(nxt, src=src, matcher=matcher):
-            def run_scan(slots):
+            def run_scan(slots, _c=counts, _i=step_i):
+                _c[_i] += 1
                 for element in src:
                     if matcher(element, slots):
                         nxt(slots)
@@ -501,7 +514,8 @@ def _compile_member(lit, probes, layout, bound, instance, state):
     container_eval = _compile_eval(container, layout, instance)
 
     def make_deref_scan(nxt, container_eval=container_eval, matcher=matcher):
-        def run_deref_scan(slots):
+        def run_deref_scan(slots, _c=counts, _i=step_i):
+            _c[_i] += 1
             members = container_eval(slots)
             if members is None:
                 return  # undefined dereference: no facts to match
@@ -571,14 +585,24 @@ def compile_body(
     enumeration_budget: int = 100_000,
     plan_cache: Optional[Dict] = None,
     stats=None,
+    costed: bool = False,
+    feedback: Optional[Dict] = None,
 ) -> CompiledBody:
     """Compile ``literals`` given ``initial_vars`` pre-bound, or raise
     :class:`CompileFallback`. Plans are shared with the interpreter through
     ``plan_cache`` (the owning rule's), so both engines agree on join
-    order."""
+    order; ``costed``/``feedback`` select the cost-based planner and its
+    replan observations exactly as in :func:`solve_body`."""
     literals = tuple(lit for lit in literals if not isinstance(lit, Choose))
     plan = lookup_plan(
-        literals, frozenset(initial_vars), instance, use_indexes, plan_cache, stats
+        literals,
+        frozenset(initial_vars),
+        instance,
+        use_indexes,
+        plan_cache,
+        stats,
+        costed,
+        feedback,
     )
     layout = _Layout(initial_vars)
     bound: Set[Var] = set(initial_vars)
@@ -639,6 +663,7 @@ def compile_rule(
     use_indexes: bool = True,
     enumeration_budget: int = 100_000,
     stats=None,
+    costed: bool = False,
 ) -> CompiledRule:
     """Compile one rule for the naive one-step operator, or raise
     :class:`CompileFallback`."""
@@ -654,6 +679,8 @@ def compile_rule(
         enumeration_budget=enumeration_budget,
         plan_cache=rule.plan_cache,
         stats=stats,
+        costed=costed,
+        feedback=rule.feedback_cache if costed else None,
     )
     layout = _Layout(())
     layout.slots = list(body.slot_vars)
@@ -879,8 +906,10 @@ def compile_seminaive(
     use_indexes: bool = True,
     enumeration_budget: int = 100_000,
     stats=None,
+    costed: bool = False,
 ) -> SeminaiveKernels:
     """Compile one semi-naive-eligible rule, or raise :class:`CompileFallback`."""
+    feedback = rule.feedback_cache if costed else None
     full = compile_body(
         rule.body,
         (),
@@ -889,6 +918,8 @@ def compile_seminaive(
         enumeration_budget=enumeration_budget,
         plan_cache=rule.plan_cache,
         stats=stats,
+        costed=costed,
+        feedback=feedback,
     )
     head_full = _compile_eval(
         rule.head.element, _layout_of(full), instance
@@ -904,7 +935,7 @@ def compile_seminaive(
         rest = body[:position] + body[position + 1 :]
         plan = lookup_plan(
             tuple(rest), frozenset(init_vars), instance, use_indexes,
-            rule.plan_cache, stats,
+            rule.plan_cache, stats, costed, feedback,
         )
         state = _State()
         entry, sink_cell = _compile_steps(
@@ -942,16 +973,24 @@ class RuleCompiler:
     """Compiles rules on demand, caches kernels per rule, keeps the books.
 
     Kernels live in the bounded ``Rule.kernel_cache`` keyed by
-    ``(shape, use_indexes)`` — ``shape`` is ``"rule"`` (γ1) or ``"sn"``
-    (semi-naive) — and are revalidated against the instance on every
-    fetch; a stale kernel (new instance, or indexes dropped by an IQL*
-    deletion) is recompiled in place. Per run, each rule is counted once
-    as compiled or interpreted in :class:`EvaluationStats`.
+    ``(shape, use_indexes, costed)`` — ``shape`` is ``"rule"`` (γ1) or
+    ``"sn"`` (semi-naive) — and are revalidated against the instance on
+    every fetch; a stale kernel (new instance, or indexes dropped by an
+    IQL* deletion) is recompiled in place, and the drift detector of
+    :mod:`repro.iql.stats` evicts kernels outright when their plan's
+    estimates prove wrong. Per run, each rule is counted once as compiled
+    or interpreted in :class:`EvaluationStats`.
     """
 
-    def __init__(self, use_indexes: bool = True, enumeration_budget: int = 100_000):
+    def __init__(
+        self,
+        use_indexes: bool = True,
+        enumeration_budget: int = 100_000,
+        costed: bool = False,
+    ):
         self.use_indexes = use_indexes
         self.enumeration_budget = enumeration_budget
+        self.costed = costed
         self.stats = None
         self._compiled_seen: Set[int] = set()
         self._interpreted_seen: Set[int] = set()
@@ -983,13 +1022,14 @@ class RuleCompiler:
         """The γ1 kernel for ``rule`` on ``instance``, or None (interpreted)."""
         return self._kernel(
             rule,
-            ("rule", self.use_indexes),
+            ("rule", self.use_indexes, self.costed),
             lambda: compile_rule(
                 rule,
                 instance,
                 use_indexes=self.use_indexes,
                 enumeration_budget=self.enumeration_budget,
                 stats=self.stats,
+                costed=self.costed,
             ),
             instance,
         )
@@ -1000,7 +1040,7 @@ class RuleCompiler:
         """The delta-rewriting kernels for ``rule``, or None (interpreted)."""
         return self._kernel(
             rule,
-            ("sn", self.use_indexes),
+            ("sn", self.use_indexes, self.costed),
             lambda: compile_seminaive(
                 rule,
                 shape,
@@ -1008,6 +1048,7 @@ class RuleCompiler:
                 use_indexes=self.use_indexes,
                 enumeration_budget=self.enumeration_budget,
                 stats=self.stats,
+                costed=self.costed,
             ),
             instance,
         )

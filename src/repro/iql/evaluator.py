@@ -80,6 +80,12 @@ class EvaluationStats:
     index_scans_avoided: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    # Cost-based adaptive planning (repro.iql.stats): bodies planned with
+    # the cost model, plan-step estimate segments found drifted ≥ the
+    # replan ratio, and plans evicted + replanned from observed fan-outs.
+    plans_costed: int = 0
+    estimate_drifts: int = 0
+    plan_replans: int = 0
     intern_hits: int = 0
     intern_misses: int = 0
     eq_fast_paths: int = 0
@@ -176,6 +182,8 @@ class Evaluator:
         interned: bool = True,
         schedule: bool = False,
         compile: bool = False,
+        cost_planning: bool = True,
+        replan_ratio: float = 10.0,
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
             raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
@@ -194,6 +202,14 @@ class Evaluator:
         # (repro.iql.indexes / valuation). ``indexed=False`` restores the
         # original generate-and-test join — the differential-test oracle.
         self.indexed = indexed
+        # Cost-based planning (repro.iql.stats): score candidate plan
+        # steps with live cardinality statistics and replan when runtime
+        # row counts drift ≥ replan_ratio from the estimates.
+        # ``cost_planning=False`` restores the static rank heuristic — the
+        # A/B baseline behind ``repro run --static-plans``. Join order
+        # never affects the solution set, only speed.
+        self.cost_planning = cost_planning
+        self.replan_ratio = replan_ratio
         # Hash-consing of o-values (repro.values.intern). ``interned=False``
         # evaluates with plain structural values — the A/B escape hatch
         # behind ``repro run --no-intern``.
@@ -233,6 +249,7 @@ class Evaluator:
             self._compiler = RuleCompiler(
                 use_indexes=self.indexed,
                 enumeration_budget=self.limits.enumeration_budget,
+                costed=self.cost_planning,
             )
         import random as _random
 
@@ -373,6 +390,8 @@ class Evaluator:
                 compiler=self._compiler,
                 initial_delta=initial_delta,
                 added=added,
+                costed=self.cost_planning,
+                replan_ratio=self.replan_ratio if self.cost_planning else None,
             )
             stats.per_stage_steps.append(rounds)
             return
@@ -409,6 +428,8 @@ class Evaluator:
                     max_steps=self.limits.max_steps,
                     use_indexes=self.indexed,
                     compiler=self._compiler,
+                    costed=self.cost_planning,
+                    replan_ratio=self.replan_ratio if self.cost_planning else None,
                 )
                 stats.per_stage_steps.append(rounds)
                 return
@@ -440,7 +461,22 @@ class Evaluator:
             steps_here += 1
             if not changed:
                 break
+            self._check_drift(rules, stats)
         stats.per_stage_steps.append(steps_here)
+
+    def _check_drift(self, rules: List[Rule], stats: EvaluationStats) -> None:
+        """Between fixpoint rounds: replan any plan whose estimates drifted.
+
+        Round boundaries are the only safe point — no kernel is running,
+        and staged additions are already applied — and also the useful
+        one: the next round re-fetches plans and kernels, so an eviction
+        takes effect immediately (mid-fixpoint adaptivity).
+        """
+        if not self.cost_planning:
+            return
+        from repro.iql.stats import check_drift
+
+        check_drift(rules, stats, self.replan_ratio)
 
     # -- the certified schedule (Evaluator(schedule=True)) ---------------------------
 
@@ -505,6 +541,8 @@ class Evaluator:
                     max_steps=self.limits.max_steps,
                     use_indexes=self.indexed,
                     compiler=self._compiler,
+                    costed=self.cost_planning,
+                    replan_ratio=self.replan_ratio if self.cost_planning else None,
                 )
                 continue
             effects = [rule_effects(rule, instance.schema) for rule in rules]
@@ -527,6 +565,7 @@ class Evaluator:
                 steps_total += 1
                 if not changed:
                     break
+                self._check_drift(rules, stats)
                 current = {
                     symbol: self._fingerprint(instance, symbol)
                     for symbol in read_symbols
@@ -574,6 +613,8 @@ class Evaluator:
                 stats=stats,
                 plan_cache=rule.plan_cache,
                 use_indexes=self.indexed,
+                costed=self.cost_planning,
+                feedback=rule.feedback_cache if self.cost_planning else None,
             ):
                 stats.valuations_considered += 1
                 if rule.delete:

@@ -81,6 +81,16 @@ class InstanceIndexes:
         """Members of ρ(name) whose ``attr`` component equals ``value``."""
         return self.relation_index(name, attr).get(value, _EMPTY)
 
+    def ndv(self, name: str, attr: str) -> int:
+        """Distinct ``attr`` values among relation ``name``'s tuple members.
+
+        The cardinality statistic behind the cost-based planner
+        (:mod:`repro.iql.stats`): it is simply the key count of the
+        projection index, so incremental maintenance through every
+        mutator keeps it exact for free — the statistic *is* the index.
+        """
+        return len(self.relation_index(name, attr))
+
     def deref_index(self, class_name: str) -> Dict[OValue, Set[Oid]]:
         """The (lazily built) reverse ν-index of class ``class_name``."""
         index = self._deref.get(class_name)

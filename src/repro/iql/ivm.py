@@ -234,6 +234,17 @@ class MaterializedProgram:
 
         with intern.interning(self._evaluator.interned):
             self._apply(self._group(inserts), self._group(deletes))
+            if self._evaluator.cost_planning:
+                from repro.iql.stats import check_drift
+
+                # The batch's row counts are fresh evidence; replanning
+                # here (plans evicted, kernels invalidated) makes the
+                # *next* batch run the corrected order — cardinalities
+                # drift across a long maintenance run as the instance
+                # grows away from its initial-fixpoint statistics.
+                check_drift(
+                    self.program.rules, self.stats, self._evaluator.replan_ratio
+                )
         return self.stats
 
     # -- batch dispatch -----------------------------------------------------------
@@ -625,6 +636,10 @@ class MaterializedProgram:
                         stats=self.stats,
                         plan_cache=rule.plan_cache,
                         use_indexes=indexed,
+                        costed=self._evaluator.cost_planning,
+                        feedback=rule.feedback_cache
+                        if self._evaluator.cost_planning
+                        else None,
                     ):
                         value = eval_term(head_term, theta, instance)
                         if value is not None:
@@ -748,6 +763,10 @@ class MaterializedProgram:
                     stats=self.stats,
                     plan_cache=rule.plan_cache,
                     use_indexes=indexed,
+                    costed=self._evaluator.cost_planning,
+                    feedback=rule.feedback_cache
+                    if self._evaluator.cost_planning
+                    else None,
                 ):
                     key = frozenset(theta.items())
                     if key in seen:

@@ -46,7 +46,16 @@ class Rule:
     the Theorem 4.3.1 experiment.
     """
 
-    __slots__ = ("head", "body", "delete", "label", "span", "_plan_cache", "_kernel_cache")
+    __slots__ = (
+        "head",
+        "body",
+        "delete",
+        "label",
+        "span",
+        "_plan_cache",
+        "_kernel_cache",
+        "_feedback_cache",
+    )
 
     def __init__(
         self,
@@ -73,6 +82,7 @@ class Rule:
         self.span = span if span is not None else head.span
         self._plan_cache = None
         self._kernel_cache = None
+        self._feedback_cache = None
 
     @property
     def plan_cache(self) -> dict:
@@ -102,6 +112,20 @@ class Rule:
         if self._kernel_cache is None:
             self._kernel_cache = BoundedDict(KERNEL_CACHE_SIZE)
         return self._kernel_cache
+
+    @property
+    def feedback_cache(self) -> dict:
+        """Observed fan-outs from the drift detector (repro.iql.stats).
+
+        Keyed like :attr:`plan_cache`; each entry carries the measured
+        per-step fan-outs of an evicted plan plus its replan count, so the
+        next planning of the same (body, bound-set) costs those steps with
+        reality instead of the model. Bounded like the other caches and
+        likewise excluded from equality and hashing.
+        """
+        if self._feedback_cache is None:
+            self._feedback_cache = BoundedDict(PLAN_CACHE_SIZE)
+        return self._feedback_cache
 
     def display_label(self) -> str:
         """The rule's label, or a rendering of it, for diagnostics."""

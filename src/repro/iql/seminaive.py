@@ -108,6 +108,8 @@ def run_stage_seminaive(
     compiler=None,
     initial_delta: Optional[Dict[str, Set[OValue]]] = None,
     added: Optional[Dict[str, Set[OValue]]] = None,
+    costed: bool = False,
+    replan_ratio: Optional[float] = None,
 ) -> int:
     """Evaluate an eligible stage to fixpoint with delta rewriting.
 
@@ -132,17 +134,28 @@ def run_stage_seminaive(
     as compiled closure kernels over slot lists; rules the compiler
     cannot take (a fallback construct in the body) run the interpreted
     path above, rule by rule.
+
+    ``costed``/``replan_ratio`` wire in the adaptive planner
+    (:mod:`repro.iql.stats`): kernels are re-fetched and the drift check
+    runs *per round*, so a plan whose round-0 estimates prove wrong (the
+    classic case: a recursive relation planned while still empty) is
+    replanned mid-fixpoint and the remaining rounds run the better order.
     """
     schema = instance.schema
     shapes: Dict[int, DeltaBody] = {
         index: delta_body(rule, schema) for index, rule in enumerate(rules)
     }
-    kernels = {}
-    if compiler is not None:
-        for index, rule in enumerate(rules):
-            compiled = compiler.seminaive_kernels(rule, shapes[index], instance)
-            if compiled is not None:
-                kernels[index] = compiled
+
+    def fetch_kernels():
+        fetched = {}
+        if compiler is not None:
+            for index, rule in enumerate(rules):
+                compiled = compiler.seminaive_kernels(rule, shapes[index], instance)
+                if compiled is not None:
+                    fetched[index] = compiled
+        return fetched
+
+    kernels = fetch_kernels()
     rounds = 0
     first = initial_delta is None
     delta: Dict[str, Set[OValue]] = (
@@ -192,6 +205,8 @@ def run_stage_seminaive(
                     stats=stats,
                     plan_cache=rule.plan_cache,
                     use_indexes=use_indexes,
+                    costed=costed,
+                    feedback=rule.feedback_cache if costed else None,
                 ):
                     derive(theta)
                 continue
@@ -232,6 +247,8 @@ def run_stage_seminaive(
                             stats=stats,
                             plan_cache=rule.plan_cache,
                             use_indexes=use_indexes,
+                            costed=costed,
+                            feedback=rule.feedback_cache if costed else None,
                         ):
                             derive(theta)
 
@@ -247,3 +264,11 @@ def run_stage_seminaive(
                     if added is not None:
                         added.setdefault(name, set()).add(value)
         delta = new
+        if costed and replan_ratio is not None:
+            from repro.iql.stats import check_drift
+
+            # Mid-fixpoint adaptivity: a drifted plan is evicted here and
+            # the re-fetch below recompiles the rule against the replanned
+            # order for the remaining rounds.
+            if check_drift(rules, stats, replan_ratio):
+                kernels = fetch_kernels()

@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 
 from repro.errors import EvaluationError
 from repro.iql.literals import Choose, Equality, Literal, Membership
+from repro.iql.stats import FILTER_SELECTIVITY, Statistics
 from repro.iql.terms import Const, Deref, NameTerm, SetTerm, Term, TupleTerm, Var
 from repro.schema.instance import Instance
 from repro.typesys.enumeration import enumerate_type
@@ -231,6 +232,20 @@ def satisfies(literal: Literal, bindings: Bindings, instance: Instance) -> bool:
     if isinstance(literal, Choose):
         return True  # handled by the evaluator's invention machinery
     if isinstance(literal, Membership):
+        if isinstance(literal.container, NameTerm):
+            # Fast path: test against the stored extension instead of
+            # materializing it as an OSet — this is what makes a
+            # fully-bound relation membership a unit-cost filter step.
+            element = eval_term(literal.element, bindings, instance)
+            if element is None:
+                return False
+            name = literal.container.name
+            members = (
+                instance.relations[name]
+                if instance.schema.is_relation(name)
+                else instance.classes[name]
+            )
+            return (element in members) == literal.positive
         container = eval_term(literal.container, bindings, instance)
         element = eval_term(literal.element, bindings, instance)
         if container is None or element is None:
@@ -249,7 +264,7 @@ def satisfies(literal: Literal, bindings: Bindings, instance: Instance) -> bool:
     raise EvaluationError(f"unknown literal {literal!r}")
 
 
-# -- body solving: the selectivity-ordered planner ---------------------------------
+# -- body solving: the cost-based planner -------------------------------------------
 #
 # A *plan* is a tuple of steps, each one of
 #
@@ -264,10 +279,21 @@ def satisfies(literal: Literal, bindings: Bindings, instance: Instance) -> bool:
 # The plan depends only on the body and the set of initially-bound
 # variables (each generator step binds exactly its literal's variables, so
 # the bound set evolves deterministically along the plan); it is memoized
-# per (body, bound-set, use_indexes) in the caller's plan cache. Cost
-# estimates use container sizes at planning time — selectivity estimation,
-# not truth — so a cached plan can be stale; that affects speed, never the
-# solution set, because every literal is still checked on every valuation.
+# per (body, bound-set, use_indexes, costed) in the caller's plan cache.
+#
+# Two planners emit these steps. The *static* one (``costed=False``) keeps
+# the original lexicographic ranks — index probe < small scan < large scan
+# < equality — as the A/B baseline. The *cost-based* one (``costed=True``,
+# the evaluator default) scores every candidate with the cardinality
+# statistics of :mod:`repro.iql.stats`: a probe costs its estimated bucket
+# (size/NDV per probed attribute), a scan its container size, equalities
+# their pattern's branching factor — and the running estimate of the
+# intermediate result size multiplies into every later step, so join
+# cardinality propagates along the partial plan. Estimates affect speed,
+# never the solution set: every literal is still checked on every
+# valuation. Cost-based plans additionally carry their per-step estimates
+# and live row counters (:class:`Plan`), which the drift check of
+# :func:`repro.iql.stats.check_drift` compares to trigger replanning.
 
 
 def _tuple_probes(element: Term, bound: Set[Var]) -> Tuple[Tuple[str, Term], ...]:
@@ -289,13 +315,53 @@ def _contains_set_term(term: Term) -> bool:
     return False
 
 
+class Plan(tuple):
+    """A step sequence plus the metadata the feedback loop needs.
+
+    Behaves exactly like the plain step tuple it used to be (indexing,
+    iteration, hashing), with four attributes on the side:
+
+    * ``estimates`` — per-step estimated intermediate cardinality (rows
+      *out* of each step, join-propagated), or None for static plans,
+    * ``counts`` — live row counters, one per step plus a final-output
+      cell; maintained at generator steps by both the interpreter and the
+      compiled kernels,
+    * ``bound_before`` — the bound-variable set entering each step (the
+      feedback key space of :func:`repro.iql.stats.observed_fanouts`),
+    * ``replans`` — how many times this (body, bound-set) has already been
+      replanned from feedback (capped by ``stats.MAX_REPLANS``).
+    """
+
+    estimates: Optional[Tuple[float, ...]]
+    counts: List[int]
+    bound_before: Tuple[FrozenSet[Var], ...]
+    replans: int
+
+
+def _finish_plan(
+    steps: List[tuple],
+    estimates: Optional[List[float]],
+    bound_before: List[FrozenSet[Var]],
+    replans: int,
+) -> Plan:
+    plan = Plan(steps)
+    plan.estimates = tuple(estimates) if estimates is not None else None
+    plan.counts = [0] * (len(steps) + 1)
+    plan.bound_before = tuple(bound_before)
+    plan.replans = replans
+    return plan
+
+
 def _generator_step(lit: Literal, bound: Set[Var], instance: Instance, use_indexes: bool):
     """(cost, step) if ``lit`` can generate bindings now, else None.
 
-    Cost is a (rank, estimate) pair ordered lexicographically:
+    The *static* ranking, kept as the A/B baseline (``costed=False``):
+    cost is a (rank, estimate) pair ordered lexicographically,
     rank 0 index probe < 1 small scan < 2 large scan < 3 equality match;
     the enumeration fallback (rank 4, implicit) is never chosen while any
-    literal is processable.
+    literal is processable. Note the known deficiencies the cost-based
+    planner fixes: probes are costed at full relation size, deref
+    containers and set patterns at magic constants.
     """
     if isinstance(lit, Membership) and lit.positive:
         container = lit.container
@@ -327,33 +393,151 @@ def _generator_step(lit: Literal, bound: Set[Var], instance: Instance, use_index
     return None
 
 
+def _costed_candidate(
+    lit: Literal,
+    bound: Set[Var],
+    instance: Instance,
+    use_indexes: bool,
+    statistics: Statistics,
+    observed: Optional[Dict[tuple, float]],
+    snapshot: FrozenSet[Var],
+):
+    """(work, fan-out, step) under the cost model, or None.
+
+    Work estimates candidates *examined* per input row (a probe examines
+    its smallest bucket, a scan the whole container); fan-out estimates
+    rows *produced* per input row (a multi-attribute probe intersects, so
+    its fan-out can be far below its work). ``observed`` — measured
+    fan-outs from a previous plan of the same body (keyed by literal and
+    bound set) — overrides the model where available: that is the replan
+    half of the feedback loop.
+    """
+    obs = observed.get((lit, snapshot)) if observed else None
+    if isinstance(lit, Membership) and lit.positive:
+        container = lit.container
+        if not all(v in bound for v in container.variables()):
+            return None
+        if isinstance(container, NameTerm):
+            name = container.name
+            if instance.schema.is_relation(name):
+                size = float(len(instance.relations[name]))
+                if use_indexes:
+                    probes = _tuple_probes(lit.element, bound)
+                    if probes:
+                        work, fanout = statistics.bucket_estimate(
+                            name, tuple(attr for attr, _ in probes)
+                        )
+                        if obs is not None:
+                            # A probe examines at least what it produces.
+                            work = fanout = max(obs, EST_FLOOR)
+                        return (work, fanout, ("member", lit, probes))
+                fanout = size if obs is None else max(obs, EST_FLOOR)
+                return (size, fanout, ("member", lit, ()))
+            size = float(len(instance.classes[name]))
+            fanout = size if obs is None else max(obs, EST_FLOOR)
+            return (size, fanout, ("member", lit, ()))
+        width = statistics.container_width(container, use_indexes)
+        fanout = width if obs is None else max(obs, EST_FLOOR)
+        return (width, fanout, ("member", lit, ()))
+    if isinstance(lit, Equality) and lit.positive:
+        left_known = all(v in bound for v in lit.left.variables())
+        right_known = all(v in bound for v in lit.right.variables())
+        if left_known or right_known:
+            known, pattern = (
+                (lit.left, lit.right) if left_known else (lit.right, lit.left)
+            )
+            if _contains_set_term(pattern):
+                branching = statistics.set_branching(pattern, known, use_indexes)
+            else:
+                branching = 1.0
+            fanout = branching if obs is None else max(obs, EST_FLOOR)
+            return (branching, fanout, ("equal", lit, left_known))
+    return None
+
+
+#: Estimates never fall to zero entirely (a chosen step costs ≥ a lookup).
+EST_FLOOR = 0.125
+
+#: Ceiling on the propagated intermediate-size estimate (overflow guard).
+EST_CEILING = 1e18
+
+
 def plan_body(
     literals: Sequence[Literal],
     bound_vars: FrozenSet[Var],
     instance: Instance,
     use_indexes: bool = True,
-) -> Tuple[tuple, ...]:
-    """The selectivity-ordered step sequence for ``literals``."""
+    costed: bool = False,
+    observed: Optional[Dict[tuple, float]] = None,
+    replans: int = 0,
+) -> Plan:
+    """The cost-ordered step sequence for ``literals``.
+
+    With ``costed=False`` the original static ranks decide (the A/B
+    baseline); with ``costed=True`` each candidate is scored
+    ``est_in * (work + fan-out)`` against the live cardinality statistics,
+    with ``est_in`` the estimated intermediate result size propagated
+    along the partial plan — so a selective 50-row scan beats an
+    unselective probe into a huge skewed bucket, which the static ranks
+    get exactly wrong. ``observed``/``replans`` carry replan feedback
+    (measured fan-outs) from :mod:`repro.iql.stats`.
+    """
     steps: List[tuple] = []
+    estimates: List[float] = []
+    bound_before: List[FrozenSet[Var]] = []
+    est = 1.0
+    statistics = Statistics(instance)  # touched only when ``costed``
     remaining = list(literals)
     bound: Set[Var] = set(bound_vars)
     while remaining:
-        # 1. Fully-bound literals become filters immediately, in body order.
-        filters = [lit for lit in remaining if all(v in bound for v in lit.variables())]
-        if filters:
-            steps.extend(("filter", lit) for lit in filters)
-            remaining = [lit for lit in remaining if lit not in filters]
+        # 1. Fully-bound literals become filters immediately, in body
+        # order. One pass partitions by position — no structural-equality
+        # membership tests, no quadratic list rebuild.
+        generators: List[Literal] = []
+        found_filter = False
+        for lit in remaining:
+            if all(v in bound for v in lit.variables()):
+                bound_before.append(frozenset(bound))
+                steps.append(("filter", lit))
+                est *= FILTER_SELECTIVITY
+                estimates.append(est)
+                found_filter = True
+            else:
+                generators.append(lit)
+        remaining = generators
+        if found_filter or not remaining:
             continue
         # 2. The cheapest processable generator goes next.
-        best = None
-        for position, lit in enumerate(remaining):
-            candidate = _generator_step(lit, bound, instance, use_indexes)
-            if candidate is not None and (best is None or candidate[0] < best[0]):
-                best = (candidate[0], position, candidate[1])
-        if best is not None:
-            _, position, step = best
+        snapshot = frozenset(bound)
+        chosen = None
+        if costed:
+            best_cost = None
+            for position, lit in enumerate(remaining):
+                candidate = _costed_candidate(
+                    lit, bound, instance, use_indexes, statistics, observed, snapshot
+                )
+                if candidate is None:
+                    continue
+                work, fanout, step = candidate
+                cost = est * (work + fanout)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    chosen = (position, step, fanout)
+        else:
+            best_rank = None
+            for position, lit in enumerate(remaining):
+                candidate = _generator_step(lit, bound, instance, use_indexes)
+                if candidate is not None and (best_rank is None or candidate[0] < best_rank):
+                    best_rank = candidate[0]
+                    chosen = (position, candidate[1], 1.0)
+        if chosen is not None:
+            position, step, fanout = chosen
             lit = remaining.pop(position)
+            bound_before.append(snapshot)
             steps.append(step)
+            if costed:
+                est = min(est * max(fanout, EST_FLOOR), EST_CEILING)
+            estimates.append(est)
             bound |= lit.variables()
             continue
         # 3. Dead end: enumerate the type interpretation of one unbound var
@@ -366,9 +550,15 @@ def plan_body(
         if not unbound:  # pragma: no cover - step 1 would have consumed these
             raise EvaluationError(f"stuck with fully bound literals: {remaining!r}")
         var = unbound[0]
+        bound_before.append(frozenset(bound))
         steps.append(("enum", var))
+        if costed:
+            est = min(
+                est * max(1.0, float(len(instance.sorted_constants()))), EST_CEILING
+            )
+        estimates.append(est)
         bound.add(var)
-    return tuple(steps)
+    return _finish_plan(steps, estimates if costed else None, bound_before, replans)
 
 
 def lookup_plan(
@@ -378,15 +568,19 @@ def lookup_plan(
     use_indexes: bool = True,
     plan_cache: Optional[Dict] = None,
     stats=None,
-) -> Tuple[tuple, ...]:
+    costed: bool = False,
+    feedback: Optional[Dict] = None,
+) -> Plan:
     """The memoized plan for ``literals`` with ``bound0`` pre-bound.
 
     Shared by the interpreter (:func:`solve_body`) and the rule compiler
     (:mod:`repro.iql.compile`) so both agree on join order; ``stats``
-    records the hit/miss per lookup.
+    records the hit/miss per lookup. ``feedback`` (the owning rule's
+    feedback cache, written by :func:`repro.iql.stats.check_drift`) feeds
+    observed fan-outs into a costed replan after a drift invalidation.
     """
-    plan: Optional[Tuple[tuple, ...]] = None
-    key = (literals, bound0, use_indexes)
+    plan: Optional[Plan] = None
+    key = (literals, bound0, use_indexes, costed)
     if plan_cache is not None:
         plan = plan_cache.get(key)
         if stats is not None:
@@ -395,7 +589,24 @@ def lookup_plan(
             else:
                 stats.plan_cache_hits += 1
     if plan is None:
-        plan = plan_body(literals, bound0, instance, use_indexes)
+        observed = None
+        replans = 0
+        if costed and feedback is not None:
+            entry = feedback.get(key)
+            if entry is not None:
+                observed = entry["fanouts"]
+                replans = entry["replans"]
+        plan = plan_body(
+            literals,
+            bound0,
+            instance,
+            use_indexes,
+            costed=costed,
+            observed=observed,
+            replans=replans,
+        )
+        if stats is not None and costed:
+            stats.plans_costed += 1
         if plan_cache is not None:
             plan_cache[key] = plan
     return plan
@@ -409,25 +620,34 @@ def solve_body(
     stats=None,
     plan_cache: Optional[Dict] = None,
     use_indexes: bool = True,
+    costed: bool = False,
+    feedback: Optional[Dict] = None,
 ) -> Iterator[Bindings]:
     """All valuations θ of the body's variables with I ⊨ θ(body).
 
-    The literal order comes from :func:`plan_body` (selectivity-ordered,
-    memoized in ``plan_cache`` — normally the owning rule's); membership
-    literals over relations with bound tuple components probe the hash
-    indexes of :mod:`repro.iql.indexes` instead of scanning. Negative
-    literals are only ever used as filters, as inflationary Datalog¬
-    requires. ``use_indexes=False`` restores the original generate-and-test
-    join (the differential-testing oracle); ``stats`` is any object with
-    the counters of :class:`~repro.iql.evaluator.EvaluationStats`.
+    The literal order comes from :func:`plan_body` (cost- or
+    selectivity-ordered per ``costed``, memoized in ``plan_cache`` —
+    normally the owning rule's); membership literals over relations with
+    bound tuple components probe the hash indexes of
+    :mod:`repro.iql.indexes` instead of scanning. Negative literals are
+    only ever used as filters, as inflationary Datalog¬ requires.
+    ``use_indexes=False`` restores the original generate-and-test join
+    (the differential-testing oracle); ``stats`` is any object with the
+    counters of :class:`~repro.iql.evaluator.EvaluationStats`. Rows
+    entering each generator step and rows produced overall are tallied
+    into ``plan.counts`` for the estimate-drift check.
     """
     literals = tuple(lit for lit in body if not isinstance(lit, Choose))
     bindings0 = dict(initial or {})
     bound0 = frozenset(bindings0)
-    plan = lookup_plan(literals, bound0, instance, use_indexes, plan_cache, stats)
+    plan = lookup_plan(
+        literals, bound0, instance, use_indexes, plan_cache, stats, costed, feedback
+    )
+    counts = plan.counts
 
     def run(step_index: int, bindings: Bindings) -> Iterator[Bindings]:
         if step_index == len(plan):
+            counts[step_index] += 1
             yield dict(bindings)
             return
         step = plan[step_index]
@@ -437,6 +657,7 @@ def solve_body(
                 yield from run(step_index + 1, bindings)
             return
         if kind == "member":
+            counts[step_index] += 1
             lit, probes = step[1], step[2]
             members = None
             if probes:
@@ -482,6 +703,7 @@ def solve_body(
                     yield from run(step_index + 1, extended)
             return
         if kind == "equal":
+            counts[step_index] += 1
             lit, left_known = step[1], step[2]
             known, pattern = (
                 (lit.left, lit.right) if left_known else (lit.right, lit.left)

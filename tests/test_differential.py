@@ -249,3 +249,43 @@ def run_compiled_differential(seed):
 @pytest.mark.parametrize("seed", range(220))
 def test_compiled_engine_matches_reference(seed):
     run_compiled_differential(seed)
+
+
+# -- the adaptive planner (Evaluator(cost_planning=...)) -----------------------------
+#
+# Join order is the one thing the cost model is allowed to change, so the
+# oracle is the sharpest available: the same optimized engine with the
+# static ranks must agree with the cost-based default on every program.
+# A second sweep sets replan_ratio=1.0 — "any inexact estimate is drift" —
+# which forces mid-fixpoint evictions, feedback-driven replans and (on the
+# compiled seeds) kernel invalidation on as many rounds as the cap allows,
+# the adversarial schedule for the feedback loop.
+
+
+def run_planner_differential(seed, replan_ratio=None):
+    rng = random.Random(seed)
+    schema = make_schema()
+    allow_invention = seed % 5 == 0
+    program = random_program(schema, rng, allow_invention)
+    instance = random_instance(schema, rng)
+    static = (
+        Evaluator(program, cost_planning=False).run(instance.copy()).output
+    )
+    kwargs = {"compile": seed % 3 == 2}
+    if replan_ratio is not None:
+        kwargs["replan_ratio"] = replan_ratio
+    costed = Evaluator(program, **kwargs).run(instance.copy()).output
+    if all(rule.is_invention_free() for rule in program.rules):
+        assert costed == static, f"seed {seed}: exact disagreement"
+    else:
+        assert are_o_isomorphic(costed, static), f"seed {seed}: not O-isomorphic"
+
+
+@pytest.mark.parametrize("seed", range(220))
+def test_costed_planner_matches_static(seed):
+    run_planner_differential(seed)
+
+
+@pytest.mark.parametrize("seed", range(220))
+def test_forced_replanning_matches_static(seed):
+    run_planner_differential(seed, replan_ratio=1.0)

@@ -1,0 +1,331 @@
+"""Tests for cardinality statistics and adaptive planning (repro.iql.stats)."""
+
+import random
+
+import pytest
+
+from repro import io
+from repro.iql import (
+    Evaluator,
+    Statistics,
+    atom,
+    check_drift,
+    columns,
+    describe_plan,
+    make_vars,
+    plan_body,
+)
+from repro.iql.stats import MAX_REPLANS
+from repro.parser.grammar import program_from_source
+from repro.schema import Instance, Schema
+from repro.typesys import D, set_of, tuple_of
+from repro.values import Oid, OSet, OTuple
+
+
+def skew_schema():
+    return Schema(
+        relations={
+            "A": columns(D),
+            "B": columns(D, D),
+            "C": columns(D),
+        }
+    )
+
+
+def skew_instance(schema, b_rows=200, skew=10, selective=50):
+    """The E21 shape: B.A01 collides onto A's values, B.A02 is unique."""
+    instance = Instance(schema)
+    for i in range(skew):
+        instance.add_relation_member("A", OTuple(A01=f"s{i}"))
+    for i in range(b_rows):
+        instance.add_relation_member(
+            "B", OTuple(A01=f"s{i % skew}", A02=f"v{i}")
+        )
+    for j in range(selective):
+        instance.add_relation_member("C", OTuple(A01=f"v{j}"))
+    return instance
+
+
+class TestStatistics:
+    def test_sizes(self):
+        schema = skew_schema()
+        instance = skew_instance(schema, b_rows=30)
+        stats = Statistics(instance)
+        assert stats.relation_size("B") == 30
+        assert stats.relation_size("A") == 10
+        assert stats.class_size("NoSuchClass") == 0
+
+    def test_ndv_reads_the_projection_index(self):
+        instance = skew_instance(skew_schema(), b_rows=40, skew=10)
+        stats = Statistics(instance)
+        assert stats.ndv("B", "A01") == 10
+        assert stats.ndv("B", "A02") == 40
+        assert stats.ndv("A", "A01") == 10
+
+    def test_ndv_stays_warm_under_mutation(self):
+        """The statistic is the incrementally-maintained index: after any
+        interleaving of inserts and removals it matches a cold rebuild."""
+        schema = skew_schema()
+        instance = skew_instance(schema, b_rows=24, skew=4)
+        stats = Statistics(instance)
+        assert stats.ndv("B", "A01") == 4  # force the index to exist
+        rng = random.Random(7)
+        pool = list(instance.relations["B"])
+        for step in range(60):
+            if rng.random() < 0.5 and pool:
+                victim = pool.pop(rng.randrange(len(pool)))
+                instance.remove_relation_member("B", victim)
+            else:
+                row = OTuple(A01=f"s{rng.randrange(6)}", A02=f"w{step}")
+                if instance.add_relation_member("B", row):
+                    pool.append(row)
+            expected = {t["A01"] for t in instance.relations["B"]}
+            assert stats.ndv("B", "A01") == len(expected)
+        assert instance.indexes.equals_rebuild()
+
+    def test_bucket_estimate_uses_the_best_probed_attribute(self):
+        instance = skew_instance(skew_schema(), b_rows=200, skew=10)
+        stats = Statistics(instance)
+        work_skew, fan_skew = stats.bucket_estimate("B", ("A01",))
+        work_both, fan_both = stats.bucket_estimate("B", ("A01", "A02"))
+        assert work_skew == pytest.approx(20.0)  # 200 / NDV 10
+        assert work_both == pytest.approx(1.0)  # 200 / NDV 200
+        assert fan_both < fan_skew < 200.0
+
+    def test_bucket_estimate_empty_relation(self):
+        instance = Instance(skew_schema())
+        assert Statistics(instance).bucket_estimate("B", ("A01",)) == (0.0, 0.0)
+
+    def test_deref_width(self):
+        schema = Schema(classes={"Q": set_of(D)})
+        a, b, c = Oid("a"), Oid("b"), Oid("c")
+        instance = Instance(
+            schema,
+            classes={"Q": [a, b, c]},
+            nu={a: OSet(["x", "y", "z"]), b: OSet(["x"])},
+        )
+        stats = Statistics(instance)
+        assert stats.deref_width("Q") == pytest.approx(2.0)  # mean of 3 and 1
+        assert stats.deref_width("NoMembers") == 8.0  # the documented default
+
+
+class TestCostedPlans:
+    def body(self, schema):
+        x, y = make_vars(D, "x", "y")
+        return (
+            atom(schema, "A", x),
+            atom(schema, "B", x, y),
+            atom(schema, "C", y),
+        )
+
+    def test_static_plan_probes_the_skewed_attribute(self):
+        schema = skew_schema()
+        instance = skew_instance(schema)
+        plan = plan_body(self.body(schema), frozenset(), instance, costed=False)
+        kinds = [(step[0], step[1].container.name) for step in plan]
+        assert kinds == [("member", "A"), ("member", "B"), ("filter", "C")]
+        assert plan.estimates is None
+
+    def test_costed_plan_joins_the_selective_relation_first(self):
+        schema = skew_schema()
+        # Big enough that the B probe's skew bucket (|B|/10 = 200) dwarfs
+        # the 50-row C scan; at small |B| both planners agree B-first.
+        instance = skew_instance(schema, b_rows=2000)
+        plan = plan_body(self.body(schema), frozenset(), instance, costed=True)
+        kinds = [(step[0], step[1].container.name) for step in plan]
+        assert kinds == [("member", "A"), ("member", "C"), ("filter", "B")]
+        assert plan.estimates is not None and len(plan.estimates) == 3
+        assert plan.counts == [0, 0, 0, 0]
+
+    def test_observed_fanouts_override_the_model(self):
+        """Feedback saying 'the C scan explodes' pushes C behind B again."""
+        schema = skew_schema()
+        instance = skew_instance(schema)
+        literals = self.body(schema)
+        scan_c = literals[2]
+        observed = {(scan_c, frozenset(literals[0].variables())): 1e6}
+        plan = plan_body(
+            self.body(schema),
+            frozenset(),
+            instance,
+            costed=True,
+            observed=observed,
+            replans=1,
+        )
+        names = [step[1].container.name for step in plan]
+        assert names.index("C") > names.index("B")
+        assert plan.replans == 1
+
+    def test_describe_plan_renders_estimates(self):
+        schema = skew_schema()
+        instance = skew_instance(schema)
+        plan = plan_body(self.body(schema), frozenset(), instance, costed=True)
+        lines = describe_plan(plan)
+        assert len(lines) == 3
+        assert any("scan" in line for line in lines)
+        assert all("est" in line for line in lines)
+
+
+TC_PROGRAM = """
+schema {
+  relation E: [A1: D, A2: D];
+  relation T: [A1: D, A2: D];
+}
+var x, y, z: D
+input E
+output T
+rules {
+  T(x, y) :- E(x, y).
+  T(x, z) :- T(x, y), E(y, z).
+}
+"""
+
+
+def tc_instance(program, n=12):
+    instance = Instance(program.input_schema)
+    for i in range(n - 1):
+        instance.add_relation_member("E", OTuple(A1=f"n{i}", A2=f"n{i + 1}"))
+    return instance
+
+
+class TestFeedbackLoop:
+    def test_forced_replan_preserves_answers(self):
+        """replan_ratio=1.0 treats every inexact estimate as drift, so the
+        engine replans as hard as it can — and must change nothing."""
+        program = program_from_source(TC_PROGRAM)
+        instance = tc_instance(program)
+        static = Evaluator(program, cost_planning=False).run(instance.copy())
+        adaptive = Evaluator(program, replan_ratio=1.0).run(instance.copy())
+        assert adaptive.output == static.output
+        assert adaptive.stats.plan_replans >= 1
+        assert adaptive.stats.estimate_drifts >= adaptive.stats.plan_replans
+
+    def test_replans_are_capped(self):
+        program = program_from_source(TC_PROGRAM)
+        instance = tc_instance(program, n=24)
+        result = Evaluator(program, replan_ratio=1.0).run(instance.copy())
+        for rule in program.rules:
+            feedback = rule._feedback_cache
+            if feedback:
+                for entry in feedback.values():
+                    assert entry["replans"] <= MAX_REPLANS
+        # one recursive rule drives the loop; the cap bounds total evictions
+        assert result.stats.plan_replans <= MAX_REPLANS * 2 * len(program.rules)
+
+    def test_drift_records_feedback_and_evicts(self):
+        program = program_from_source(TC_PROGRAM)
+        instance = tc_instance(program)
+        Evaluator(program, replan_ratio=1.0).run(instance.copy())
+        drifted = [r for r in program.rules if r._feedback_cache]
+        assert drifted
+        for rule in drifted:
+            for entry in rule._feedback_cache.values():
+                assert entry["fanouts"]  # measured fan-outs, keyed for reuse
+                assert entry["replans"] >= 1
+
+    def test_compiled_adaptive_matches_static(self):
+        program = program_from_source(TC_PROGRAM)
+        instance = tc_instance(program)
+        static = Evaluator(program, cost_planning=False).run(instance.copy())
+        adaptive = Evaluator(program, compile=True, replan_ratio=1.0).run(
+            instance.copy()
+        )
+        assert adaptive.output == static.output
+        assert adaptive.stats.plan_replans >= 1
+
+    def test_check_drift_without_counts_is_a_no_op(self):
+        program = program_from_source(TC_PROGRAM)
+        instance = tc_instance(program)
+        result = Evaluator(program).run(instance.copy())
+        # plans exist and are counted, but with the default 10x tolerance
+        # this tiny chain produces no actionable drift a second time around
+        before = result.stats.plan_replans
+        evicted = check_drift(program.rules, result.stats, ratio=1e9)
+        assert evicted == 0
+        assert result.stats.plan_replans == before
+
+
+SKEW_PROGRAM = """
+schema {
+  relation A: [A1: D];
+  relation B: [A1: D, A2: D];
+  relation C: [A1: D];
+  relation J: [A1: D, A2: D];
+}
+var x, y: D
+input A, B, C
+output J
+rules {
+  J(x, y) :- A(x), B(x, y), C(y).
+}
+"""
+
+
+class TestCli:
+    @pytest.fixture
+    def files(self, tmp_path):
+        program = tmp_path / "skew.iql"
+        program.write_text(SKEW_PROGRAM)
+        instance = Instance(
+            Schema(
+                relations={
+                    "A": tuple_of(A1=D),
+                    "B": tuple_of(A1=D, A2=D),
+                    "C": tuple_of(A1=D),
+                }
+            )
+        )
+        for i in range(4):
+            instance.add_relation_member("A", OTuple(A1=f"s{i}"))
+        for i in range(40):
+            instance.add_relation_member("B", OTuple(A1=f"s{i % 4}", A2=f"v{i}"))
+        for j in range(6):
+            instance.add_relation_member("C", OTuple(A1=f"v{j}"))
+        data = tmp_path / "in.json"
+        data.write_text(io.dumps(instance))
+        return program, data
+
+    def test_run_stats_reports_planner_counters(self, files, capsys):
+        from repro.__main__ import main
+
+        program, data = files
+        assert main(["run", str(program), "--input", str(data), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "plans costed         1" in err
+        assert "plan replans" in err
+
+    def test_run_static_plans_flag(self, files, capsys):
+        from repro.__main__ import main
+
+        program, data = files
+        assert (
+            main(
+                [
+                    "run",
+                    str(program),
+                    "--input",
+                    str(data),
+                    "--static-plans",
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        assert "plans costed         0" in capsys.readouterr().err
+
+    def test_analyze_plans_renders_costed_plans(self, files, capsys):
+        from repro.__main__ import main
+
+        program, data = files
+        assert main(["analyze", str(program), "--plans", "--input", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "J" in out
+        assert "est" in out
+        assert "scan" in out or "probe" in out
+
+    def test_analyze_plans_without_input_uses_empty_instance(self, files, capsys):
+        from repro.__main__ import main
+
+        program, _ = files
+        assert main(["analyze", str(program), "--plans"]) == 0
+        assert "est" in capsys.readouterr().out
