@@ -96,20 +96,20 @@ def main(sizes=None):
         program = datalog_to_iql(dprog)
         instance = database_to_instance(dprog, edb, names=dprog.edb)
         t_noidx, res_noidx = time_call(
-            lambda: Evaluator(program, seminaive=False, indexed=False)
+            lambda program=program, instance=instance: Evaluator(program, seminaive=False, indexed=False)
             .run(instance.copy())
             .output
         )
         t_idx, res_idx = time_call(
-            lambda: Evaluator(program, seminaive=False, indexed=True)
+            lambda program=program, instance=instance: Evaluator(program, seminaive=False, indexed=True)
             .run(instance.copy())
             .output
         )
         t_iql_semi, res_semi = time_call(
-            lambda: Evaluator(program, seminaive=True).run(instance.copy()).output
+            lambda program=program, instance=instance: Evaluator(program, seminaive=True).run(instance.copy()).output
         )
         t_iql_comp, res_comp = time_call(
-            lambda: Evaluator(program, seminaive=True, compile=True)
+            lambda program=program, instance=instance: Evaluator(program, seminaive=True, compile=True)
             .run(instance.copy())
             .output
         )

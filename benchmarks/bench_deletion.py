@@ -87,7 +87,7 @@ def chain_delete_program():
 def chain_instance(schema, n):
     oids = [Oid(f"n{i}") for i in range(n)]
     instance = Instance(schema)
-    for i, o in enumerate(oids):
+    for o in oids:
         instance.add_class_member("P", o)
     for i, o in enumerate(oids):
         prev = OSet([oids[i - 1]]) if i else OSet()

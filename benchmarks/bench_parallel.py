@@ -1,0 +1,231 @@
+"""E22 — certified parallel execution: what the ParallelCertificate buys.
+
+Two workloads, one per concurrency source the IQL8xx analysis certifies:
+
+* **partitioned delta rounds** (E11-style): transitive closure of a
+  4·n-node cycle — one recursive stratum, certified hash-partitionable,
+  so each semi-naive round's delta is split round-robin across workers
+  driving private kernel replicas,
+* **concurrent strata** (E19-style): four independent transitive
+  closures over disjoint relations — four rule-bearing SCCs with no
+  cross-reads, certified into one width-4 batch and submitted to the
+  pool together.
+
+Both compare ``Evaluator(schedule=True, compile=True)`` (the serial
+engine, the PR8 baseline) against ``Evaluator(parallel=N, compile=True)``
+at N = 2 and 4, asserting *exactly* equal outputs (invention-free
+programs).
+
+**Honest-host note.** The executor is thread-based: under the GIL,
+pure-Python kernels on a single usable CPU cannot speed up — the
+certificate's IQL804 width is an upper bound the host then clips. On a
+multi-core host (CI) the ≥1.5× claim at n = 32 with 4 workers is
+checked; on a single-CPU host this module instead verifies the overhead
+stays bounded (parallel ≤ 3× serial) and reports the host clip, so the
+recorded numbers say what they mean on every machine.
+
+Run standalone:  python benchmarks/bench_parallel.py
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.analysis import build_parallel_certificate, validate_parallel_certificate
+from repro.iql import Evaluator
+from repro.parser.grammar import program_from_source
+from repro.schema import Instance
+from repro.values import OTuple
+
+from helpers import ms, print_series, time_call
+
+NODES_PER_N = 4  # cycle nodes per unit of n: n=32 → 128 nodes, |TC| = 16384
+
+TC_PROGRAM = """
+schema {
+  relation E: [A1: D, A2: D];
+  relation TC: [A1: D, A2: D];
+}
+var x, y, z: D
+input E
+output TC
+rules {
+  TC(x, y) :- E(x, y).
+  TC(x, z) :- TC(x, y), E(y, z).
+}
+"""
+
+STRATA_PROGRAM = """
+schema {
+  relation E1: [A1: D, A2: D];
+  relation E2: [A1: D, A2: D];
+  relation E3: [A1: D, A2: D];
+  relation E4: [A1: D, A2: D];
+  relation T1: [A1: D, A2: D];
+  relation T2: [A1: D, A2: D];
+  relation T3: [A1: D, A2: D];
+  relation T4: [A1: D, A2: D];
+}
+var x, y, z: D
+input E1, E2, E3, E4
+output T1, T2, T3, T4
+rules {
+  T1(x, y) :- E1(x, y).
+  T1(x, z) :- T1(x, y), E1(y, z).
+  T2(x, y) :- E2(x, y).
+  T2(x, z) :- T2(x, y), E2(y, z).
+  T3(x, y) :- E3(x, y).
+  T3(x, z) :- T3(x, y), E3(y, z).
+  T4(x, y) :- E4(x, y).
+  T4(x, z) :- T4(x, y), E4(y, z).
+}
+"""
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def setup_tc(n):
+    """The partitioned-rounds workload: TC of a 4·n-node cycle."""
+    program = program_from_source(TC_PROGRAM)
+    nodes = NODES_PER_N * n
+    instance = Instance(program.input_schema)
+    for i in range(nodes):
+        instance.add_relation_member(
+            "E", OTuple(A1=f"n{i}", A2=f"n{(i + 1) % nodes}")
+        )
+    return program, instance, nodes * nodes
+
+
+def setup_strata(n):
+    """The concurrent-strata workload: four independent cycle closures."""
+    program = program_from_source(STRATA_PROGRAM)
+    nodes = NODES_PER_N * n // 2
+    instance = Instance(program.input_schema)
+    for k in range(1, 5):
+        for i in range(nodes):
+            instance.add_relation_member(
+                f"E{k}", OTuple(A1=f"n{i}", A2=f"n{(i + 1) % nodes}")
+            )
+    return program, instance, 4 * nodes * nodes
+
+
+def run_serial(program, instance):
+    return Evaluator(program, schedule=True, compile=True).run(instance.copy())
+
+
+def run_parallel(program, instance, workers):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a certified program must not warn
+        return Evaluator(program, parallel=workers, compile=True).run(instance.copy())
+
+
+def output_facts(result):
+    return sum(len(v) for v in result.output.relations.values())
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_partitioned_rounds(benchmark, n):
+    program, instance, expected = setup_tc(n)
+    result = benchmark.pedantic(
+        lambda: run_parallel(program, instance, 4), rounds=2, iterations=1
+    )
+    assert output_facts(result) == expected
+    assert result.stats.parallel_workers == 4
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_concurrent_strata(benchmark, n):
+    program, instance, expected = setup_strata(n)
+    result = benchmark.pedantic(
+        lambda: run_parallel(program, instance, 4), rounds=2, iterations=1
+    )
+    assert output_facts(result) == expected
+    assert result.stats.parallel_strata >= 4
+
+
+SMOKE_SIZES = [2, 4]
+
+
+def main(sizes=None):
+    sizes = sizes or [8, 16, 24, 32]
+    cpus = usable_cpus()
+    rows = []
+    series = {}
+    certified = True
+    for n in sizes:
+        for tag, setup in (("tc", setup_tc), ("4×tc", setup_strata)):
+            program, instance, expected = setup(n)
+            certificate = build_parallel_certificate(program)
+            certified = certified and certificate.certified and certificate.clean
+            assert not validate_parallel_certificate(program, certificate)
+            t_serial, serial = time_call(run_serial, program, instance)
+            t_par2, par2 = time_call(run_parallel, program, instance, 2)
+            t_par4, par4 = time_call(run_parallel, program, instance, 4)
+            assert serial.output == par2.output == par4.output
+            assert output_facts(serial) == expected
+            stats = par4.stats
+            engaged = (
+                f"{stats.parallel_partitioned} part"
+                if stats.parallel_partitioned
+                else f"{stats.parallel_strata} strata"
+            )
+            if tag == "tc":
+                series[n] = t_par4
+            rows.append(
+                (
+                    n,
+                    tag,
+                    expected,
+                    f"w{certificate.width}",
+                    engaged,
+                    ms(t_serial),
+                    ms(t_par2),
+                    ms(t_par4),
+                    f"{t_serial / t_par4:.2f}×",
+                )
+            )
+    print_series(
+        "E22: certified parallel execution — serial vs 2/4 workers",
+        ["n", "load", "|out|", "cert", "engaged", "serial", "par=2", "par=4",
+         "speedup"],
+        rows,
+    )
+    assert certified, "both workloads must carry a clean ParallelCertificate"
+    largest = rows[-2:]  # both workloads at the largest n
+    if cpus >= 4:
+        for row in largest:
+            speedup = float(row[-1].rstrip("×"))
+            assert speedup > 1.5, (
+                f"{cpus} usable CPUs but only {speedup:.2f}× at n={row[0]}"
+            )
+        print(f"  host: {cpus} usable CPUs — ≥1.5× at n={sizes[-1]} verified")
+    else:
+        for row in largest:
+            slowdown = 1.0 / float(row[-1].rstrip("×"))
+            assert slowdown < 3.0, (
+                f"parallel overhead unbounded: {slowdown:.2f}× slower at n={row[0]}"
+            )
+        print(
+            f"  host: {cpus} usable CPU(s) — the GIL serializes the workers, so\n"
+            f"  the certificate's width is clipped by the host; this run checks\n"
+            f"  bounded overhead (<3×) and exact output equality instead of\n"
+            f"  speedup. The IQL804 plan is the same either way."
+        )
+    print(
+        "  shape: the TC stratum partitions its delta rounds (round-robin\n"
+        "  fact split, per-worker kernel replicas, merge at the round\n"
+        "  barrier); the 4×TC program runs its four independent strata as\n"
+        "  one width-4 batch. Outputs are asserted equal to the serial\n"
+        "  scheduled+compiled engine on every size."
+    )
+    return series
+
+
+if __name__ == "__main__":
+    main()

@@ -70,7 +70,7 @@ def main():
     series = {}
     for depth in [3, 4, 5, 6]:
         types = [random_type(depth, rng) for _ in range(100)]
-        elapsed, reduced = time_call(lambda: [intersection_free(t) for t in types])
+        elapsed, reduced = time_call(lambda types=types: [intersection_free(t) for t in types])
         series[depth] = elapsed
         preserved = all(
             equivalent_on_samples(t, r, pi) for t, r in zip(types[:20], reduced[:20])

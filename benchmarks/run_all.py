@@ -43,6 +43,7 @@ EXPERIMENTS = {
     "E19": "bench_scheduling",
     "E20": "bench_ivm",
     "E21": "bench_planner",
+    "E22": "bench_parallel",
 }
 
 
@@ -73,7 +74,7 @@ def main(argv) -> int:
         return 1
     started = time.perf_counter()
     trajectory = {}
-    for round_index in range(max(1, args.repeat)):
+    for _round in range(max(1, args.repeat)):
         for exp_id, module_name in EXPERIMENTS.items():
             if exp_id not in selected:
                 continue

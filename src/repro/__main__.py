@@ -8,6 +8,7 @@ Usage::
     python -m repro lint PROGRAM.iql [--format text|json] [--strict]
     python -m repro analyze PROGRAM.iql [--format text|json|dot] [--stats]
     python -m repro analyze PROGRAM.iql --plans [--input data.json]
+    python -m repro analyze PROGRAM.iql --parallel [--format text|json|dot]
     python -m repro impact PROGRAM.iql [--symbol R] [--op insert|delete]
     python -m repro fmt PROGRAM.iql              # parse + pretty-print
     python -m repro validate data.json           # instance legality
@@ -114,6 +115,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     if args.plans:
         return _dump_plans(program, args)
+    if args.parallel:
+        return _dump_parallel(program, args)
     timings = {}
     t0 = time.perf_counter()
     for rule in program.rules:
@@ -205,6 +208,47 @@ def _dump_plans(program, args: argparse.Namespace) -> int:
     return 0
 
 
+def _dump_parallel(program, args: argparse.Namespace) -> int:
+    """``repro analyze --parallel``: the IQL8xx parallel-safety plan.
+
+    Renders the :class:`~repro.analysis.parallel.ParallelCertificate` —
+    conflict groups, partitionable rules, the stratum DAG with its
+    concurrency width, and the runtime-surface audit — plus the
+    IQL801-804 diagnostics. JSON output carries ``certified``/``clean``
+    at top level for CI gating.
+    """
+    from repro.analysis import (
+        build_parallel_certificate,
+        parallel_pass,
+        parallel_to_dot,
+        render_parallel_text,
+    )
+
+    certificate = build_parallel_certificate(program)
+    diagnostics = parallel_pass(program, certificate=certificate)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "file": args.program,
+                    "certified": certificate.certified,
+                    "clean": certificate.clean,
+                    "width": certificate.width,
+                    "certificate": certificate.to_json(),
+                    "diagnostics": [d.to_json() for d in diagnostics],
+                },
+                indent=2,
+            )
+        )
+    elif args.format == "dot":
+        print(parallel_to_dot(certificate))
+    else:
+        print(render_parallel_text(certificate))
+        for diag in diagnostics:
+            print(diag.render(args.program))
+    return 0
+
+
 def cmd_impact(args: argparse.Namespace) -> int:
     from repro.analysis import (
         build_certificate,
@@ -283,6 +327,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         schedule=args.schedule,
         compile=args.compile,
         cost_planning=not args.static_plans,
+        parallel=args.parallel,
     )
     result = evaluator.run(instance)
     stats = result.stats
@@ -331,7 +376,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  eq fast paths        {stats.eq_fast_paths}\n"
             f"  strata               {stats.strata}\n"
             f"  rules skipped clean  {stats.rules_skipped_clean}\n"
-            f"  schedule fallbacks   {stats.schedule_fallbacks}",
+            f"  schedule fallbacks   {stats.schedule_fallbacks}\n"
+            f"  parallel workers     {stats.parallel_workers}\n"
+            f"  parallel strata      {stats.parallel_strata}\n"
+            f"  parallel partitioned {stats.parallel_partitioned}\n"
+            f"  parallel tasks       {stats.parallel_tasks}\n"
+            f"  parallel fallbacks   {stats.parallel_fallbacks}",
             file=sys.stderr,
         )
     text = io.dumps(result.output)
@@ -539,6 +589,12 @@ def main(argv=None) -> int:
         "--input",
         help="with --plans: estimate against this JSON instance's cardinalities",
     )
+    p_analyze.add_argument(
+        "--parallel",
+        action="store_true",
+        help="render the IQL8xx parallel-safety certificate: conflict "
+        "groups, partitionable rules, stratum DAG, runtime-surface audit",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_impact = sub.add_parser(
@@ -599,6 +655,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="specialize planned rule bodies into closure kernels "
         "(incompatible with --naive)",
+    )
+    p_run.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run certified stratum batches and partitioned delta rounds "
+        "on N worker threads (implies --schedule; serial fallback with a "
+        "PreflightWarning on any IQL801-803)",
     )
     p_run.add_argument(
         "--static-plans",

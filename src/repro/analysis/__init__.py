@@ -51,6 +51,22 @@ from repro.analysis.maintenance import (
     replay_insert,
     validate_certificate,
 )
+from repro.analysis.parallel import (
+    ParallelCertificate,
+    PartitionPlan,
+    RuleConflict,
+    StagePlan,
+    StratumPlan,
+    SurfaceCheck,
+    audit_runtime_surfaces,
+    build_parallel_certificate,
+    check_parallel_certificate,
+    concurrent_batches,
+    parallel_pass,
+    parallel_to_dot,
+    render_parallel_text,
+    validate_parallel_certificate,
+)
 from repro.analysis.passes import (
     binding_pass,
     certification_pass,
@@ -71,25 +87,35 @@ __all__ = [
     "ImpactCone",
     "MaintenanceCertificate",
     "NOOP",
+    "ParallelCertificate",
+    "PartitionPlan",
     "PreflightWarning",
     "RECOMPUTE",
     "Report",
+    "RuleConflict",
     "RuleEffects",
     "Schedule",
     "Span",
     "StageGraph",
+    "StagePlan",
     "StageSchedule",
+    "StratumPlan",
+    "SurfaceCheck",
     "SymbolImpact",
     "analyze",
     "analyze_source",
+    "audit_runtime_surfaces",
     "binding_pass",
     "build_certificate",
     "build_certificates",
+    "build_parallel_certificate",
     "certification_pass",
     "certify",
     "check_certificate",
+    "check_parallel_certificate",
     "classify_cone",
     "compute_schedule",
+    "concurrent_batches",
     "delta_body",
     "depgraph_pass",
     "diagnostic",
@@ -100,14 +126,18 @@ __all__ = [
     "impact_to_dot",
     "invention_cycle_pass",
     "overall_strategy",
+    "parallel_pass",
+    "parallel_to_dot",
     "program_cones",
     "program_graphs",
     "render_graphs_text",
     "render_impact_text",
+    "render_parallel_text",
     "replay_insert",
     "rule_effects",
     "stage_graph",
     "typecheck_pass",
     "unused_pass",
     "validate_certificate",
+    "validate_parallel_certificate",
 ]

@@ -561,7 +561,7 @@ def graphs_to_dot(graphs: Sequence[StageGraph]) -> str:
     for graph in graphs:
         prefix = f"s{graph.index}_"
 
-        def node_id(symbol: str) -> str:
+        def node_id(symbol: str, prefix: str = prefix) -> str:
             return prefix + symbol.replace("^", "hat_")
 
         lines.append(f"  subgraph cluster_stage{graph.index + 1} {{")

@@ -1,0 +1,1067 @@
+"""Parallel-safety analysis: certified intra-stage concurrency (IQL8xx).
+
+ROADMAP item 4 (parallel evaluation) is a soundness question before it is
+an execution question: which rule firings inside a certified stage may
+run concurrently without changing the inflationary fixpoint, given
+invention, weak assignment (★), IQL* deletion, and the shared intern
+store? This module answers it the way PR 6's maintenance certificates
+answered incremental maintenance: a static pass over the per-rule effect
+summaries (:mod:`repro.analysis.effects`) and the polarity-labelled
+dependency graph (:mod:`repro.analysis.depgraph`) emits a machine-
+checkable :class:`ParallelCertificate` that the multi-worker executor
+(:mod:`repro.iql.parexec`, behind ``Evaluator(parallel=N)``) validates
+and obeys — and falls back to the serial engine wherever the certificate
+refuses.
+
+Three sources of safe concurrency are certified, per scheduled stage:
+
+* **conflict-free rule groups** within a stratum — rules partitioned by
+  read/write and write/write overlap on the stratum's written symbols
+  (relations, class extents ``P``, value planes ``^P``). Because a
+  stratum *is* one SCC of the dependency graph, its conflict graph is
+  connected in all but degenerate programs; conflicts that fuse every
+  rule into one unpartitionable group are reported as ``IQL801`` and the
+  stratum stays serial,
+* **incomparable strata** of the same stage — the SCC condensation is a
+  DAG, and two strata with no path between them neither read nor write
+  each other's symbols (reads of common ancestors observe extents that
+  are complete before either starts), so their fixpoints commute and may
+  run on concurrent workers. The certificate records the stratum DAG and
+  its topological levels,
+* **hash-partitioned delta rounds** of a single rule — a rule in the
+  delta-staged fragment (:func:`repro.analysis.effects.delta_body`) with
+  at least one relation generator can split each round's delta across
+  workers: derivations land in thread-local staging sets merged at the
+  round barrier, the blocking read (``value not in existing``) observes
+  extents that are frozen within a round, and inflationary semantics
+  makes the merge order-insensitive. Invention, weak assignment,
+  deletion and choose are *partition hazards* (``IQL802``): their
+  firings observe or mutate global state (the oid counter, ν, the
+  instance itself) in step order, so the stratum runs serial — and runs
+  *exclusively*, never concurrent with a sibling.
+
+The certificate additionally carries a **runtime-surface audit**
+(``IQL803`` on failure): the soundness argument above assumes facts
+about the execution engine that the analysis cannot see in the program —
+that a compiled kernel's only mutable capture is its ``sink_cell``
+consumer slot (:class:`repro.iql.compile.CompiledBody`; this is exactly
+why the executor compiles **per-worker kernel replicas** instead of
+sharing one kernel across partition tasks), that the instance's only
+shared mutable caches are the known constant/member caches and the
+in-place index object, and that the intern store tolerates racing
+constructions (two threads interning the same content at worst both
+build a node and structural ``__eq__`` absorbs the duplicate — the
+documented GIL argument in :mod:`repro.values.intern`). The audit
+introspects those surfaces and records the findings; if any module
+grows shared state the inventory does not know, the certificate refuses
+(``IQL803``) and the executor stays serial. Like
+:func:`repro.analysis.maintenance.check_certificate`, the whole
+certificate is re-derivable: :func:`check_parallel_certificate` rebuilds
+the plan from the program and diffs it against the certificate, so a
+tampered (or bit-rotted) certificate is caught before a single worker
+starts.
+
+``IQL804`` (info) reports the certified concurrency width of each stage:
+the parallelism an executor may use is bounded by that width, by the
+requested worker count, and by the host's CPUs — the certificate records
+the first, the executor resolves the rest at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.depgraph import (
+    Schedule,
+    StageGraph,
+    compute_schedule,
+    program_graphs,
+)
+from repro.analysis.effects import RuleEffects, delta_body, is_plane
+from repro.diagnostics import Diagnostic, diagnostic
+from repro.iql.program import Program
+from repro.iql.rules import Rule
+from repro.schema.schema import Schema
+
+# -- fallback taxonomy ---------------------------------------------------------------
+#
+# Every stratum the certificate refuses to parallelize carries one tag
+# (possibly with detail appended after ": "). The executor treats any
+# tagged stratum as serial-and-exclusive; the IQL801-803 tags also warn.
+
+FALLBACK_CONFLICTS = "IQL801 rule conflicts serialize the stratum"
+FALLBACK_HAZARD = "IQL802 partition hazard"
+FALLBACK_AUDIT = "IQL803 runtime-surface audit failed"
+FALLBACK_UNSCHEDULED = "unscheduled stage"
+FALLBACK_SINGLETON = "single serial unit"  # informational: nothing to split
+
+WRITE_WRITE = "write-write"
+READ_WRITE = "read-write"
+
+
+# -- plan records --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuleConflict:
+    """One conflicting rule pair of a stratum: the overlap that forces
+    both rules into the same group."""
+
+    a: str  # rule labels
+    b: str
+    kind: str  # WRITE_WRITE | READ_WRITE
+    symbols: Tuple[str, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "rules": [self.a, self.b],
+            "kind": self.kind,
+            "symbols": list(self.symbols),
+        }
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Hash-partitionability of one rule's delta rounds.
+
+    ``key_variables`` are the variables bound by the delta-driven
+    relation generators — the bound join attributes any fact-hash
+    partition of the delta keys the rule's writes by. ``reason`` names
+    the blocker when the rule is not partitionable.
+    """
+
+    rule: str
+    partitionable: bool
+    delta_positions: Tuple[int, ...]
+    key_variables: Tuple[str, ...]
+    reason: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "partitionable": self.partitionable,
+            "delta_positions": list(self.delta_positions),
+            "key_variables": list(self.key_variables),
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class StratumPlan:
+    """The parallel plan of one stratum of one scheduled stage."""
+
+    stage: int  # 0-based stage index
+    index: int  # stratum index within the stage (schedule order)
+    rules: Tuple[str, ...]  # labels, in stratum order
+    writes: Tuple[str, ...]
+    reads: Tuple[str, ...]
+    groups: Tuple[Tuple[int, ...], ...]  # conflict-free groups of rule indexes
+    conflicts: Tuple[RuleConflict, ...]
+    partitions: Tuple[PartitionPlan, ...]  # one entry per rule
+    depends_on: Tuple[int, ...]  # earlier strata this one reads from
+    hazards: Tuple[str, ...]  # IQL802 hazard descriptions, per offending rule
+    fallback: Optional[str]  # taxonomy tag, None when parallel-safe
+    class_writes: Tuple[str, ...] = ()  # written class extents / ^P planes
+
+    @property
+    def parallel_safe(self) -> bool:
+        """May this stratum run concurrently with an incomparable sibling?"""
+        return self.fallback is None or self.fallback.startswith(FALLBACK_SINGLETON)
+
+    @property
+    def partitionable(self) -> bool:
+        return self.fallback is None and any(p.partitionable for p in self.partitions)
+
+    def to_json(self) -> dict:
+        return {
+            "stage": self.stage + 1,
+            "stratum": self.index + 1,
+            "rules": list(self.rules),
+            "writes": list(self.writes),
+            "reads": list(self.reads),
+            "groups": [list(g) for g in self.groups],
+            "conflicts": [c.to_json() for c in self.conflicts],
+            "partitions": [p.to_json() for p in self.partitions],
+            "depends_on": [d + 1 for d in self.depends_on],
+            "hazards": list(self.hazards),
+            "fallback": self.fallback,
+            "class_writes": list(self.class_writes),
+            "parallel_safe": self.parallel_safe,
+            "partitionable": self.partitionable,
+        }
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """The parallel plan of one stage: its strata, their dependency DAG
+    (as topological levels), and the certified concurrency width."""
+
+    index: int
+    scheduled: bool
+    fallback: Optional[str]  # for unscheduled stages
+    strata: Tuple[StratumPlan, ...]
+    levels: Tuple[Tuple[int, ...], ...]  # stratum indexes per DAG depth
+
+    @property
+    def width(self) -> int:
+        """The certified concurrency width: the widest batch of strata
+        that may run at once (after the one-class-writer-per-batch
+        split), counting a lone partitionable stratum as width ≥ 2 (its
+        partition fan-out is bounded by workers and host, not by the
+        program)."""
+        width = 1
+        for batch in concurrent_batches(self):
+            width = max(width, len(batch))
+            if len(batch) == 1 and self.strata[batch[0]].partitionable:
+                width = max(width, 2)
+        return width
+
+    def to_json(self) -> dict:
+        return {
+            "stage": self.index + 1,
+            "scheduled": self.scheduled,
+            "fallback": self.fallback,
+            "strata": [s.to_json() for s in self.strata],
+            "levels": [[i + 1 for i in level] for level in self.levels],
+            "batches": [[i + 1 for i in batch] for batch in concurrent_batches(self)],
+            "width": self.width,
+        }
+
+
+def concurrent_batches(stage: "StagePlan") -> List[Tuple[int, ...]]:
+    """The executable schedule of a stage: batches of stratum indexes,
+    in order; all strata of one batch may run concurrently.
+
+    Derived from the dependency levels with two splits the soundness
+    argument requires, so the analysis and the executor share one
+    scheduling function instead of two that could drift:
+
+    * a hazard stratum (IQL801/IQL802 fallback) runs in a batch of its
+      own — serial *and* exclusive,
+    * at most one class-extent/plane-writing stratum per batch: the
+      ``_class_of`` disjointness check in ``Instance.add_class_member``
+      is check-then-act, so two threads placing oids into classes could
+      race past an error serial evaluation would raise.
+    """
+    batches: List[Tuple[int, ...]] = []
+    for level in stage.levels:
+        safe = [i for i in level if stage.strata[i].parallel_safe]
+        unsafe = [i for i in level if not stage.strata[i].parallel_safe]
+        class_writers = [i for i in safe if stage.strata[i].class_writes]
+        plain = [i for i in safe if not stage.strata[i].class_writes]
+        if class_writers:
+            head, rest = class_writers[0], class_writers[1:]
+            if plain or not rest:
+                batches.append(tuple(plain + [head]))
+            else:
+                batches.append((head,))
+            batches.extend((i,) for i in rest)
+        elif plain:
+            batches.append(tuple(plain))
+        batches.extend((i,) for i in unsafe)
+    return batches
+
+
+# -- the runtime-surface audit -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SurfaceCheck:
+    """One audited runtime surface: the assumption the certificate makes
+    and whether introspection confirms it holds."""
+
+    surface: str
+    requirement: str
+    holds: bool
+    detail: str
+
+    def to_json(self) -> dict:
+        return {
+            "surface": self.surface,
+            "requirement": self.requirement,
+            "holds": self.holds,
+            "detail": self.detail,
+        }
+
+
+#: The capture inventory of a compiled kernel. ``sink_cell`` is the one
+#: *mutable* capture (execute() writes the consumer into it), which is
+#: why partition workers get per-worker kernel replicas; every other
+#: slot is set once at compile time. A slot this tuple does not name
+#: means compile.py grew a capture the parallel argument never examined.
+_COMPILED_BODY_SLOTS = (
+    "slot_vars", "slot_index", "entry", "sink_cell", "instance", "indexes",
+)
+
+#: Instance growth mutators the soundness argument covers (all additions
+#: stage through these; concurrent strata write disjoint symbols, so
+#: per-symbol containers never race) ...
+_INSTANCE_MUTATORS = (
+    "add_relation_member", "add_class_member", "add_set_element", "assign",
+)
+
+#: ... and the shared state they touch. ``schema``/``relations``/
+#: ``classes``/``nu`` are the extents themselves (disjoint write symbols
+#: ⇒ disjoint containers); ``_indexes`` is maintained in place per
+#: (container, attribute) bucket; the constant/member caches race
+#: benignly (idempotent, GIL-atomic dict/set ops). ``_class_of`` is the
+#: class-disjointness map and its check-then-act in
+#: ``add_class_member`` is NOT race-free across classes — which is why
+#: the certificate schedules at most one class-extent-writing stratum
+#: per concurrent batch (see :func:`concurrent_batches`). Any *other*
+#: slot on Instance is shared state the audit has not reasoned about.
+_INSTANCE_SLOTS = (
+    "schema", "relations", "classes", "nu",
+    "_class_of", "_indexes", "_constants_cache", "_sorted_constants",
+    "_member_cache",
+)
+
+#: The intern store's layout. The store is process-global and lock-free
+#: by design: racing constructions of the same content both build a node
+#: and the structural __eq__ fallback absorbs the duplicate (the
+#: documented GIL argument in repro.values.intern); the hit/miss/sweep
+#: counters race benignly. A changed layout (say, a sweep mark moved
+#: into a non-atomic invariant) voids that argument until re-audited.
+_INTERN_STORE_SLOTS = (
+    "enabled", "tuples", "sets", "hits", "misses", "eq_fast_paths",
+    "tuples_mark", "sets_mark",
+)
+
+
+def audit_runtime_surfaces(
+    compile_module: Any = None,
+    intern_module: Any = None,
+    instance_type: Any = None,
+) -> Tuple[SurfaceCheck, ...]:
+    """Introspect the runtime surfaces the parallel argument assumes.
+
+    The parameters exist for tests: injecting a stub module with a
+    drifted surface must flip the corresponding check to ``holds=False``
+    (and thereby the certificate to IQL803 serial fallback). By default
+    the real modules are audited.
+    """
+    if compile_module is None:
+        from repro.iql import compile as compile_module  # noqa: PLC0415
+    if intern_module is None:
+        from repro.values import intern as intern_module  # noqa: PLC0415
+    if instance_type is None:
+        from repro.schema.instance import Instance as instance_type  # noqa: PLC0415
+
+    checks: List[SurfaceCheck] = []
+
+    def check(surface: str, requirement: str, holds: bool, detail: str) -> None:
+        checks.append(SurfaceCheck(surface, requirement, holds, detail))
+
+    # 1. Compiled-kernel captures: the closure inventory must be exactly
+    # the audited one, with sink_cell the lone mutable capture.
+    body = getattr(compile_module, "CompiledBody", None)
+    slots = tuple(getattr(body, "__slots__", ())) if body is not None else ()
+    check(
+        "compile.CompiledBody captures",
+        "closure captures are exactly the audited inventory; sink_cell is "
+        "the only per-execution mutable slot, so kernels are replicated "
+        "per worker and never shared across threads",
+        slots == _COMPILED_BODY_SLOTS and "sink_cell" in slots,
+        f"slots={list(slots)}",
+    )
+    # 2. Kernel-instance affinity: replicas are validated against the
+    # live instance (and its in-place index object) before every round.
+    check(
+        "compile.CompiledBody.valid_for",
+        "kernels pin the captured extension sets and index buckets by "
+        "identity, so a stale replica is detected, not silently wrong",
+        callable(getattr(body, "valid_for", None)),
+        "valid_for present" if hasattr(body, "valid_for") else "valid_for missing",
+    )
+    # 3. The replica entry point the executor compiles workers through.
+    check(
+        "compile.compile_seminaive",
+        "per-worker kernel replicas can be compiled directly, bypassing "
+        "the shared per-rule kernel cache",
+        callable(getattr(compile_module, "compile_seminaive", None)),
+        "compile_seminaive present"
+        if callable(getattr(compile_module, "compile_seminaive", None))
+        else "compile_seminaive missing",
+    )
+    # 4. Instance mutators and shared caches.
+    mutators_ok = all(callable(getattr(instance_type, m, None)) for m in _INSTANCE_MUTATORS)
+    check(
+        "schema.Instance mutators",
+        "all growth goes through the audited mutators, so concurrent "
+        "strata with disjoint write symbols never mutate one container",
+        mutators_ok,
+        f"mutators={[m for m in _INSTANCE_MUTATORS if callable(getattr(instance_type, m, None))]}",
+    )
+    islots = tuple(getattr(instance_type, "__slots__", ()))
+    unknown = [s for s in islots if s not in _INSTANCE_SLOTS]
+    check(
+        "schema.Instance shared state",
+        "every slot is in the audited inventory: extents split by write "
+        "symbol, in-place per-bucket index maintenance, benign idempotent "
+        "cache races, and the _class_of disjointness map whose "
+        "check-then-act is covered by one-class-writer-per-batch "
+        "scheduling",
+        islots == _INSTANCE_SLOTS,
+        f"slots={list(islots)}; unaudited={unknown}",
+    )
+    # 5. The intern store's lock-free sharing discipline.
+    store = getattr(intern_module, "InternStore", None)
+    sslots = tuple(getattr(store, "__slots__", ())) if store is not None else ()
+    intern_ok = (
+        sslots == _INTERN_STORE_SLOTS
+        and getattr(intern_module, "STORE", None) is not None
+        and callable(getattr(intern_module, "interning", None))
+    )
+    check(
+        "values.intern shared store",
+        "the process-global store stays lock-free-safe: racing interns of "
+        "equal content at worst both build a node and structural equality "
+        "absorbs the duplicate; layout drift voids the argument",
+        intern_ok,
+        f"InternStore slots={list(sslots)}",
+    )
+    return tuple(checks)
+
+
+# -- the certificate -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParallelCertificate:
+    """The whole program's parallel plan, machine-checkable.
+
+    ``certified`` means the runtime-surface audit passed; only then may
+    an executor use *any* concurrency, and then only the per-stratum
+    plans marked safe. :func:`check_parallel_certificate` re-derives the
+    plan from the program and diffs, so tampering (or analysis/runtime
+    drift since the certificate was built) is caught before execution.
+    """
+
+    stages: Tuple[StagePlan, ...]
+    audit: Tuple[SurfaceCheck, ...]
+
+    @property
+    def audit_failures(self) -> Tuple[str, ...]:
+        return tuple(
+            f"{c.surface}: {c.detail}" for c in self.audit if not c.holds
+        )
+
+    @property
+    def certified(self) -> bool:
+        return not self.audit_failures
+
+    @property
+    def width(self) -> int:
+        """The program's certified concurrency width (max over stages)."""
+        return max((s.width for s in self.stages), default=1)
+
+    @property
+    def clean(self) -> bool:
+        """No IQL801-803 anywhere: every stage scheduled, every stratum
+        parallel-safe, audit green — the whole program may parallelize."""
+        return self.certified and all(
+            stage.scheduled and all(s.fallback is None for s in stage.strata)
+            for stage in self.stages
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "certified": self.certified,
+            "clean": self.clean,
+            "width": self.width,
+            "stages": [s.to_json() for s in self.stages],
+            "audit": [c.to_json() for c in self.audit],
+            "audit_failures": list(self.audit_failures),
+        }
+
+
+# -- building the plan ---------------------------------------------------------------
+
+
+def _rule_hazards(eff: RuleEffects) -> List[str]:
+    """The IQL802 partition hazards of one rule (empty = hazard-free)."""
+    hazards: List[str] = []
+    if eff.invention_classes:
+        hazards.append(
+            f"{eff.rule.display_label()}: invents oids into "
+            f"{{{', '.join(sorted(eff.invention_classes))}}} — the shared "
+            f"oid factory and the blocking condition are step-ordered"
+        )
+    if eff.is_assignment:
+        hazards.append(
+            f"{eff.rule.display_label()}: weak assignment (★) — whether an "
+            f"assignment sticks depends on which step derived it"
+        )
+    if eff.is_delete:
+        hazards.append(
+            f"{eff.rule.display_label()}: IQL* deletion — steps are not "
+            f"monotone, merges are order-sensitive"
+        )
+    if eff.has_choose:
+        hazards.append(
+            f"{eff.rule.display_label()}: IQL+ choose observes the whole "
+            f"instance (genericity)"
+        )
+    from repro.iql.sublanguages import is_range_restricted  # noqa: PLC0415
+
+    if not is_range_restricted(eff.rule):
+        hazards.append(
+            f"{eff.rule.display_label()}: not range-restricted — the "
+            f"enumeration fallback reads constants(I) of the whole "
+            f"instance, an undeclared read of every symbol"
+        )
+    return hazards
+
+
+def _partition_plan(rule: Rule, eff: RuleEffects, schema: Schema) -> PartitionPlan:
+    """Decide hash-partitionability of one rule's delta rounds."""
+    label = rule.display_label()
+    hazards = _rule_hazards(eff)
+    if hazards:
+        return PartitionPlan(label, False, (), (), reason=hazards[0])
+    from repro.iql.seminaive import rule_eligible  # noqa: PLC0415
+
+    if not rule_eligible(rule, schema):
+        return PartitionPlan(
+            label, False, (), (),
+            reason="outside the delta-staged fragment (no round-boundary "
+            "staging point to merge at)",
+        )
+    shape = delta_body(rule, schema)
+    assert shape is not None  # rule_eligible implies a fragment shape
+    if not shape.relation_positions:
+        return PartitionPlan(
+            label, False, (), (),
+            reason="no relation generator: the rule has no delta to split "
+            "(class extents and ν are constant within the stratum)",
+        )
+    keys: Set[str] = set()
+    for literal in shape.relation_generators:
+        keys |= {var.name for var in literal.element.variables()}
+    return PartitionPlan(
+        label,
+        True,
+        shape.relation_positions,
+        tuple(sorted(keys)),
+    )
+
+
+def _conflict_groups(
+    effects: Sequence[RuleEffects],
+    stratum_writes: FrozenSet[str],
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[RuleConflict, ...]]:
+    """Partition a stratum's rules into conflict-free groups.
+
+    Two rules conflict when their write sets overlap, or one reads a
+    symbol the other writes — counting only symbols written *by this
+    stratum* (reads of earlier strata's symbols observe completed,
+    frozen extents and never conflict). Groups are the connected
+    components of the conflict graph.
+    """
+    n = len(effects)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    conflicts: List[RuleConflict] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = effects[i], effects[j]
+            ww = a.writes & b.writes & stratum_writes
+            rw = ((a.reads & b.writes) | (b.reads & a.writes)) & stratum_writes
+            if ww:
+                kind, symbols = WRITE_WRITE, ww
+            elif rw:
+                kind, symbols = READ_WRITE, rw
+            else:
+                continue
+            union(i, j)
+            conflicts.append(
+                RuleConflict(
+                    a.rule.display_label(),
+                    b.rule.display_label(),
+                    kind,
+                    tuple(sorted(symbols)),
+                )
+            )
+    members: Dict[int, List[int]] = {}
+    for i in range(n):
+        members.setdefault(find(i), []).append(i)
+    groups = tuple(
+        tuple(group) for group in sorted(members.values(), key=lambda g: g[0])
+    )
+    return groups, tuple(conflicts)
+
+
+def _stratum_plan(
+    graph: StageGraph,
+    stratum_index: int,
+    schema: Schema,
+    stratum_writes_by_index: Sequence[FrozenSet[str]],
+) -> StratumPlan:
+    rule_indexes = graph.strata[stratum_index]
+    rules = [graph.rules[r] for r in rule_indexes]
+    effects = [graph.effects[r] for r in rule_indexes]
+    writes: Set[str] = set()
+    reads: Set[str] = set()
+    for eff in effects:
+        writes |= eff.writes
+        reads |= eff.reads
+    stratum_writes = frozenset(writes)
+
+    groups, conflicts = _conflict_groups(effects, stratum_writes)
+    partitions = tuple(
+        _partition_plan(rule, eff, schema) for rule, eff in zip(rules, effects)
+    )
+    hazards: List[str] = []
+    for eff in effects:
+        hazards.extend(_rule_hazards(eff))
+
+    depends_on = tuple(
+        earlier
+        for earlier in range(stratum_index)
+        if reads & stratum_writes_by_index[earlier]
+    )
+
+    fallback: Optional[str] = None
+    if hazards:
+        fallback = f"{FALLBACK_HAZARD}: {hazards[0]}"
+    elif (
+        len(rules) > 1
+        and len(groups) == 1
+        and not any(p.partitionable for p in partitions)
+    ):
+        fused = sorted({s for c in conflicts for s in c.symbols})
+        fallback = (
+            f"{FALLBACK_CONFLICTS}: {len(conflicts)} conflict(s) on "
+            f"{{{', '.join(fused)}}} fuse all {len(rules)} rules into one "
+            f"group and no rule's delta is partitionable"
+        )
+    elif len(rules) == 1 and not any(p.partitionable for p in partitions):
+        # A lone serial unit is still safe to run *concurrently* with an
+        # incomparable sibling — only its internal rounds stay serial.
+        fallback = f"{FALLBACK_SINGLETON}: {partitions[0].reason}"
+
+    class_writes = tuple(
+        sorted(s for s in writes if is_plane(s) or not schema.is_relation(s))
+    )
+    return StratumPlan(
+        stage=graph.index,
+        index=stratum_index,
+        rules=tuple(rule.display_label() for rule in rules),
+        writes=tuple(sorted(writes)),
+        reads=tuple(sorted(reads)),
+        groups=groups,
+        conflicts=conflicts,
+        partitions=partitions,
+        depends_on=depends_on,
+        hazards=tuple(hazards),
+        fallback=fallback,
+        class_writes=class_writes,
+    )
+
+
+def _stage_plan(graph: StageGraph, scheduled: bool, reason: Optional[str],
+                schema: Schema) -> StagePlan:
+    if not scheduled:
+        # The schedule engine runs the stage as one monolithic fixpoint;
+        # there is no stratum structure to parallelize. Rule-level
+        # hazards are still reported (IQL802) so `repro analyze
+        # --parallel` explains *why* divergent_invention cannot split.
+        hazards: List[str] = []
+        for eff in graph.effects:
+            hazards.extend(_rule_hazards(eff))
+        plan = StratumPlan(
+            stage=graph.index,
+            index=0,
+            rules=tuple(rule.display_label() for rule in graph.rules),
+            writes=tuple(sorted(graph.writes)),
+            reads=tuple(sorted(
+                frozenset().union(*(eff.reads for eff in graph.effects))
+                if graph.effects else frozenset()
+            )),
+            groups=(tuple(range(len(graph.rules))),),
+            conflicts=(),
+            partitions=tuple(
+                PartitionPlan(
+                    rule.display_label(), False, (), (),
+                    reason=f"{FALLBACK_UNSCHEDULED}: {reason}",
+                )
+                for rule in graph.rules
+            ),
+            depends_on=(),
+            hazards=tuple(hazards),
+            fallback=(
+                f"{FALLBACK_HAZARD}: {hazards[0]}"
+                if hazards
+                else f"{FALLBACK_UNSCHEDULED}: {reason}"
+            ),
+        )
+        return StagePlan(
+            index=graph.index,
+            scheduled=False,
+            fallback=reason,
+            strata=(plan,),
+            levels=((0,),),
+        )
+
+    stratum_writes_by_index: List[FrozenSet[str]] = []
+    for rule_indexes in graph.strata:
+        writes: Set[str] = set()
+        for r in rule_indexes:
+            writes |= graph.effects[r].writes
+        stratum_writes_by_index.append(frozenset(writes))
+
+    strata = tuple(
+        _stratum_plan(graph, i, schema, stratum_writes_by_index)
+        for i in range(len(graph.strata))
+    )
+
+    # Topological levels of the stratum DAG (depth = longest dependency
+    # chain). Strata in one level are pairwise incomparable and may run
+    # concurrently when both are parallel-safe.
+    depth: List[int] = []
+    for plan in strata:
+        depth.append(
+            1 + max((depth[d] for d in plan.depends_on), default=-1)
+        )
+    levels: List[List[int]] = [[] for _ in range(max(depth, default=-1) + 1)]
+    for i, d in enumerate(depth):
+        levels[d].append(i)
+    return StagePlan(
+        index=graph.index,
+        scheduled=True,
+        fallback=None,
+        strata=strata,
+        levels=tuple(tuple(level) for level in levels),
+    )
+
+
+def build_parallel_certificate(
+    program: Program,
+    schema: Optional[Schema] = None,
+    graphs: Optional[List[StageGraph]] = None,
+    schedule: Optional[Schedule] = None,
+    audit: Optional[Tuple[SurfaceCheck, ...]] = None,
+) -> ParallelCertificate:
+    """The parallel certificate of ``program``.
+
+    ``graphs``/``schedule`` may be supplied to share work with the other
+    analysis passes; ``audit`` exists for tests that inject a failing
+    surface check.
+    """
+    schema = schema if schema is not None else program.schema
+    if graphs is None:
+        graphs = program_graphs(program, schema)
+    if schedule is None:
+        schedule = compute_schedule(program, schema)
+    if audit is None:
+        audit = audit_runtime_surfaces()
+    stages = tuple(
+        _stage_plan(
+            graph,
+            schedule.stages[graph.index].scheduled,
+            schedule.stages[graph.index].fallback_reason,
+            schema,
+        )
+        for graph in graphs
+    )
+    return ParallelCertificate(stages=stages, audit=audit)
+
+
+# -- checking and validating ---------------------------------------------------------
+
+
+def check_parallel_certificate(
+    program: Program,
+    certificate: ParallelCertificate,
+    schema: Optional[Schema] = None,
+) -> List[str]:
+    """Re-validate ``certificate`` against ``program`` from scratch.
+
+    Returns the violations that would make the certified concurrency
+    unsound (empty list = sound). The check is a full re-derivation —
+    the plan is rebuilt from the program and diffed structurally — plus
+    targeted internal-consistency checks with better messages for the
+    common tamper shapes (a hazard stratum promoted to safe, a group
+    split across a conflict, a forged audit).
+    """
+    schema = schema if schema is not None else program.schema
+    violations: List[str] = []
+
+    # The audit must hold *now*, not just when the certificate was built.
+    live_audit = audit_runtime_surfaces()
+    for check in live_audit:
+        if not check.holds:
+            violations.append(
+                f"runtime-surface audit fails: {check.surface} — {check.detail}"
+            )
+    recorded_failures = set(certificate.audit_failures)
+    live_failures = {f"{c.surface}: {c.detail}" for c in live_audit if not c.holds}
+    if recorded_failures != live_failures and not live_failures:
+        if recorded_failures:
+            violations.append(
+                "certificate records audit failures the live audit does not "
+                "reproduce — stale or tampered audit section"
+            )
+
+    # Structural re-derivation: the plan must equal what the program
+    # yields today (same analysis version, same program).
+    rebuilt = build_parallel_certificate(
+        program, schema, audit=certificate.audit
+    )
+    if len(rebuilt.stages) != len(certificate.stages):
+        violations.append(
+            f"stage count mismatch: certificate has {len(certificate.stages)}, "
+            f"program yields {len(rebuilt.stages)}"
+        )
+        return violations
+    for ours, theirs in zip(certificate.stages, rebuilt.stages):
+        if ours.to_json() != theirs.to_json():
+            violations.append(
+                f"stage {ours.index + 1} plan does not re-derive from the "
+                f"program: certificate and analysis disagree"
+            )
+
+    # Targeted consistency checks (clearer messages than a JSON diff).
+    for stage in certificate.stages:
+        for plan in stage.strata:
+            covered = sorted(i for group in plan.groups for i in group)
+            if covered != list(range(len(plan.rules))):
+                violations.append(
+                    f"stage {stage.index + 1} stratum {plan.index + 1}: "
+                    f"groups do not partition the rules"
+                )
+            group_of: Dict[str, int] = {}
+            for g, group in enumerate(plan.groups):
+                for i in group:
+                    group_of[plan.rules[i]] = g
+            for conflict in plan.conflicts:
+                if group_of.get(conflict.a) != group_of.get(conflict.b):
+                    violations.append(
+                        f"stage {stage.index + 1} stratum {plan.index + 1}: "
+                        f"conflicting rules {conflict.a!r} and {conflict.b!r} "
+                        f"({conflict.kind} on {', '.join(conflict.symbols)}) "
+                        f"sit in different groups"
+                    )
+            if plan.hazards and plan.fallback is None:
+                violations.append(
+                    f"stage {stage.index + 1} stratum {plan.index + 1}: "
+                    f"hazards recorded but no serial fallback — a hazardous "
+                    f"stratum must never run concurrently"
+                )
+            if plan.partitionable and plan.hazards:
+                violations.append(
+                    f"stage {stage.index + 1} stratum {plan.index + 1}: "
+                    f"marked partitionable despite hazards"
+                )
+            for dep in plan.depends_on:
+                if not 0 <= dep < plan.index:
+                    violations.append(
+                        f"stage {stage.index + 1} stratum {plan.index + 1}: "
+                        f"dependency on stratum {dep + 1} breaks schedule order"
+                    )
+    return violations
+
+
+def validate_parallel_certificate(
+    program: Program,
+    certificate: ParallelCertificate,
+    schema: Optional[Schema] = None,
+) -> List[str]:
+    """:func:`check_parallel_certificate`, memoized on the certificate.
+
+    Validation re-derives the whole plan — a static-analysis pass — and
+    the executor gates every run on it, so the result is cached on the
+    certificate keyed by program identity (the
+    :func:`repro.analysis.maintenance.validate_certificate` pattern).
+    """
+    cached = getattr(certificate, "_validation", None)
+    if cached is not None and cached[0] is program:
+        return list(cached[1])
+    violations = check_parallel_certificate(program, certificate, schema)
+    object.__setattr__(certificate, "_validation", (program, tuple(violations)))
+    return violations
+
+
+# -- the IQL8xx diagnostics pass -----------------------------------------------------
+
+
+def parallel_pass(
+    program: Program,
+    schema: Optional[Schema] = None,
+    certificate: Optional[ParallelCertificate] = None,
+) -> List[Diagnostic]:
+    """IQL801-804 diagnostics from the parallel certificate.
+
+    * ``IQL801`` — conflicts fuse a multi-rule stratum into one group
+      with no partitionable delta: the stratum stays serial,
+    * ``IQL802`` — a partition hazard (invention, ★, deletion, choose)
+      forces its stratum (or unscheduled stage) serial-and-exclusive,
+    * ``IQL803`` — the runtime-surface audit failed: no concurrency at
+      all until the surface inventory is re-audited,
+    * ``IQL804`` — info: the certified concurrency width of each stage
+      that admits any parallelism.
+    """
+    schema = schema if schema is not None else program.schema
+    if certificate is None:
+        certificate = build_parallel_certificate(program, schema)
+    out: List[Diagnostic] = []
+
+    for failure in certificate.audit_failures:
+        out.append(
+            diagnostic(
+                "IQL803",
+                f"parallel execution disabled: runtime-surface audit failed "
+                f"— {failure}",
+            )
+        )
+
+    for stage in certificate.stages:
+        stage_no = stage.index + 1
+        for plan in stage.strata:
+            if plan.fallback is None or plan.fallback.startswith(FALLBACK_SINGLETON):
+                continue
+            if plan.fallback.startswith(FALLBACK_CONFLICTS):
+                out.append(
+                    diagnostic(
+                        "IQL801",
+                        f"stage {stage_no} stratum {plan.index + 1} "
+                        f"({', '.join(plan.rules)}) stays serial: "
+                        f"{plan.fallback[len(FALLBACK_CONFLICTS) + 2:]}",
+                        rule_label=plan.rules[0] if plan.rules else None,
+                    )
+                )
+            elif plan.hazards:
+                for hazard in plan.hazards:
+                    out.append(
+                        diagnostic(
+                            "IQL802",
+                            f"stage {stage_no} runs serial-and-exclusive: "
+                            f"{hazard}",
+                        )
+                    )
+            else:
+                out.append(
+                    diagnostic(
+                        "IQL802",
+                        f"stage {stage_no} stratum {plan.index + 1} stays "
+                        f"serial: {plan.fallback}",
+                    )
+                )
+        if stage.scheduled and stage.width > 1:
+            partitionable = sum(
+                1 for plan in stage.strata if plan.partitionable
+            )
+            out.append(
+                diagnostic(
+                    "IQL804",
+                    f"stage {stage_no} admits concurrency width "
+                    f"{stage.width}: {len(stage.strata)} stratum/strata "
+                    f"across {len(stage.levels)} level(s), "
+                    f"{partitionable} partitionable; effective workers = "
+                    f"min(width, requested N, host CPUs)",
+                )
+            )
+    return out
+
+
+# -- renderings ----------------------------------------------------------------------
+
+
+def render_parallel_text(certificate: ParallelCertificate) -> str:
+    """The ``repro analyze --parallel`` text listing."""
+    lines: List[str] = []
+    lines.append(
+        f"parallel certificate: "
+        f"{'certified' if certificate.certified else 'AUDIT FAILED'}, "
+        f"width {certificate.width}"
+        f"{', clean' if certificate.clean else ''}"
+    )
+    for check in certificate.audit:
+        mark = "ok" if check.holds else "FAIL"
+        lines.append(f"  audit [{mark}] {check.surface}: {check.detail}")
+    for stage in certificate.stages:
+        if not stage.scheduled:
+            lines.append(
+                f"stage {stage.index + 1}: unscheduled — {stage.fallback}"
+            )
+            for plan in stage.strata:
+                for hazard in plan.hazards:
+                    lines.append(f"    hazard: {hazard}")
+            continue
+        lines.append(
+            f"stage {stage.index + 1}: width {stage.width}, "
+            f"levels {[[i + 1 for i in level] for level in stage.levels]}"
+        )
+        for plan in stage.strata:
+            status = (
+                "partitionable" if plan.partitionable
+                else "concurrent-safe" if plan.parallel_safe
+                else "serial"
+            )
+            deps = (
+                f" ← strata {[d + 1 for d in plan.depends_on]}"
+                if plan.depends_on else ""
+            )
+            lines.append(
+                f"  stratum {plan.index + 1} [{status}] "
+                f"writes {{{', '.join(plan.writes)}}}{deps}"
+            )
+            for g, group in enumerate(plan.groups):
+                labels = [plan.rules[i] for i in group]
+                lines.append(f"    group {g + 1}: {'; '.join(labels)}")
+            for conflict in plan.conflicts:
+                lines.append(
+                    f"    conflict ({conflict.kind} on "
+                    f"{', '.join(conflict.symbols)}): {conflict.a} ⇄ {conflict.b}"
+                )
+            for part in plan.partitions:
+                if part.partitionable:
+                    lines.append(
+                        f"    partition {part.rule}: delta positions "
+                        f"{list(part.delta_positions)}, keyed by "
+                        f"{{{', '.join(part.key_variables)}}}"
+                    )
+            if plan.fallback is not None:
+                lines.append(f"    fallback: {plan.fallback}")
+    return "\n".join(lines)
+
+
+def parallel_to_dot(certificate: ParallelCertificate) -> str:
+    """GraphViz DOT of the stratum DAGs: one cluster per stage, one box
+    per stratum (doubled borders when partitionable, filled grey when
+    serial), edges for the stratum dependencies the levels respect."""
+    lines = ["digraph parallel {", "  rankdir=LR;", "  node [shape=box];"]
+    for stage in certificate.stages:
+        lines.append(f"  subgraph cluster_stage{stage.index + 1} {{")
+        label = f"stage {stage.index + 1}"
+        if not stage.scheduled:
+            label += " (unscheduled)"
+        else:
+            label += f" width {stage.width}"
+        lines.append(f'    label="{label}";')
+        for plan in stage.strata:
+            node = f"s{stage.index}_{plan.index}"
+            attrs = [f'label="stratum {plan.index + 1}\\n{{{", ".join(plan.writes)}}}"']
+            if plan.partitionable:
+                attrs.append("peripheries=2")
+            if not plan.parallel_safe:
+                attrs.append("style=filled")
+                attrs.append("fillcolor=lightgrey")
+            lines.append(f"    {node} [{', '.join(attrs)}];")
+            for dep in plan.depends_on:
+                lines.append(f"    s{stage.index}_{dep} -> {node};")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -19,7 +19,11 @@ Error-code conventions:
   (stratification, dead-at-entry rules, invention bounds),
 * ``IQL7xx`` — update-impact and incremental-maintainability analysis
   (which derived symbols a base-fact update reaches, and whether the
-  affected cone can be maintained incrementally).
+  affected cone can be maintained incrementally),
+* ``IQL8xx`` — parallel-safety analysis (which rule firings inside a
+  certified stratum may run concurrently without changing the
+  inflationary fixpoint, and which runtime surfaces that soundness
+  argument assumes).
 
 The catalogue with minimal triggering programs lives in
 ``docs/LANGUAGE.md`` ("Diagnostics and error codes").
@@ -101,6 +105,10 @@ CODES: Dict[str, Tuple[str, str]] = {
     "IQL702": (WARNING, "delete through negation requires over-delete/re-derive (DRed)"),
     "IQL703": (INFO, "update cone is empty: the symbol is static"),
     "IQL704": (INFO, "bounded update cone: only the listed strata need re-running"),
+    "IQL801": (WARNING, "rule conflict: read/write overlap serializes the stratum"),
+    "IQL802": (WARNING, "partition hazard: invention/★/deletion/choose is order-sensitive"),
+    "IQL803": (WARNING, "shared-state capture: a runtime surface breaks the parallel audit"),
+    "IQL804": (INFO, "bounded parallelism: the certified concurrency width of a stage"),
 }
 
 

@@ -65,7 +65,7 @@ cost what the compilation saved).
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import AbstractSet, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.effects import DeltaBody, mentions_name
 from repro.errors import EvaluationError
@@ -136,6 +136,7 @@ def _compile_eval(term: Term, layout: _Layout, instance: Instance):
         return lambda slots: value
     if isinstance(term, NameTerm):
         name = term.name
+        src: AbstractSet[OValue]
         if instance.schema.is_relation(name):
             src = instance.relations[name]
         else:
@@ -294,6 +295,7 @@ def _compile_filter(lit: Literal, layout: _Layout, instance: Instance):
             # test against the captured set directly instead of wrapping
             # it in a fresh OSet per check.
             name = lit.container.name
+            src: AbstractSet[OValue]
             if instance.schema.is_relation(name):
                 src = instance.relations[name]
             else:
@@ -343,13 +345,17 @@ def _compile_filter(lit: Literal, layout: _Layout, instance: Instance):
 # -- the step chain ----------------------------------------------------------------
 
 
+def _no_sink(slots: Slots) -> None:  # pragma: no cover - kernels install a consumer
+    raise EvaluationError("compiled kernel executed without a consumer installed")
+
+
 class _State:
     """Mutable compile-pass state: did any step capture an index dict?"""
 
     __slots__ = ("indexes",)
 
-    def __init__(self):
-        self.indexes = None
+    def __init__(self) -> None:
+        self.indexes: Optional[Any] = None
 
 
 def _compile_steps(plan, layout, bound, instance, budget, state):
@@ -425,9 +431,10 @@ def _compile_steps(plan, layout, bound, instance, budget, state):
 
             makers.append(make_enum)
 
-    sink_cell: List[Optional[Consumer]] = [None]
+    sink_cell: List[Consumer] = [_no_sink]
+    n_steps = len(plan)
 
-    def sink(slots, _c=counts, _n=len(plan)):
+    def sink(slots, _c=counts, _n=n_steps):
         _c[_n] += 1
         sink_cell[0](slots)
 
@@ -440,7 +447,7 @@ def _compile_steps(plan, layout, bound, instance, budget, state):
 def _compile_member(lit, probes, layout, bound, instance, state, counts, step_i):
     """A ("member", lit, probes) step: probe or scan, then match."""
     container = lit.container
-    probe_list = ()
+    probe_list: Tuple[Tuple[Any, Any], ...] = ()
     if probes:
         name = container.name
         indexes = instance.indexes
@@ -496,6 +503,7 @@ def _compile_member(lit, probes, layout, bound, instance, state, counts, step_i)
         return make_probe
     if isinstance(container, NameTerm):
         name = container.name
+        src: AbstractSet[OValue]
         if instance.schema.is_relation(name):
             src = instance.relations[name]
         else:
@@ -559,7 +567,7 @@ class CompiledBody:
 
     def execute(self, init_values: Sequence[OValue], consume: Consumer) -> None:
         """Run the chain with slots 0..k-1 preset to ``init_values``."""
-        slots = [None] * len(self.slot_vars)
+        slots: Slots = [None] * len(self.slot_vars)
         if init_values:
             slots[: len(init_values)] = init_values
         self.sink_cell[0] = consume
@@ -649,7 +657,7 @@ class CompiledRule:
         self.is_assignment = is_assignment
 
     def solve(self, consume: Consumer) -> None:
-        slots = [None] * self.n_slots
+        slots: Slots = [None] * self.n_slots
         self.body.sink_cell[0] = consume
         self.body.entry(slots)
 
@@ -687,7 +695,12 @@ def compile_rule(
     layout.index = dict(body.slot_index)
     bound: Set[Var] = set(body.slot_vars)
     inv_vars = sorted(rule.invention_variables(), key=lambda v: v.name)
-    inv_slots = tuple((v.type.name, layout.slot(v)) for v in inv_vars)
+    inv_pairs: List[Tuple[str, int]] = []
+    for v in inv_vars:
+        v_type = v.type
+        assert isinstance(v_type, ClassRef)  # typechecked upstream
+        inv_pairs.append((v_type.name, layout.slot(v)))
+    inv_slots = tuple(inv_pairs)
     blocked = _compile_blocked(rule, layout, bound, instance)
     for var in inv_vars:
         bound.add(var)  # the invention phase fills these before apply
@@ -710,6 +723,7 @@ def _compile_blocked(rule: Rule, layout: _Layout, bound: Set[Var], instance: Ins
         container = head.container
         if isinstance(container, NameTerm):
             name = container.name
+            members: AbstractSet[OValue]
             if instance.schema.is_relation(name):
                 members = instance.relations[name]
             else:
@@ -732,6 +746,7 @@ def _compile_blocked(rule: Rule, layout: _Layout, bound: Set[Var], instance: Ins
 
             return blocked_scan
         # Deref container x̂(t).
+        assert isinstance(container, Deref)  # the only other legal container
         var = container.var
         if var not in bound:
             # x is an invention variable: a fresh oid has no ν entry yet,
@@ -778,7 +793,9 @@ def _compile_blocked(rule: Rule, layout: _Layout, bound: Set[Var], instance: Ins
         # Invented target: blocked iff some existing class oid's value
         # matches the right-hand side (with the candidate bound to x).
         i = layout.slot(var)
-        extent = instance.classes.get(var.type.name, frozenset())
+        var_type = var.type
+        assert isinstance(var_type, ClassRef)  # typechecked upstream
+        extent: AbstractSet[Oid] = instance.classes.get(var_type.name, frozenset())
         bound.add(var)
         matcher = _compile_match(head.right, layout, bound, instance)
 
@@ -809,7 +826,7 @@ def _compile_apply(rule: Rule, layout: _Layout, instance: Instance):
         if isinstance(container, NameTerm):
             name = container.name
             if instance.schema.is_relation(name):
-                add = instance.add_relation_member
+                add_relation = instance.add_relation_member
 
                 def apply_relation(slots, weak, weak_was_defined):
                     element = element_eval(slots)
@@ -818,10 +835,10 @@ def _compile_apply(rule: Rule, layout: _Layout, instance: Instance):
                             f"head {head!r} not evaluable "
                             f"(undefined dereference in a head term)"
                         )
-                    return add(name, element)
+                    return add_relation(name, element)
 
                 return apply_relation, False
-            add = instance.add_class_member
+            add_class = instance.add_class_member
 
             def apply_class(slots, weak, weak_was_defined):
                 element = element_eval(slots)
@@ -834,12 +851,12 @@ def _compile_apply(rule: Rule, layout: _Layout, instance: Instance):
                     raise EvaluationError(
                         f"class head {head!r} derived non-oid {element!r}"
                     )
-                return add(name, element)
+                return add_class(name, element)
 
             return apply_class, False
         if isinstance(container, Deref):
             i = layout.index[container.var]
-            add = instance.add_set_element
+            add_element = instance.add_set_element
 
             def apply_set(slots, weak, weak_was_defined):
                 element = element_eval(slots)
@@ -848,12 +865,15 @@ def _compile_apply(rule: Rule, layout: _Layout, instance: Instance):
                         f"head {head!r} not evaluable "
                         f"(undefined dereference in a head term)"
                     )
-                return add(slots[i], element)
+                return add_element(slots[i], element)
 
             return apply_set, False
         raise EvaluationError(f"illegal head container {container!r}")  # pragma: no cover
     if isinstance(head, Equality):
-        i = layout.index[head.left.var]
+        deref = head.left
+        if not isinstance(deref, Deref):  # pragma: no cover - typechecker
+            raise EvaluationError(f"illegal equality head {head!r}")
+        i = layout.index[deref.var]
         right_eval = _compile_eval(head.right, layout, instance)
         value_of = instance.value_of
 
@@ -909,6 +929,8 @@ def compile_seminaive(
     costed: bool = False,
 ) -> SeminaiveKernels:
     """Compile one semi-naive-eligible rule, or raise :class:`CompileFallback`."""
+    head = rule.head
+    assert isinstance(head, Membership)  # guaranteed by rule_eligible
     feedback = rule.feedback_cache if costed else None
     full = compile_body(
         rule.body,
@@ -921,13 +943,13 @@ def compile_seminaive(
         costed=costed,
         feedback=feedback,
     )
-    head_full = _compile_eval(
-        rule.head.element, _layout_of(full), instance
-    )
+    head_full = _compile_eval(head.element, _layout_of(full), instance)
     per_position: Dict[int, tuple] = {}
     body = list(rule.body)
     for position in shape.relation_positions:
-        element = body[position].element
+        literal = body[position]
+        assert isinstance(literal, Membership)  # by delta_body classification
+        element = literal.element
         init_vars = tuple(sorted(element.variables(), key=lambda v: v.name))
         layout = _Layout(init_vars)
         bound: Set[Var] = set()
@@ -945,7 +967,7 @@ def compile_seminaive(
             tuple(layout.slots), dict(layout.index), entry, sink_cell,
             instance, state.indexes,
         )
-        head_eval = _compile_eval(rule.head.element, layout, instance)
+        head_eval = _compile_eval(head.element, layout, instance)
         per_position[position] = (matcher, rest_body, head_eval)
     return SeminaiveKernels(full, head_full, per_position)
 
@@ -991,7 +1013,7 @@ class RuleCompiler:
         self.use_indexes = use_indexes
         self.enumeration_budget = enumeration_budget
         self.costed = costed
-        self.stats = None
+        self.stats: Any = None
         self._compiled_seen: Set[int] = set()
         self._interpreted_seen: Set[int] = set()
 

@@ -122,6 +122,18 @@ class EvaluationStats:
     overdeleted: int = 0
     rederived: int = 0
     maintenance_fallbacks: int = 0
+    # Certified parallel execution (Evaluator(parallel=N), repro.iql.parexec):
+    # the pool size used, strata run on concurrent workers, strata run
+    # with partitioned delta rounds, worker tasks submitted, and strata
+    # the certificate forced back to serial (IQL801/802 fallbacks seen at
+    # run time). NOTE: when workers run concurrently, counters shared
+    # with the compiler (rules_compiled, compile_time) can under-count —
+    # they are observability, not semantics.
+    parallel_workers: int = 0
+    parallel_strata: int = 0
+    parallel_partitioned: int = 0
+    parallel_tasks: int = 0
+    parallel_fallbacks: int = 0
 
 
 @dataclass
@@ -184,6 +196,7 @@ class Evaluator:
         compile: bool = False,
         cost_planning: bool = True,
         replan_ratio: float = 10.0,
+        parallel: int = 0,
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
             raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
@@ -214,12 +227,18 @@ class Evaluator:
         # evaluates with plain structural values — the A/B escape hatch
         # behind ``repro run --no-intern``.
         self.interned = interned
+        # Certified parallel execution (repro.analysis.parallel +
+        # repro.iql.parexec): ``parallel=N`` runs certified stratum
+        # batches and partitioned delta rounds on an N-worker thread
+        # pool. Implies scheduling (the certificate is a per-stratum
+        # refinement of the schedule); disabled under tracing.
+        self.parallel = int(parallel) if parallel and not trace else 0
         # Certified SCC scheduling (repro.analysis.depgraph): one fixpoint
         # per dependency stratum instead of one per stage, with rule-level
         # clean-read skipping. Stages the analysis cannot certify fall back
         # to the monolithic fixpoint; IQL601 fallbacks warn. Disabled under
         # tracing like the other rewritings.
-        self.schedule = schedule and not trace
+        self.schedule = (schedule or bool(self.parallel)) and not trace
         self._schedule = None
         if self.schedule:
             import warnings
@@ -251,6 +270,41 @@ class Evaluator:
                 enumeration_budget=self.limits.enumeration_budget,
                 costed=self.cost_planning,
             )
+        # The IQL8xx gate: parallel execution happens only under a
+        # validated ParallelCertificate. A failed audit or a tampered
+        # certificate disables the pool outright; per-stratum IQL801/802
+        # hazards stay in the certificate and fall back serial at run
+        # time, each announced here as a PreflightWarning (the IQL601
+        # pattern above).
+        self._parallel_certificate = None
+        if self.parallel:
+            import warnings
+
+            from repro.analysis import PreflightWarning
+            from repro.analysis.parallel import (
+                build_parallel_certificate,
+                parallel_pass,
+                validate_parallel_certificate,
+            )
+
+            certificate = build_parallel_certificate(program, schedule=self._schedule)
+            violations = validate_parallel_certificate(program, certificate)
+            for diag in parallel_pass(program, certificate=certificate):
+                if diag.code in ("IQL801", "IQL802", "IQL803"):
+                    warnings.warn(
+                        f"{diag.code}: {diag.message} — serial fallback",
+                        PreflightWarning,
+                        stacklevel=3,
+                    )
+            if violations:
+                for violation in violations:
+                    warnings.warn(
+                        f"parallel execution disabled: {violation}",
+                        PreflightWarning,
+                        stacklevel=3,
+                    )
+            elif certificate.certified:
+                self._parallel_certificate = certificate
         import random as _random
 
         self._rng = _random.Random(seed)
@@ -295,16 +349,39 @@ class Evaluator:
         from repro.values import intern
 
         hits0, misses0, fast0 = intern.counters()
-        with intern.interning(self.interned):
-            for index, stage in enumerate(self.program.stages):
-                plan = self._schedule.stages[index] if self._schedule else None
-                if plan is not None and plan.scheduled:
-                    self._run_stage_scheduled(working, plan.strata, stats)
-                else:
-                    if plan is not None:
-                        stats.schedule_fallbacks += 1
-                    self._run_stage(working, list(stage), stats)
-            output = working.project(self.program.output_schema)
+        pool = None
+        if self._parallel_certificate is not None and self.parallel > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(
+                max_workers=self.parallel, thread_name_prefix="repro-par"
+            )
+            stats.parallel_workers = self.parallel
+        try:
+            with intern.interning(self.interned):
+                for index, stage in enumerate(self.program.stages):
+                    plan = self._schedule.stages[index] if self._schedule else None
+                    if plan is not None and plan.scheduled:
+                        if pool is not None:
+                            self._run_stage_parallel(
+                                working,
+                                plan.strata,
+                                self._parallel_certificate.stages[index],
+                                stats,
+                                pool,
+                            )
+                        else:
+                            self._run_stage_scheduled(working, plan.strata, stats)
+                    else:
+                        if plan is not None:
+                            stats.schedule_fallbacks += 1
+                            if pool is not None:
+                                stats.parallel_fallbacks += 1
+                        self._run_stage(working, list(stage), stats)
+                output = working.project(self.program.output_schema)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         hits1, misses1, fast1 = intern.counters()
         stats.intern_hits = hits1 - hits0
         stats.intern_misses = misses1 - misses0
@@ -525,60 +602,156 @@ class Evaluator:
         range-restricted rules, which certification guarantees), so
         skipping it is sound.
         """
+        steps_total = 0
+        for stratum in strata:
+            steps_total += self._solve_stratum_scheduled(instance, list(stratum), stats)
+        stats.per_stage_steps.append(steps_total)
+
+    def _solve_stratum_scheduled(
+        self, instance: Instance, rules: List[Rule], stats: EvaluationStats
+    ) -> int:
+        """One stratum's fixpoint (the per-stratum body of
+        :meth:`_run_stage_scheduled`), returning its step count.
+
+        Also the unit of work a parallel batch submits per worker: each
+        concurrent task gets its own ``stats`` (merged at the barrier),
+        and the certificate guarantees concurrent strata write disjoint
+        symbols.
+        """
         from repro.analysis.effects import rule_effects
         from repro.iql.seminaive import run_stage_seminaive, stage_eligible
 
         steps_total = 0
-        for stratum in strata:
-            rules = list(stratum)
-            stats.strata += 1
-            if self.seminaive and stage_eligible(rules, instance):
-                steps_total += run_stage_seminaive(
+        stats.strata += 1
+        if self.seminaive and stage_eligible(rules, instance):
+            return run_stage_seminaive(
+                instance,
+                rules,
+                stats,
+                self.limits.enumeration_budget,
+                max_steps=self.limits.max_steps,
+                use_indexes=self.indexed,
+                compiler=self._compiler,
+                costed=self.cost_planning,
+                replan_ratio=self.replan_ratio if self.cost_planning else None,
+            )
+        effects = [rule_effects(rule, instance.schema) for rule in rules]
+        read_symbols = frozenset().union(*(eff.reads for eff in effects))
+        fingerprints = {
+            symbol: self._fingerprint(instance, symbol) for symbol in read_symbols
+        }
+        active = list(range(len(rules)))
+        while True:
+            if stats.steps >= self.limits.max_steps:
+                raise NonTerminationError(
+                    f"no fixpoint within {self.limits.max_steps} steps; "
+                    f"recursion through invention can diverge (Example 3.4.2)"
+                )
+            stats.rules_skipped_clean += len(rules) - len(active)
+            changed = self._one_step(
+                instance, [rules[i] for i in active], stats
+            )
+            stats.steps += 1
+            steps_total += 1
+            if not changed:
+                break
+            self._check_drift(rules, stats)
+            current = {
+                symbol: self._fingerprint(instance, symbol)
+                for symbol in read_symbols
+            }
+            dirty = {
+                symbol
+                for symbol in read_symbols
+                if current[symbol] != fingerprints[symbol]
+            }
+            fingerprints = current
+            active = [i for i, eff in enumerate(effects) if eff.reads & dirty]
+            if not active:
+                break
+        return steps_total
+
+    def _run_stage_parallel(
+        self,
+        instance: Instance,
+        strata: Tuple[Tuple[Rule, ...], ...],
+        stage_plan,
+        stats: EvaluationStats,
+        pool,
+    ) -> None:
+        """Certified parallel stage execution (``Evaluator(parallel=N)``).
+
+        Walks the certificate's :func:`~repro.analysis.parallel.concurrent_batches`
+        — the one scheduling function the analysis and the executor
+        share. A multi-stratum batch runs each stratum's serial fixpoint
+        on its own worker (disjoint write symbols by the certificate,
+        per-task stats merged at the barrier); a singleton batch whose
+        stratum is certified-partitionable runs split delta rounds
+        through :func:`repro.iql.parexec.run_stage_seminaive_partitioned`;
+        every other singleton — hazard strata included — runs the plain
+        serial path, counted as a parallel fallback.
+        """
+        from repro.analysis.parallel import concurrent_batches
+        from repro.iql.parexec import merge_stats, run_stage_seminaive_partitioned
+        from repro.iql.seminaive import stage_eligible
+
+        steps_total = 0
+        for batch in concurrent_batches(stage_plan):
+            if len(batch) > 1:
+                if self.indexed:
+                    # Prewarm: the lazy index build must not race across workers.
+                    instance.indexes  # noqa: B018
+                # The incremental constants fold (_note_constants) is a
+                # read-modify-write; concurrent workers adding facts could
+                # tear it and silently drop constants. Certified batches
+                # never *read* constants(I) — the enumeration fallback is
+                # an IQL802 hazard — so run the batch with the cache cold:
+                # _note_constants is then a no-op and the next serial
+                # reader rebuilds from scratch.
+                instance._forget_constants()
+                futures = []
+                subs = []
+                for stratum_index in batch:
+                    sub = EvaluationStats()
+                    futures.append(
+                        pool.submit(
+                            self._solve_stratum_scheduled,
+                            instance,
+                            list(strata[stratum_index]),
+                            sub,
+                        )
+                    )
+                    subs.append(sub)
+                stats.parallel_strata += len(batch)
+                stats.parallel_tasks += len(batch)
+                for future, sub in zip(futures, subs):
+                    steps_total += future.result()
+                    merge_stats(stats, sub)
+                continue
+            stratum_index = batch[0]
+            plan = stage_plan.strata[stratum_index]
+            rules = list(strata[stratum_index])
+            rounds = None
+            if plan.partitionable and self.seminaive and stage_eligible(rules, instance):
+                rounds = run_stage_seminaive_partitioned(
                     instance,
                     rules,
                     stats,
                     self.limits.enumeration_budget,
+                    pool,
+                    self.parallel,
                     max_steps=self.limits.max_steps,
                     use_indexes=self.indexed,
-                    compiler=self._compiler,
                     costed=self.cost_planning,
-                    replan_ratio=self.replan_ratio if self.cost_planning else None,
                 )
-                continue
-            effects = [rule_effects(rule, instance.schema) for rule in rules]
-            read_symbols = frozenset().union(*(eff.reads for eff in effects))
-            fingerprints = {
-                symbol: self._fingerprint(instance, symbol) for symbol in read_symbols
-            }
-            active = list(range(len(rules)))
-            while True:
-                if stats.steps >= self.limits.max_steps:
-                    raise NonTerminationError(
-                        f"no fixpoint within {self.limits.max_steps} steps; "
-                        f"recursion through invention can diverge (Example 3.4.2)"
-                    )
-                stats.rules_skipped_clean += len(rules) - len(active)
-                changed = self._one_step(
-                    instance, [rules[i] for i in active], stats
-                )
-                stats.steps += 1
-                steps_total += 1
-                if not changed:
-                    break
-                self._check_drift(rules, stats)
-                current = {
-                    symbol: self._fingerprint(instance, symbol)
-                    for symbol in read_symbols
-                }
-                dirty = {
-                    symbol
-                    for symbol in read_symbols
-                    if current[symbol] != fingerprints[symbol]
-                }
-                fingerprints = current
-                active = [i for i, eff in enumerate(effects) if eff.reads & dirty]
-                if not active:
-                    break
+                if rounds is not None:
+                    stats.strata += 1
+                    stats.parallel_partitioned += 1
+                    steps_total += rounds
+            if rounds is None:
+                if plan.fallback is not None and not plan.parallel_safe:
+                    stats.parallel_fallbacks += 1
+                steps_total += self._solve_stratum_scheduled(instance, rules, stats)
         stats.per_stage_steps.append(steps_total)
 
     # -- the one-step operator γ1 ----------------------------------------------------

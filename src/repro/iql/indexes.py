@@ -111,8 +111,14 @@ class InstanceIndexes:
     # -- incremental maintenance (called by the Instance mutators) ---------------
 
     def on_add_relation_member(self, name: str, value: OValue) -> None:
+        # Snapshot the registry: under certified concurrency
+        # (Evaluator(parallel=N)) another worker may lazily *create* an
+        # index while this one maintains its own relation's buckets. The
+        # snapshot is complete for ``name`` — an index on ``name`` is only
+        # ever created by a stratum that reads it, and the certificate
+        # never batches a reader concurrently with this writer.
         if isinstance(value, OTuple):
-            for (rname, attr), index in self._relation_attr.items():
+            for (rname, attr), index in list(self._relation_attr.items()):
                 if rname == name and attr in value:
                     index.setdefault(value[attr], set()).add(value)
 
@@ -147,8 +153,11 @@ class InstanceIndexes:
                 del index[value]
 
     def on_remove_relation_member(self, name: str, value: OValue) -> None:
+        # Snapshot for the same reason as on_add_relation_member (deletion
+        # never runs concurrently — it is an IQL802 hazard — but the hooks
+        # keep one contract).
         if isinstance(value, OTuple):
-            for (rname, attr), index in self._relation_attr.items():
+            for (rname, attr), index in list(self._relation_attr.items()):
                 if rname == name and attr in value:
                     bucket = index.get(value[attr])
                     if bucket is not None:

@@ -1,0 +1,241 @@
+"""Certified parallel execution: the runtime behind ``Evaluator(parallel=N)``.
+
+This module is the *load-bearing* half of the IQL8xx analysis
+(:mod:`repro.analysis.parallel`): the evaluator executes exactly the
+concurrency the :class:`~repro.analysis.parallel.ParallelCertificate`
+certifies and nothing more. Two mechanisms live here:
+
+* **stat merging** for concurrent strata — each worker task evaluates
+  its stratum against the shared instance (disjoint write symbols by the
+  certificate) with a private :class:`EvaluationStats`, folded into the
+  run's stats at the batch barrier. Counters are additive; nothing in a
+  worker reads another worker's stats,
+* **partitioned delta rounds** for a single certified-partitionable
+  stratum — the semi-naive round loop of
+  :func:`repro.iql.seminaive.run_stage_seminaive`, with each round's
+  delta split round-robin across workers. Every worker drives its own
+  **kernel replica set** compiled through
+  :func:`repro.iql.compile.compile_seminaive` directly (bypassing the
+  shared per-rule kernel cache): a compiled body's ``sink_cell`` is a
+  per-execution mutable slot, so one kernel must never be driven by two
+  threads — this is precisely the surface the certificate's IQL803
+  audit pins down. Workers only *read* the instance (extents are frozen
+  within a round; the blocking check ``value not in existing`` is
+  round-stable, which is what makes the split sound — certificate
+  condition (b)); derivations land in worker-local buckets merged at the
+  round barrier, and the coordinator alone applies them, so inflationary
+  semantics makes the merge order-insensitive.
+
+Rounds below :data:`PARTITION_THRESHOLD` facts run inline on the
+coordinator — task overhead would dominate. The adaptive replanner's
+mid-fixpoint drift check is disabled in partitioned rounds (replicas are
+compiled once per stratum); the round-0 full solve also runs on the
+coordinator, so partitioning pays off exactly where recursion does: in
+the delta rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.effects import DeltaBody, delta_body
+from repro.iql.compile import CompileFallback, SeminaiveKernels, compile_seminaive
+from repro.iql.rules import Rule
+from repro.schema.instance import Instance
+from repro.values.ovalues import OValue
+
+#: Minimum facts in a round's delta before splitting beats task overhead.
+PARTITION_THRESHOLD = 64
+
+
+def merge_stats(target, source) -> None:
+    """Fold a worker task's private stats into the run's stats.
+
+    Every numeric counter is additive and no worker reads another's
+    stats, so a post-barrier fold is exact for everything except wall
+    times (which become summed task times — documented). Dict counters
+    merge per key; list fields extend (worker tasks never append to the
+    per-stage lists, so this is a no-op in practice).
+    """
+    for field in fields(source):
+        value = getattr(source, field.name)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            setattr(target, field.name, getattr(target, field.name) + value)
+        elif isinstance(value, dict):
+            bucket = getattr(target, field.name)
+            for key, count in value.items():
+                bucket[key] = bucket.get(key, 0) + count
+        elif isinstance(value, list):
+            getattr(target, field.name).extend(value)
+
+
+def compile_replicas(
+    rules: Sequence[Rule],
+    shapes: Dict[int, DeltaBody],
+    instance: Instance,
+    workers: int,
+    use_indexes: bool,
+    enumeration_budget: int,
+    costed: bool,
+) -> Optional[List[Dict[int, SeminaiveKernels]]]:
+    """One full kernel set per worker, or None if any rule won't compile.
+
+    Compiled on the coordinator *before* any concurrency (the per-rule
+    plan caches are not thread-safe), through
+    :func:`~repro.iql.compile.compile_seminaive` directly so each worker
+    owns its kernels' ``sink_cell`` slots outright.
+    """
+    replicas: List[Dict[int, SeminaiveKernels]] = []
+    try:
+        for _ in range(workers):
+            kernels = {
+                index: compile_seminaive(
+                    rule,
+                    shapes[index],
+                    instance,
+                    use_indexes=use_indexes,
+                    enumeration_budget=enumeration_budget,
+                    costed=costed,
+                )
+                for index, rule in enumerate(rules)
+            }
+            replicas.append(kernels)
+    except CompileFallback:
+        return None
+    return replicas
+
+
+def run_stage_seminaive_partitioned(
+    instance: Instance,
+    rules: Sequence[Rule],
+    stats,
+    enumeration_budget: int,
+    pool,
+    workers: int,
+    max_steps: int = 10_000,
+    use_indexes: bool = True,
+    costed: bool = False,
+) -> Optional[int]:
+    """Evaluate one certified-partitionable stratum with split delta rounds.
+
+    Returns the number of rounds, or None when a rule falls outside the
+    compiled fragment — the caller then runs the ordinary serial path
+    (never wrong answers, just no speedup). Semantics are identical to
+    :func:`repro.iql.seminaive.run_stage_seminaive`: the derived fact
+    set of each round is the union over partitions of the same
+    derivations the serial round enumerates, deduplicated at the merge.
+    """
+    schema = instance.schema
+    shapes: Dict[int, DeltaBody] = {}
+    for index, rule in enumerate(rules):
+        shape = delta_body(rule, schema)
+        if shape is None:
+            return None
+        shapes[index] = shape
+    replicas = compile_replicas(
+        rules, shapes, instance, workers, use_indexes, enumeration_budget, costed
+    )
+    if replicas is None:
+        return None
+    if use_indexes:
+        # Prewarm: the lazy index build must not race across workers.
+        instance.indexes  # noqa: B018
+
+    def drive(worker: int, stride: int, delta_lists: Dict[str, list]) -> Tuple[Dict[str, Set[OValue]], int]:
+        """One worker's share of a delta round: positions matched against
+        every ``stride``-th delta fact starting at ``worker``, derived
+        values staged in worker-local buckets."""
+        kernels = replicas[worker]
+        local: Dict[str, Set[OValue]] = {}
+        considered = [0]
+        for index, rule in enumerate(rules):
+            head_name = rule.head.container.name
+            existing = instance.relations[head_name]
+            bucket = local.setdefault(head_name, set())
+            compiled = kernels[index]
+            body = list(rule.body)
+            for position in shapes[index].relation_positions:
+                source = delta_lists.get(body[position].container.name)
+                if not source:
+                    continue
+                chunk = source[worker::stride] if stride > 1 else source
+                if not chunk:
+                    continue
+                matcher, rest_body, head_eval = compiled.per_position[position]
+
+                def consume(slots, _he=head_eval, _b=bucket, _ex=existing, _c=considered):
+                    value = _he(slots)
+                    if value is not None and value not in _ex:
+                        _b.add(value)
+                        _c[0] += 1
+
+                slots = rest_body.new_slots()
+                rest_body.sink_cell[0] = consume
+                entry = rest_body.entry
+                for fact in chunk:
+                    if matcher(fact, slots):
+                        entry(slots)
+        return local, considered[0]
+
+    rounds = 0
+    first = True
+    delta: Dict[str, Set[OValue]] = {}
+    while True:
+        if stats.steps >= max_steps:
+            from repro.errors import NonTerminationError  # noqa: PLC0415
+
+            raise NonTerminationError(
+                f"no fixpoint within {max_steps} steps (partitioned stage)"
+            )
+        new: Dict[str, Set[OValue]] = {}
+        if first:
+            # Round 0 is a full solve over the existing extents — one
+            # coordinator pass through replica 0's full kernels.
+            kernels0 = replicas[0]
+            for index, rule in enumerate(rules):
+                head_name = rule.head.container.name
+                existing = instance.relations[head_name]
+                bucket = new.setdefault(head_name, set())
+                compiled = kernels0[index]
+                head_eval = compiled.head_full
+
+                def consume(slots, _he=head_eval, _b=bucket, _ex=existing):
+                    value = _he(slots)
+                    if value is not None and value not in _ex:
+                        _b.add(value)
+                        stats.valuations_considered += 1
+
+                compiled.full.execute((), consume)
+            first = False
+        else:
+            delta_lists = {name: list(values) for name, values in delta.items()}
+            total = sum(len(values) for values in delta_lists.values())
+            if workers > 1 and total >= PARTITION_THRESHOLD:
+                futures = [
+                    pool.submit(drive, worker, workers, delta_lists)
+                    for worker in range(workers)
+                ]
+                stats.parallel_tasks += workers
+                for future in futures:
+                    local, considered = future.result()
+                    stats.valuations_considered += considered
+                    for name, values in local.items():
+                        if values:
+                            new.setdefault(name, set()).update(values)
+            else:
+                local, considered = drive(0, 1, delta_lists)
+                stats.valuations_considered += considered
+                new.update(local)
+
+        rounds += 1
+        stats.steps += 1
+        if not any(new.values()):
+            return rounds
+        for name, values in new.items():
+            for value in values:
+                if instance.add_relation_member(name, value):
+                    stats.facts_added += 1
+        delta = new

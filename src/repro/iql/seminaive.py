@@ -42,11 +42,19 @@ from repro.iql.rules import Rule
 from repro.iql.terms import NameTerm, Var
 from repro.iql.valuation import eval_term, match, solve_body
 from repro.schema.instance import Instance
+from repro.schema.schema import Schema
 from repro.values.ovalues import OValue
 
 
-def _rule_eligible(rule: Rule, instance: Instance) -> bool:
-    schema = instance.schema
+def rule_eligible(rule: Rule, schema: Schema) -> bool:
+    """True iff ``rule`` sits in the delta-staged fragment.
+
+    Purely schema-level — the parallel-safety analysis
+    (:mod:`repro.analysis.parallel`) reuses this exact predicate to
+    decide hash-partitionability, so the fragment the certificate
+    reasons about and the fragment the executor runs are one predicate,
+    not two that could drift.
+    """
     if rule.delete or rule.has_choose() or not rule.is_invention_free():
         return False
     head = rule.head
@@ -95,7 +103,7 @@ def _rule_eligible(rule: Rule, instance: Instance) -> bool:
 
 def stage_eligible(rules: Sequence[Rule], instance: Instance) -> bool:
     """True iff the delta rewriting is sound for this stage."""
-    return all(_rule_eligible(rule, instance) for rule in rules)
+    return all(rule_eligible(rule, instance.schema) for rule in rules)
 
 
 def run_stage_seminaive(
@@ -142,9 +150,11 @@ def run_stage_seminaive(
     replanned mid-fixpoint and the remaining rounds run the better order.
     """
     schema = instance.schema
-    shapes: Dict[int, DeltaBody] = {
-        index: delta_body(rule, schema) for index, rule in enumerate(rules)
-    }
+    shapes: Dict[int, DeltaBody] = {}
+    for index, rule in enumerate(rules):
+        shape = delta_body(rule, schema)
+        assert shape is not None  # guaranteed by stage_eligible
+        shapes[index] = shape
 
     def fetch_kernels():
         fetched = {}
@@ -174,15 +184,18 @@ def run_stage_seminaive(
             )
         new: Dict[str, Set[OValue]] = {}
         for rule_index, rule in enumerate(rules):
-            head_name = rule.head.container.name
-            head_term = rule.head.element
+            head = rule.head
+            assert isinstance(head, Membership)  # guaranteed by rule_eligible
+            assert isinstance(head.container, NameTerm)
+            head_name = head.container.name
+            head_term = head.element
             existing = instance.relations[head_name]
             compiled = kernels.get(rule_index)
 
-            def derive(theta):
-                value = eval_term(head_term, theta, instance)
-                if value is not None and value not in existing:
-                    new.setdefault(head_name, set()).add(value)
+            def derive(theta, _ht=head_term, _ex=existing, _hn=head_name, _new=new):
+                value = eval_term(_ht, theta, instance)
+                if value is not None and value not in _ex:
+                    _new.setdefault(_hn, set()).add(value)
                     stats.valuations_considered += 1
 
             if first:
@@ -214,6 +227,8 @@ def run_stage_seminaive(
             body = list(rule.body)
             for position in shapes[rule_index].relation_positions:
                 literal = body[position]
+                assert isinstance(literal, Membership)  # by delta_body
+                assert isinstance(literal.container, NameTerm)
                 source = delta.get(literal.container.name)
                 if not source:
                     continue

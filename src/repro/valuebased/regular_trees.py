@@ -148,7 +148,7 @@ class RegularTreeSystem:
             representative.setdefault(block[nid], nid)
         mapping = {nid: representative[block[nid]] for nid in self.nodes}
         minimized = RegularTreeSystem()
-        for b, rep in representative.items():
+        for rep in representative.values():
             shell = self.nodes[rep]
             kind = shell[0]
             if kind == "const":

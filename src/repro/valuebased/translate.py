@@ -109,7 +109,7 @@ def psi(instance: Instance, vschema: Optional[VSchema] = None) -> VInstance:
     system = result.system
 
     oid_node: Dict[Oid, NodeId] = {}
-    for class_name, oids in instance.classes.items():
+    for oids in instance.classes.values():
         for oid in oids:
             node_id = f"oid:{oid.serial}"
             system.declare(node_id)

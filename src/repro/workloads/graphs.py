@@ -91,7 +91,7 @@ def parent_forest(families: int, generations: int, children: int = 2) -> Tuple[S
     for f in range(families):
         previous = [f"f{f}_g0_p0"]
         persons.extend(previous)
-        for g in range(1, generations):
+        for _generation in range(1, generations):
             current = []
             for parent in previous:
                 for c in range(children):

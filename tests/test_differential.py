@@ -289,3 +289,50 @@ def test_costed_planner_matches_static(seed):
 @pytest.mark.parametrize("seed", range(220))
 def test_forced_replanning_matches_static(seed):
     run_planner_differential(seed, replan_ratio=1.0)
+
+
+# -- the certified parallel executor (Evaluator(parallel=N)) -------------------------
+#
+# Same program generator as the scheduled sweep — including the IQL601
+# seeds and the invention seeds, which the IQL8xx certificate forces
+# back to serial (IQL802 or an unscheduled stage) — so the fallback
+# paths are exercised as heavily as the concurrent ones. The oracle is
+# the serial scheduled+compiled engine: for invention-free programs the
+# parallel fact set must be *exactly* equal (concurrent strata write
+# disjoint symbols; partitioned rounds merge into the same inflationary
+# fixpoint); invention seeds compare up to O-isomorphism because batch
+# scheduling may reorder hazard strata of different levels, renaming
+# the (fresh-by-construction) invented oids.
+
+
+def run_parallel_differential(seed):
+    import warnings
+
+    rng = random.Random(seed)
+    schema = make_schema()
+    allow_invention = seed % 5 == 0
+    unstratified = seed % 4 == 1
+    program = random_scheduled_program(schema, rng, allow_invention, unstratified)
+    instance = random_instance(schema, rng)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        parallel_result = Evaluator(program, parallel=4, compile=True).run(
+            instance.copy()
+        )
+        serial = (
+            Evaluator(program, schedule=True, compile=True)
+            .run(instance.copy())
+            .output
+        )
+    parallel = parallel_result.output
+    if all(rule.is_invention_free() for rule in program.rules):
+        assert parallel == serial, f"seed {seed}: exact disagreement"
+    else:
+        assert are_o_isomorphic(parallel, serial), (
+            f"seed {seed}: not O-isomorphic"
+        )
+
+
+@pytest.mark.parametrize("seed", range(220))
+def test_parallel_engine_matches_serial(seed):
+    run_parallel_differential(seed)

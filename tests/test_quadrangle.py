@@ -45,7 +45,7 @@ class TestCopies:
         by_marker = {}
         for row in self.output.relations["R_copy"]:
             by_marker.setdefault(row["M"], set()).add((row["B"], row["C"]))
-        for marker, edges in by_marker.items():
+        for edges in by_marker.values():
             assert len(edges) == 8
             constants = {t for _, t in edges if isinstance(t, str)}
             assert constants == {"a", "b"}
