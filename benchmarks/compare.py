@@ -18,6 +18,13 @@ Speedup is old/new: >1 means the new run is faster. A point regresses when
 ``new > threshold * old``; any regression makes the exit status 1 unless
 ``--warn-only`` (the CI bench-smoke job runs warn-only — a noisy shared
 runner should flag, not fail).
+
+Keys starting with ``__`` are metadata, not series — ``run_all.py`` writes
+``__host__`` (usable CPU count, host-gated backends). When both files carry
+host metadata and the CPU counts differ, host-gated experiments (the
+parallel-execution series, whose numbers scale with usable CPUs) are
+skipped with a note instead of producing spurious regression warnings —
+e.g. a 1-CPU CI runner diffed against a 4-CPU baseline host.
 """
 
 from __future__ import annotations
@@ -58,6 +65,8 @@ def compare(
     rows = []
     regressions = []
     for exp in sorted(set(old) & set(new)):
+        if exp.startswith("__"):  # metadata, not a series
+            continue
         shared = set(old[exp]) & set(new[exp])
         for size in sorted(shared, key=_size_key):
             old_s, new_s = old[exp][size], new[exp][size]
@@ -66,6 +75,33 @@ def compare(
             if new_s > threshold * old_s:
                 regressions.append((exp, size, speedup))
     return rows, regressions
+
+
+def skip_host_gated(
+    old: Dict[str, Dict[str, float]],
+    new: Dict[str, Dict[str, float]],
+) -> List[str]:
+    """Drop host-gated series when the two hosts are not comparable.
+
+    A series is host-gated when either file's ``__host__.backend`` names
+    it (run_all records E22/E22p there). Points are dropped — mutating
+    ``old``/``new`` in place — only when both files carry a ``__host__``
+    with a ``cpu_count`` and the counts differ; trajectories from the
+    same host, or legacy files without metadata, compare as before.
+    Returns the sorted experiment ids that were skipped.
+    """
+    old_host = old.get("__host__") or {}
+    new_host = new.get("__host__") or {}
+    old_cpus = old_host.get("cpu_count")
+    new_cpus = new_host.get("cpu_count")
+    if old_cpus is None or new_cpus is None or old_cpus == new_cpus:
+        return []
+    gated = set(old_host.get("backend") or {}) | set(new_host.get("backend") or {})
+    skipped = sorted(exp for exp in gated if exp in old and exp in new)
+    for exp in skipped:
+        old.pop(exp, None)
+        new.pop(exp, None)
+    return skipped
 
 
 _PR_FILE = re.compile(r"^BENCH_PR(\d+)\.json$")
@@ -132,6 +168,15 @@ def main(argv) -> int:
 
     old = load_trajectory(old_path)
     new = load_trajectory(new_path)
+    skipped = skip_host_gated(old, new)
+    if skipped:
+        print(
+            "note: skipping host-gated experiment(s) "
+            + ", ".join(skipped)
+            + " — the two trajectories were recorded on hosts with "
+            "different usable CPU counts",
+            file=sys.stderr,
+        )
     rows, regressions = compare(old, new, args.threshold)
     if not rows:
         print("no overlapping (experiment, size) points to compare", file=sys.stderr)

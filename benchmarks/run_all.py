@@ -20,10 +20,13 @@ import argparse
 import gc
 import importlib
 import json
+import os
 import sys
 import time
 
-#: experiment id → bench module (one main() per module).
+#: experiment id → bench entry point, as ``module`` or ``module:function``
+#: (default function: ``main``). Two ids may share a module when one sweep
+#: produces two series (E22/E22p: thread vs process backend).
 EXPERIMENTS = {
     "E1": "bench_instances",
     "E1b": "bench_isomorphism",
@@ -44,7 +47,21 @@ EXPERIMENTS = {
     "E20": "bench_ivm",
     "E21": "bench_planner",
     "E22": "bench_parallel",
+    "E22p": "bench_parallel:main_process",
 }
+
+#: Host-gated experiments and the executor backend their series records.
+#: Their numbers scale with the host's usable CPUs, so compare.py skips
+#: them across hosts with different CPU counts instead of warning
+#: spuriously (e.g. a 1-CPU CI runner diffed against a 4-CPU dev box).
+HOST_GATED_BACKENDS = {"E22": "thread", "E22p": "process"}
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 
 def main(argv) -> int:
@@ -84,11 +101,13 @@ def main(argv) -> int:
             # inside a *later* experiment's timed region. Collect at the
             # boundary so each sweep starts with a clean heap.
             gc.collect()
+            module_name, _, func_name = module_name.partition(":")
             module = importlib.import_module(module_name)
+            entry = getattr(module, func_name or "main")
             if args.smoke and hasattr(module, "SMOKE_SIZES"):
-                series = module.main(sizes=module.SMOKE_SIZES)
+                series = entry(sizes=module.SMOKE_SIZES)
             else:
-                series = module.main()
+                series = entry()
             merged = trajectory.setdefault(exp_id, {})
             for k, v in (series or {}).items():
                 key = str(k)
@@ -96,8 +115,15 @@ def main(argv) -> int:
                     merged[key] = v
     print(f"\ntotal: {time.perf_counter() - started:.1f}s")
     if args.json:
+        payload = dict(trajectory)
+        # "__"-prefixed keys are metadata, not experiment series; compare.py
+        # uses them to skip host-gated points across dissimilar hosts.
+        payload["__host__"] = {
+            "cpu_count": usable_cpus(),
+            "backend": HOST_GATED_BACKENDS,
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(trajectory, handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"trajectory written to {args.json}")
     return 0

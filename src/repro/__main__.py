@@ -295,6 +295,18 @@ def cmd_impact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_width(text: str):
+    """``--parallel`` accepts an int worker count or the word 'auto'."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count or 'auto', got {text!r}"
+        ) from None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.naive and args.compile:
         print(
@@ -328,8 +340,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         compile=args.compile,
         cost_planning=not args.static_plans,
         parallel=args.parallel,
+        backend=args.backend,
     )
-    result = evaluator.run(instance)
+    try:
+        result = evaluator.run(instance)
+    finally:
+        evaluator.close()
     stats = result.stats
     print(
         f"fixpoint in {stats.steps} step(s); +{stats.facts_added} facts, "
@@ -377,7 +393,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"  strata               {stats.strata}\n"
             f"  rules skipped clean  {stats.rules_skipped_clean}\n"
             f"  schedule fallbacks   {stats.schedule_fallbacks}\n"
-            f"  parallel workers     {stats.parallel_workers}\n"
+            f"  parallel workers     {stats.parallel_workers}"
+            f"{' (' + stats.parallel_backend + ')' if stats.parallel_backend else ''}\n"
             f"  parallel strata      {stats.parallel_strata}\n"
             f"  parallel partitioned {stats.parallel_partitioned}\n"
             f"  parallel tasks       {stats.parallel_tasks}\n"
@@ -658,12 +675,21 @@ def main(argv=None) -> int:
     )
     p_run.add_argument(
         "--parallel",
-        type=int,
+        type=_parallel_width,
         default=0,
         metavar="N",
         help="run certified stratum batches and partitioned delta rounds "
-        "on N worker threads (implies --schedule; serial fallback with a "
+        "on N workers, or 'auto' for the host's usable CPUs clamped by "
+        "the certified width (implies --schedule; serial fallback with a "
         "PreflightWarning on any IQL801-803)",
+    )
+    p_run.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="parallel worker backend: shared-memory threads, or "
+        "shared-nothing processes with per-worker interning and "
+        "merge-time re-canonicalization (default: thread)",
     )
     p_run.add_argument(
         "--static-plans",

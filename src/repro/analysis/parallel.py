@@ -329,17 +329,35 @@ _INTERN_STORE_SLOTS = (
 )
 
 
+#: What crosses a process boundary when an Instance is shipped to a
+#: worker: the five semantic slots, nothing else. The coordinator-local
+#: caches (``_indexes``, ``_constants_cache``, ``_sorted_constants``,
+#: ``_member_cache``) must NOT cross — a worker observing the
+#: coordinator's constants cache or lazy index registry would couple the
+#: two processes through state the shared-nothing argument says they do
+#: not share (and the caches capture interned nodes of the *wrong*
+#: store). ``Instance.__setstate__`` rebuilds them cold on the receiver.
+_INSTANCE_PICKLED_SLOTS = ("schema", "relations", "classes", "nu", "_class_of")
+
+
 def audit_runtime_surfaces(
     compile_module: Any = None,
     intern_module: Any = None,
     instance_type: Any = None,
+    backend: str = "thread",
+    values_module: Any = None,
+    rule_type: Any = None,
 ) -> Tuple[SurfaceCheck, ...]:
     """Introspect the runtime surfaces the parallel argument assumes.
 
     The parameters exist for tests: injecting a stub module with a
     drifted surface must flip the corresponding check to ``holds=False``
     (and thereby the certificate to IQL803 serial fallback). By default
-    the real modules are audited.
+    the real modules are audited. With ``backend="process"`` the audit
+    additionally covers the serialization surfaces the shared-nothing
+    executor rides on — the interned-unpickling channel of the value
+    types, the cache-free pickled state of instances and rules, and the
+    spawn-safe worker entry point.
     """
     if compile_module is None:
         from repro.iql import compile as compile_module  # noqa: PLC0415
@@ -421,6 +439,100 @@ def audit_runtime_surfaces(
         intern_ok,
         f"InternStore slots={list(sslots)}",
     )
+
+    if backend == "process":
+        if values_module is None:
+            from repro.values import ovalues as values_module  # noqa: PLC0415
+        if rule_type is None:
+            from repro.iql.rules import Rule as rule_type  # noqa: PLC0415
+
+        # 6. The merge-time re-canonicalization channel: every value
+        # type must unpickle *through interned construction* (its own
+        # __reduce__, not the default protocol), and oids must resolve
+        # through the serial registry so identity survives the round
+        # trip. Without this, a fact returned by a worker would be a
+        # structural twin outside the coordinator's store — breaking the
+        # is-based fast paths the rest of the engine leans on.
+        reduces = True
+        for name in ("Oid", "OTuple", "OSet"):
+            cls = getattr(values_module, name, None)
+            if cls is None or "__reduce__" not in vars(cls):
+                reduces = False
+        registry_ok = (
+            getattr(values_module, "_OID_REGISTRY", None) is not None
+            and callable(getattr(values_module, "_oid_from_wire", None))
+            and callable(getattr(values_module, "reintern", None))
+        )
+        check(
+            "values pickling re-interns",
+            "Oid/OTuple/OSet define __reduce__ rebuilding through interned "
+            "construction, with oid identity resolved via the serial "
+            "registry — decoded worker facts ARE the coordinator's "
+            "canonical nodes",
+            reduces and registry_ok,
+            f"__reduce__ on all value types={reduces}, "
+            f"registry+reintern={registry_ok}",
+        )
+        # 7. Shipped instance state is the five semantic slots only —
+        # process workers must never observe the coordinator's constants
+        # cache or lazy index registry.
+        state_ok = False
+        detail = "Instance.__getstate__ missing"
+        if "__getstate__" in vars(instance_type) and "__setstate__" in vars(
+            instance_type
+        ):
+            try:
+                sample = instance_type(Schema(relations={}, classes={}))
+                state = sample.__getstate__()
+                state_ok = (
+                    isinstance(state, tuple)
+                    and len(state) == len(_INSTANCE_PICKLED_SLOTS)
+                )
+                detail = f"pickled state arity={len(state)}"
+            except Exception as exc:  # pragma: no cover - defensive
+                detail = f"__getstate__ probe failed: {exc}"
+        check(
+            "schema.Instance pickled state",
+            "shipped state is exactly (schema, relations, classes, nu, "
+            "_class_of); coordinator-local caches (_indexes, "
+            "_constants_cache, _sorted_constants, _member_cache) never "
+            "cross the boundary and rebuild cold on the worker",
+            state_ok,
+            detail,
+        )
+        # 8. Rules ship syntax-only: plan/kernel/feedback caches capture
+        # one process's instance sets and must not cross.
+        rule_ok = "__getstate__" in vars(rule_type) and "__setstate__" in vars(
+            rule_type
+        )
+        check(
+            "iql.Rule pickled state",
+            "rules pickle their syntax only, never the evaluation caches "
+            "(plans and kernels capture one process's extents)",
+            rule_ok,
+            "cache-dropping __getstate__/__setstate__ present"
+            if rule_ok
+            else "Rule pickles its caches",
+        )
+        # 9. The worker entry point and the fact-batch wire codec.
+        try:
+            from repro import io as io_module  # noqa: PLC0415
+            from repro.iql import parexec as parexec_module  # noqa: PLC0415
+
+            entry_ok = callable(
+                getattr(parexec_module, "_pool_worker_main", None)
+            ) and callable(getattr(io_module, "batch_to_wire", None)) and callable(
+                getattr(io_module, "batch_from_wire", None)
+            )
+        except ImportError:  # pragma: no cover - broken install
+            entry_ok = False
+        check(
+            "parexec process worker entry",
+            "the worker main is a module-level importable (spawn-safe) and "
+            "the io wire codec for fact batches is present",
+            entry_ok,
+            "entry+codec present" if entry_ok else "entry or codec missing",
+        )
     return tuple(checks)
 
 
@@ -440,6 +552,12 @@ class ParallelCertificate:
 
     stages: Tuple[StagePlan, ...]
     audit: Tuple[SurfaceCheck, ...]
+    #: The execution backend the audit covered: "thread" certifies the
+    #: shared-memory argument only; "process" additionally certifies the
+    #: serialization surfaces (interned unpickling, cache-free shipped
+    #: state, spawn-safe worker entry). A certificate is only good for
+    #: the backend it names.
+    backend: str = "thread"
 
     @property
     def audit_failures(self) -> Tuple[str, ...]:
@@ -470,6 +588,7 @@ class ParallelCertificate:
             "certified": self.certified,
             "clean": self.clean,
             "width": self.width,
+            "backend": self.backend,
             "stages": [s.to_json() for s in self.stages],
             "audit": [c.to_json() for c in self.audit],
             "audit_failures": list(self.audit_failures),
@@ -753,12 +872,15 @@ def build_parallel_certificate(
     graphs: Optional[List[StageGraph]] = None,
     schedule: Optional[Schedule] = None,
     audit: Optional[Tuple[SurfaceCheck, ...]] = None,
+    backend: str = "thread",
 ) -> ParallelCertificate:
     """The parallel certificate of ``program``.
 
     ``graphs``/``schedule`` may be supplied to share work with the other
     analysis passes; ``audit`` exists for tests that inject a failing
-    surface check.
+    surface check. ``backend`` selects the runtime-surface inventory the
+    audit must cover (the process backend audits the serialization
+    surfaces on top of the shared-memory ones).
     """
     schema = schema if schema is not None else program.schema
     if graphs is None:
@@ -766,7 +888,7 @@ def build_parallel_certificate(
     if schedule is None:
         schedule = compute_schedule(program, schema)
     if audit is None:
-        audit = audit_runtime_surfaces()
+        audit = audit_runtime_surfaces(backend=backend)
     stages = tuple(
         _stage_plan(
             graph,
@@ -776,7 +898,7 @@ def build_parallel_certificate(
         )
         for graph in graphs
     )
-    return ParallelCertificate(stages=stages, audit=audit)
+    return ParallelCertificate(stages=stages, audit=audit, backend=backend)
 
 
 # -- checking and validating ---------------------------------------------------------
@@ -799,8 +921,15 @@ def check_parallel_certificate(
     schema = schema if schema is not None else program.schema
     violations: List[str] = []
 
-    # The audit must hold *now*, not just when the certificate was built.
-    live_audit = audit_runtime_surfaces()
+    if certificate.backend not in ("thread", "process"):
+        violations.append(
+            f"certificate names unknown backend {certificate.backend!r}"
+        )
+        return violations
+
+    # The audit must hold *now*, not just when the certificate was
+    # built — for the backend the certificate actually names.
+    live_audit = audit_runtime_surfaces(backend=certificate.backend)
     for check in live_audit:
         if not check.holds:
             violations.append(
@@ -818,7 +947,7 @@ def check_parallel_certificate(
     # Structural re-derivation: the plan must equal what the program
     # yields today (same analysis version, same program).
     rebuilt = build_parallel_certificate(
-        program, schema, audit=certificate.audit
+        program, schema, audit=certificate.audit, backend=certificate.backend
     )
     if len(rebuilt.stages) != len(certificate.stages):
         violations.append(
@@ -985,7 +1114,7 @@ def render_parallel_text(certificate: ParallelCertificate) -> str:
     lines.append(
         f"parallel certificate: "
         f"{'certified' if certificate.certified else 'AUDIT FAILED'}, "
-        f"width {certificate.width}"
+        f"width {certificate.width}, backend {certificate.backend}"
         f"{', clean' if certificate.clean else ''}"
     )
     for check in certificate.audit:

@@ -31,7 +31,7 @@ Extensions handled here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import EvaluationError, GenericityError, NonTerminationError
 from repro.iql.invention import CountingOidFactory, OidFactory
@@ -123,13 +123,15 @@ class EvaluationStats:
     rederived: int = 0
     maintenance_fallbacks: int = 0
     # Certified parallel execution (Evaluator(parallel=N), repro.iql.parexec):
-    # the pool size used, strata run on concurrent workers, strata run
-    # with partitioned delta rounds, worker tasks submitted, and strata
-    # the certificate forced back to serial (IQL801/802 fallbacks seen at
-    # run time). NOTE: when workers run concurrently, counters shared
-    # with the compiler (rules_compiled, compile_time) can under-count —
-    # they are observability, not semantics.
+    # the pool size used, the driver backend ("thread" or "process"),
+    # strata run on concurrent workers, strata run with partitioned delta
+    # rounds, worker tasks submitted, and strata the certificate forced
+    # back to serial (IQL801/802 fallbacks seen at run time). NOTE: when
+    # workers run concurrently, counters shared with the compiler
+    # (rules_compiled, compile_time) can under-count — they are
+    # observability, not semantics.
     parallel_workers: int = 0
+    parallel_backend: str = ""
     parallel_strata: int = 0
     parallel_partitioned: int = 0
     parallel_tasks: int = 0
@@ -196,10 +198,13 @@ class Evaluator:
         compile: bool = False,
         cost_planning: bool = True,
         replan_ratio: float = 10.0,
-        parallel: int = 0,
+        parallel: Union[int, str] = 0,
+        backend: str = "thread",
     ):
         if choose_mode not in ("verify", "trusted", "nondeterministic"):
             raise EvaluationError(f"unknown choose_mode {choose_mode!r}")
+        if backend not in ("thread", "process"):
+            raise EvaluationError(f"unknown parallel backend {backend!r}")
         self.program = program
         if preflight:
             self._preflight(program)
@@ -229,10 +234,22 @@ class Evaluator:
         self.interned = interned
         # Certified parallel execution (repro.analysis.parallel +
         # repro.iql.parexec): ``parallel=N`` runs certified stratum
-        # batches and partitioned delta rounds on an N-worker thread
-        # pool. Implies scheduling (the certificate is a per-stratum
-        # refinement of the schedule); disabled under tracing.
-        self.parallel = int(parallel) if parallel and not trace else 0
+        # batches and partitioned delta rounds on an N-worker pool —
+        # ``backend`` picks shared-memory threads or shared-nothing
+        # processes. ``parallel="auto"`` sizes the pool to the host's
+        # usable CPUs, clamped below by the certificate's certified
+        # width (the IQL804 bound — more workers than independent
+        # strata/partitions cannot be used). Implies scheduling (the
+        # certificate is a per-stratum refinement of the schedule);
+        # disabled under tracing.
+        self.backend = backend
+        auto_width = isinstance(parallel, str)
+        if parallel and not trace:
+            from repro.iql.parexec import worker_count
+
+            self.parallel = worker_count(parallel)
+        else:
+            self.parallel = 0
         # Certified SCC scheduling (repro.analysis.depgraph): one fixpoint
         # per dependency stratum instead of one per stage, with rule-level
         # clean-read skipping. Stages the analysis cannot certify fall back
@@ -277,6 +294,7 @@ class Evaluator:
         # time, each announced here as a PreflightWarning (the IQL601
         # pattern above).
         self._parallel_certificate = None
+        self._driver = None  # persistent pool (process backend), lazily built
         if self.parallel:
             import warnings
 
@@ -287,7 +305,9 @@ class Evaluator:
                 validate_parallel_certificate,
             )
 
-            certificate = build_parallel_certificate(program, schedule=self._schedule)
+            certificate = build_parallel_certificate(
+                program, schedule=self._schedule, backend=self.backend
+            )
             violations = validate_parallel_certificate(program, certificate)
             for diag in parallel_pass(program, certificate=certificate):
                 if diag.code in ("IQL801", "IQL802", "IQL803"):
@@ -305,6 +325,9 @@ class Evaluator:
                     )
             elif certificate.certified:
                 self._parallel_certificate = certificate
+                if auto_width:
+                    # IQL804: workers beyond the certified width idle.
+                    self.parallel = max(1, min(self.parallel, certificate.width))
         import random as _random
 
         self._rng = _random.Random(seed)
@@ -349,39 +372,37 @@ class Evaluator:
         from repro.values import intern
 
         hits0, misses0, fast0 = intern.counters()
-        pool = None
+        driver = None
         if self._parallel_certificate is not None and self.parallel > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            pool = ThreadPoolExecutor(
-                max_workers=self.parallel, thread_name_prefix="repro-par"
-            )
+            driver = self._acquire_driver()
             stats.parallel_workers = self.parallel
+            stats.parallel_backend = self.backend
         try:
             with intern.interning(self.interned):
                 for index, stage in enumerate(self.program.stages):
                     plan = self._schedule.stages[index] if self._schedule else None
                     if plan is not None and plan.scheduled:
-                        if pool is not None:
+                        if driver is not None:
                             self._run_stage_parallel(
                                 working,
+                                index,
                                 plan.strata,
                                 self._parallel_certificate.stages[index],
                                 stats,
-                                pool,
+                                driver,
                             )
                         else:
                             self._run_stage_scheduled(working, plan.strata, stats)
                     else:
                         if plan is not None:
                             stats.schedule_fallbacks += 1
-                            if pool is not None:
+                            if driver is not None:
                                 stats.parallel_fallbacks += 1
                         self._run_stage(working, list(stage), stats)
                 output = working.project(self.program.output_schema)
         finally:
-            if pool is not None:
-                pool.shutdown(wait=True)
+            if driver is not None:
+                driver.release()
         hits1, misses1, fast1 = intern.counters()
         stats.intern_hits = hits1 - hits0
         stats.intern_misses = misses1 - misses0
@@ -671,13 +692,37 @@ class Evaluator:
                 break
         return steps_total
 
+    def _acquire_driver(self):
+        """The run's parallel driver: per-run thread pool, or the
+        Evaluator's persistent process pool (built on first use — the
+        program and options cross to the workers once, here)."""
+        from repro.iql.parexec import create_driver
+
+        if self.backend == "process":
+            if self._driver is None:
+                self._driver = create_driver("process", self, self.parallel)
+            return self._driver
+        return create_driver("thread", self, self.parallel)
+
+    def close(self) -> None:
+        """Tear down the persistent process worker pool, if any.
+
+        Safe to call repeatedly; also runs from a GC finalizer on the
+        pool itself, so forgetting it leaks nothing — but a long-lived
+        host application should close evaluators it is done with.
+        """
+        if self._driver is not None:
+            self._driver.close()
+            self._driver = None
+
     def _run_stage_parallel(
         self,
         instance: Instance,
+        stage_index: int,
         strata: Tuple[Tuple[Rule, ...], ...],
         stage_plan,
         stats: EvaluationStats,
-        pool,
+        driver,
     ) -> None:
         """Certified parallel stage execution (``Evaluator(parallel=N)``).
 
@@ -686,64 +731,29 @@ class Evaluator:
         share. A multi-stratum batch runs each stratum's serial fixpoint
         on its own worker (disjoint write symbols by the certificate,
         per-task stats merged at the barrier); a singleton batch whose
-        stratum is certified-partitionable runs split delta rounds
-        through :func:`repro.iql.parexec.run_stage_seminaive_partitioned`;
-        every other singleton — hazard strata included — runs the plain
-        serial path, counted as a parallel fallback.
+        stratum is certified-partitionable runs split delta rounds; every
+        other singleton — hazard strata included — runs the plain serial
+        path, counted as a parallel fallback. Whether a worker is a
+        thread over the shared instance or a process over a shipped
+        replica is entirely the ``driver``'s concern
+        (:func:`repro.iql.parexec.create_driver`).
         """
         from repro.analysis.parallel import concurrent_batches
-        from repro.iql.parexec import merge_stats, run_stage_seminaive_partitioned
         from repro.iql.seminaive import stage_eligible
 
         steps_total = 0
         for batch in concurrent_batches(stage_plan):
             if len(batch) > 1:
-                if self.indexed:
-                    # Prewarm: the lazy index build must not race across workers.
-                    instance.indexes  # noqa: B018
-                # The incremental constants fold (_note_constants) is a
-                # read-modify-write; concurrent workers adding facts could
-                # tear it and silently drop constants. Certified batches
-                # never *read* constants(I) — the enumeration fallback is
-                # an IQL802 hazard — so run the batch with the cache cold:
-                # _note_constants is then a no-op and the next serial
-                # reader rebuilds from scratch.
-                instance._forget_constants()
-                futures = []
-                subs = []
-                for stratum_index in batch:
-                    sub = EvaluationStats()
-                    futures.append(
-                        pool.submit(
-                            self._solve_stratum_scheduled,
-                            instance,
-                            list(strata[stratum_index]),
-                            sub,
-                        )
-                    )
-                    subs.append(sub)
-                stats.parallel_strata += len(batch)
-                stats.parallel_tasks += len(batch)
-                for future, sub in zip(futures, subs):
-                    steps_total += future.result()
-                    merge_stats(stats, sub)
+                steps_total += driver.run_batch(
+                    instance, stage_index, batch, strata, stats
+                )
                 continue
             stratum_index = batch[0]
             plan = stage_plan.strata[stratum_index]
             rules = list(strata[stratum_index])
             rounds = None
             if plan.partitionable and self.seminaive and stage_eligible(rules, instance):
-                rounds = run_stage_seminaive_partitioned(
-                    instance,
-                    rules,
-                    stats,
-                    self.limits.enumeration_budget,
-                    pool,
-                    self.parallel,
-                    max_steps=self.limits.max_steps,
-                    use_indexes=self.indexed,
-                    costed=self.cost_planning,
-                )
+                rounds = driver.run_partitioned(instance, stage_index, rules, stats)
                 if rounds is not None:
                     stats.strata += 1
                     stats.parallel_partitioned += 1

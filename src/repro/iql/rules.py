@@ -131,6 +131,24 @@ class Rule:
         """The rule's label, or a rendering of it, for diagnostics."""
         return self.label if self.label else repr(self)
 
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle the syntax only — never the evaluation caches.
+
+        Plans and compiled kernels capture one process's instance sets
+        and index buckets; a process worker receiving this rule compiles
+        its own against its local replica (and its caches then warm up
+        independently, which is the point of a persistent worker pool).
+        """
+        return (self.head, self.body, self.delete, self.label, self.span)
+
+    def __setstate__(self, state) -> None:
+        self.head, self.body, self.delete, self.label, self.span = state
+        self._plan_cache = None
+        self._kernel_cache = None
+        self._feedback_cache = None
+
     # -- variable classification ------------------------------------------------
 
     def head_variables(self) -> FrozenSet[Var]:

@@ -51,6 +51,23 @@ atomic enough; two threads racing to intern the same content can at worst
 both build a node, with the last insert winning the table.  The loser
 stays a valid value — the structural ``__eq__`` fallback absorbs the
 duplicate — so no lock sits on the construction path.
+
+Process locality
+----------------
+
+The store is **process-local** by design: nothing here is shared memory,
+and node identity never survives a process boundary on its own.  The
+``backend="process"`` executor (:mod:`repro.iql.parexec`) leans on this
+deliberately — each worker process runs its own ``STORE`` seeded by its
+own constructions, and facts crossing a pipe are rebuilt *through the
+receiving side's interned constructors* (``Oid.__reduce__`` /
+``OTuple.__reduce__`` / ``OSet.__reduce__`` in
+:mod:`repro.values.ovalues`, and the wire codec in :mod:`repro.io`).
+Re-canonicalization at the receiver, not shared tables, is what restores
+the ``v1 == v2  ⇔  v1 is v2`` invariant after a merge; a worker's hit or
+miss counters therefore say nothing about the coordinator's, and the
+coordinator's constants cache and lazy index registry are never visible
+to workers (the IQL8xx certificate audits exactly that).
 """
 
 from __future__ import annotations

@@ -43,9 +43,9 @@ still compare correctly through the structural fallback in ``__eq__``.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from weakref import WeakValueDictionary
 from weakref import ref as _weakref
 
 from repro.errors import OValueError
@@ -87,12 +87,13 @@ class Oid:
 
     __slots__ = ("serial", "name", "_hash", "__weakref__")
 
-    _counter = itertools.count(1)
+    _next_serial = 0
     _lock = threading.Lock()
 
     def __init__(self, name: str = ""):
         with Oid._lock:
-            self.serial = next(Oid._counter)
+            Oid._next_serial += 1
+            self.serial = Oid._next_serial
         self.name = name
         # Precomputed: oids are hashed on every table probe of every value
         # containing them, so ``__hash__`` must be an attribute load.
@@ -113,6 +114,51 @@ class Oid:
         if not isinstance(other, Oid):
             return NotImplemented
         return self.serial < other.serial
+
+    def __reduce__(self):
+        """Pickle as ``(serial, name)``, resolved through the registry.
+
+        Identity is what an oid *is*, so a pickle round-trip must not
+        manufacture a second element of ``O``: the sender registers the
+        live object under its serial, and :func:`_oid_from_wire` on the
+        receiving side returns the registered object when the serial is
+        already known in that process — which is exactly what lets a
+        coordinator recognize its own oids inside facts a worker sends
+        back. A serial seen for the first time (a worker receiving
+        coordinator facts) reconstructs an oid carrying the sender's
+        serial, so sort order and invention determinism agree across the
+        process boundary.
+        """
+        with _OID_REGISTRY_LOCK:
+            _OID_REGISTRY[self.serial] = self
+        return (_oid_from_wire, (self.serial, self.name))
+
+
+#: serial → live oid, for pickle round-trips (:meth:`Oid.__reduce__`).
+#: Weak so the registry never keeps an oid alive by itself.
+_OID_REGISTRY: "WeakValueDictionary[int, Oid]" = WeakValueDictionary()
+_OID_REGISTRY_LOCK = threading.Lock()
+
+
+def _oid_from_wire(serial: int, name: str) -> Oid:
+    """Resolve a pickled oid to the process-local object for that serial."""
+    with _OID_REGISTRY_LOCK:
+        existing = _OID_REGISTRY.get(serial)
+        if existing is not None:
+            return existing
+        oid = object.__new__(Oid)
+        oid.serial = serial
+        oid.name = name
+        oid._hash = hash((Oid, serial))
+        _OID_REGISTRY[serial] = oid
+    # Local invention must never collide with an imported serial: fresh
+    # oids in this process continue strictly above everything seen on
+    # the wire. (Certified parallel strata never invent in workers, so
+    # this is belt-and-braces for general pickle use.)
+    with Oid._lock:
+        if Oid._next_serial < serial:
+            Oid._next_serial = serial
+    return oid
 
 
 class OTuple:
@@ -257,6 +303,19 @@ class OTuple:
         inner = ", ".join(f"{attr}: {value!r}" for attr, value in self._fields)
         return f"[{inner}]"
 
+    def __reduce__(self):
+        """Pickle as the canonical field tuple, rebuilt through ``__new__``.
+
+        Unpickling therefore *re-interns* into the receiving process's
+        store: a fact shipped to a worker and back arrives as the
+        coordinator's own canonical node (identity equality holds), and a
+        worker's first sight of a value lands in its process-local store.
+        The per-node metadata caches are deliberately not shipped — they
+        are recomputed lazily, and on a hit the canonical node already
+        has them.
+        """
+        return (OTuple, (self._fields,))
+
 
 class OSet:
     """A finite set ``{v1, ..., vk}`` of o-values.
@@ -345,8 +404,43 @@ class OSet:
         inner = ", ".join(sorted(repr(v) for v in self._elements))
         return "{" + inner + "}"
 
+    def __reduce__(self):
+        """Pickle as the element tuple, rebuilt through ``__new__``.
+
+        Same contract as :meth:`OTuple.__reduce__`: unpickling re-interns
+        into the receiving process's store.
+        """
+        return (OSet, (tuple(self._elements),))
+
 
 _OVALUE_TYPES = (Oid, OTuple, OSet) + CONSTANT_TYPES
+
+
+def reintern(value: OValue) -> OValue:
+    """Rebuild ``value`` bottom-up through interned construction.
+
+    Returns the store's canonical node for the value's content (assuming
+    interning is enabled; with it disabled this is a structural copy).
+    The identity map on values already canonical — re-interning the
+    canonical node probes the store and gets the node itself back — and
+    the bridge for *cross-generation* values: anything built under
+    ``interning(False)``, or unpickled while interning was off, collapses
+    onto the canonical node. Oids and constants pass through untouched:
+    an oid's identity is the oid.
+    """
+    if isinstance(value, OTuple):
+        return OTuple(
+            tuple(
+                (attr, reintern(v) if isinstance(v, (OTuple, OSet)) else v)
+                for attr, v in value._fields
+            )
+        )
+    if isinstance(value, OSet):
+        return OSet(
+            reintern(v) if isinstance(v, (OTuple, OSet)) else v
+            for v in value._elements
+        )
+    return value
 
 
 def is_constant(value: object) -> bool:

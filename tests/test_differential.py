@@ -305,7 +305,7 @@ def test_forced_replanning_matches_static(seed):
 # the (fresh-by-construction) invented oids.
 
 
-def run_parallel_differential(seed):
+def run_parallel_differential(seed, backend="thread", workers=4):
     import warnings
 
     rng = random.Random(seed)
@@ -316,9 +316,13 @@ def run_parallel_differential(seed):
     instance = random_instance(schema, rng)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
-        parallel_result = Evaluator(program, parallel=4, compile=True).run(
-            instance.copy()
+        evaluator = Evaluator(
+            program, parallel=workers, compile=True, backend=backend
         )
+        try:
+            parallel_result = evaluator.run(instance.copy())
+        finally:
+            evaluator.close()
         serial = (
             Evaluator(program, schedule=True, compile=True)
             .run(instance.copy())
@@ -336,3 +340,20 @@ def run_parallel_differential(seed):
 @pytest.mark.parametrize("seed", range(220))
 def test_parallel_engine_matches_serial(seed):
     run_parallel_differential(seed)
+
+
+def run_process_differential(seed):
+    """One seed of the shared-nothing sweep: 2 process workers vs serial.
+
+    Exactness is the interesting bit: a worker's derivations cross a
+    pickling boundary and must re-canonicalize into the coordinator's
+    intern store with oid identity intact — any leak shows up here as an
+    equality (or isomorphism) failure. The CI smoke runs seeds 0..39 of
+    this function; tier-1 runs all 220.
+    """
+    run_parallel_differential(seed, backend="process", workers=2)
+
+
+@pytest.mark.parametrize("seed", range(220))
+def test_process_engine_matches_serial(seed):
+    run_process_differential(seed)

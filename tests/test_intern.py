@@ -41,6 +41,7 @@ from repro.values import (
     intern,
     interning,
     oids_of,
+    reintern,
     sort_key,
     sorted_elements,
     substitute_oids,
@@ -317,3 +318,97 @@ def _run_intern_differential(seed):
 @pytest.mark.parametrize("seed", range(0, 120))
 def test_interned_engine_matches_no_intern(seed):
     _run_intern_differential(seed)
+
+
+# -- pickling: the process-boundary identity channel ----------------------------
+#
+# The shared-nothing executor (repro.iql.parexec, backend="process") rides
+# on three properties of the value types' pickling:
+#
+# 1. round trips preserve structure: a == pickle.loads(pickle.dumps(a)),
+# 2. unpickling rebuilds THROUGH interned construction, so a canonical
+#    node comes back as itself: a is reintern(loads(dumps(a))),
+# 3. oid identity survives via the serial registry: the coordinator
+#    recognizes its own oids in a worker's reply.
+#
+# Cross-generation values (built under interning(False)) round-trip to
+# structural twins whose re-interning lands on the same canonical node.
+
+_PICKLE_OIDS = tuple(Oid(f"pk{i}") for i in range(4))
+
+
+def ovalues_with_oids():
+    return st.recursive(
+        st.one_of(constants, st.sampled_from(_PICKLE_OIDS)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=3).map(OSet),
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]), children, max_size=3
+            ).map(OTuple),
+        ),
+        max_leaves=8,
+    )
+
+
+@settings(deadline=None)
+@given(ovalues_with_oids())
+def test_pickle_round_trip_reinterns_to_the_identical_node(value):
+    import pickle
+
+    back = pickle.loads(pickle.dumps(value))
+    assert back == value
+    if isinstance(value, (OTuple, OSet)):
+        # Unpickling reconstructs through __new__, so the canonical node
+        # comes back as itself — reintern is then the identity on it.
+        assert back is value
+        assert reintern(back) is value
+    elif isinstance(value, Oid):
+        assert back is value
+
+
+@settings(deadline=None)
+@given(ovalues_with_oids())
+def test_cross_generation_pickles_reintern_to_one_node(value):
+    import pickle
+
+    blob = pickle.dumps(value)
+    with interning(False):
+        # A twin born outside the store: equal, but (for containers
+        # carrying structure) not the canonical node.
+        twin = pickle.loads(blob)
+    assert twin == value
+    assert reintern(twin) is reintern(value)
+    if isinstance(value, (OTuple, OSet)):
+        assert reintern(value) is value
+
+
+def test_oid_identity_survives_a_subprocess_round_trip():
+    # A worker pickles facts back to the coordinator: the coordinator's
+    # own oids must come back as the same objects (the registry path),
+    # and foreign oids must re-materialize with their serial respected.
+    import pickle
+
+    oid = Oid("w")
+    t = OTuple(a=oid, b=1)
+    blob = pickle.dumps((oid, t))
+    back_oid, back_t = pickle.loads(blob)
+    assert back_oid is oid
+    assert back_t is t
+    assert back_t["a"] is oid
+
+
+def test_wire_batch_round_trip_preserves_identity_and_sharing():
+    from repro import io
+
+    oid = Oid("s")
+    shared = OTuple(x=oid, y=2)
+    fact_a = OTuple(p=shared, q=3)
+    fact_b = OTuple(p=shared, q=4)
+    wire = io.batch_to_wire({"R": [fact_a, fact_b], "C": [oid]})
+    nodes, payload = wire
+    # Interned sharing is preserved on the wire: `shared` appears once.
+    assert sum(1 for node in nodes if node[0] == "t") == 3
+    decoded = io.batch_from_wire(wire)
+    assert decoded["R"][0] is fact_a
+    assert decoded["R"][1] is fact_b
+    assert decoded["C"][0] is oid

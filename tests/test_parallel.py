@@ -516,3 +516,163 @@ def test_trace_disables_parallel():
     evaluator = Evaluator(tc_program(), parallel=4, trace=True)
     assert evaluator.parallel == 0
     assert evaluator._parallel_certificate is None
+
+
+# -- the process backend -------------------------------------------------------------
+#
+# Shared-nothing workers: the same certificate, a different driver. What
+# the thread tests establish for barrier discipline, these establish for
+# the serialization channel — worker facts must re-canonicalize into the
+# coordinator's store with identity intact, on every diff shape the
+# hazard-free fragment admits (relation members, class members, set
+# elements).
+
+
+def test_process_partitioned_rounds_match_serial_exactly():
+    schema = tc_schema()
+    program = tc_program(schema)
+    instance = chain_instance(schema, 300)
+    evaluator = Evaluator(program, parallel=2, compile=True, backend="process")
+    try:
+        parallel = evaluator.run(instance.copy())
+    finally:
+        evaluator.close()
+    serial = Evaluator(program, schedule=True, compile=True).run(instance.copy())
+    assert parallel.output == serial.output
+    assert parallel.stats.parallel_backend == "process"
+    assert parallel.stats.parallel_partitioned == 1
+    # 300-long chains push delta rounds past the process threshold, so
+    # workers really drove rounds (not the inline fallback).
+    assert parallel.stats.parallel_tasks > 0
+
+
+def test_process_pool_persists_across_runs():
+    schema = tc_schema()
+    program = tc_program(schema)
+    instance = chain_instance(schema, 40)
+    serial = Evaluator(program, schedule=True, compile=True).run(instance.copy())
+    evaluator = Evaluator(program, parallel=2, compile=True, backend="process")
+    try:
+        first = evaluator.run(instance.copy())
+        pool = evaluator._driver
+        assert pool is not None and all(p.is_alive() for p in pool._processes)
+        second = evaluator.run(instance.copy())
+        # One persistent pool per Evaluator: the second run reuses it.
+        assert evaluator._driver is pool
+        assert first.output == serial.output
+        assert second.output == serial.output
+    finally:
+        evaluator.close()
+    assert evaluator._driver is None
+    for process in pool._processes:
+        process.join(timeout=5)
+        assert not process.is_alive()
+
+
+def test_process_concurrent_strata_ship_oids_by_identity():
+    # Three independent strata (one a class writer) batch across two
+    # process workers; the derived facts carry oids, which must come
+    # back from the workers as the coordinator's OWN oid objects — the
+    # merge re-canonicalizes, it never copies.
+    schema = Schema(
+        relations={
+            "R1": columns(classref("C1")),
+            "T": columns(classref("C1")),
+            "U": columns(classref("C1"), classref("C1")),
+        },
+        classes={"C1": tuple_of(a=D)},
+    )
+    x = Var("x", classref("C1"))
+    program = Program(
+        schema,
+        rules=[
+            Rule(atom(schema, "T", x), [atom(schema, "R1", x)]),
+            Rule(atom(schema, "U", x, x), [atom(schema, "R1", x)]),
+            # A hazard-free class writer (re-derives existing members —
+            # class disjointness admits nothing else without invention):
+            # exercises the one-class-writer-per-batch schedule and the
+            # empty class diff crossing the boundary.
+            Rule(atom(schema, "C1", x), [atom(schema, "R1", x)]),
+        ],
+        input_names=["R1", "C1"],
+        output_names=["T", "U", "C1"],
+    )
+    from repro.values import Oid
+
+    instance = Instance(schema.project(["R1", "C1"]))
+    oids = []
+    for i in range(12):
+        oid = Oid(f"c{i}")
+        oids.append(oid)
+        instance.add_class_member("C1", oid)
+        instance.assign(oid, OTuple(a=i))
+        instance.add_relation_member("R1", OTuple(A01=oid))
+    serial = Evaluator(program, schedule=True).run(instance.copy())
+    evaluator = Evaluator(program, parallel=2, backend="process")
+    try:
+        parallel = evaluator.run(instance.copy())
+    finally:
+        evaluator.close()
+    assert parallel.output == serial.output
+    assert parallel.stats.parallel_strata >= 2
+    # Identity, not isomorphism: the oids inside the derived facts ARE
+    # the input's oid objects, not structural twins.
+    derived_oids = {fact["A01"] for fact in parallel.full.relations["T"]}
+    assert all(any(o is oid for oid in oids) for o in derived_oids)
+
+
+def test_process_certificate_records_backend_and_audits_serialization():
+    program = tc_program()
+    certificate = build_parallel_certificate(program, backend="process")
+    assert certificate.backend == "process"
+    assert certificate.certified
+    surfaces = [check.surface for check in certificate.audit]
+    assert "values pickling re-interns" in surfaces
+    assert "schema.Instance pickled state" in surfaces
+    assert "iql.Rule pickled state" in surfaces
+    assert "parexec process worker entry" in surfaces
+    assert certificate.to_json()["backend"] == "process"
+    assert check_parallel_certificate(program, certificate) == []
+    # The thread certificate does not carry (or need) those checks.
+    thread = build_parallel_certificate(program)
+    assert thread.backend == "thread"
+    assert "values pickling re-interns" not in [c.surface for c in thread.audit]
+    assert "backend process" in render_parallel_text(certificate)
+
+
+def test_certificate_with_unknown_backend_is_rejected():
+    import dataclasses
+
+    program = tc_program()
+    certificate = build_parallel_certificate(program)
+    forged = dataclasses.replace(certificate, backend="gpu")
+    violations = check_parallel_certificate(program, forged)
+    assert violations and "unknown backend" in violations[0]
+
+
+def test_parallel_auto_resolves_to_cpus_clamped_by_width():
+    import os
+
+    program = tc_program()
+    evaluator = Evaluator(program, parallel="auto")
+    assert evaluator._parallel_certificate is not None
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    width = evaluator._parallel_certificate.width
+    assert evaluator.parallel == max(1, min(cpus, width))
+    # And it still answers correctly whatever the resolved width.
+    schema = tc_schema()
+    instance = chain_instance(schema, 12)
+    serial = Evaluator(tc_program(schema), schedule=True).run(instance.copy())
+    assert evaluator.run(instance.copy()).output == serial.output
+
+
+def test_unknown_backend_raises():
+    from repro.errors import EvaluationError
+
+    with pytest.raises(EvaluationError):
+        Evaluator(tc_program(), parallel=2, backend="gpu")
+    with pytest.raises(EvaluationError):
+        Evaluator(tc_program(), parallel="some")
